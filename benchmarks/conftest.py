@@ -1,0 +1,25 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures.  All of
+them share the same trace length so the cached baseline runs are reused
+across benchmark modules within one pytest session; pytest-benchmark's
+timing then reports the cost of each figure's *additional* simulations.
+"""
+
+import pytest
+
+#: Records per workload trace (warmup = first third).  Shorter than the
+#: full experiment default so the whole suite stays in the minutes range;
+#: run the examples/ scripts for full-length numbers.
+BENCH_RECORDS = 45_000
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the figure driver exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,71 @@
+"""Ablations of the proactive chain (paper Section V-B design choices).
+
+1. Chain depth: "four is a reasonable threshold to terminate the chain".
+2. Chain width: SN1L past the first discontinuity trades accuracy for
+   timeliness; SN4L everywhere issues more useless prefetches.
+"""
+
+from conftest import BENCH_RECORDS
+
+from repro.core import sn4l_dis_btb
+from repro.experiments import run_scheme
+
+WORKLOADS = ["web_apache", "oltp_db_a"]
+
+
+def run_depths():
+    out = {}
+    for depth in (1, 2, 4, 8):
+        for w in WORKLOADS:
+            res = run_scheme(
+                w, "sn4l_dis_btb", n_records=BENCH_RECORDS,
+                prefetcher_factory=lambda d=depth: sn4l_dis_btb(max_depth=d),
+                cache_key_extra=f"depth={depth}")
+            base = run_scheme(w, "baseline", n_records=BENCH_RECORDS)
+            out.setdefault(depth, []).append(
+                (res.stats.speedup_over(base.stats),
+                 res.stats.prefetch_accuracy))
+    return {d: (sum(s for s, _ in v) / len(v), sum(a for _, a in v) / len(v))
+            for d, v in out.items()}
+
+
+def test_chain_depth(once):
+    data = once(run_depths)
+    print()
+    print(f"{'depth':>6s} {'speedup':>8s} {'accuracy':>9s}")
+    for depth, (sp, acc) in sorted(data.items()):
+        print(f"{depth:>6d} {sp:8.3f} {acc:9.1%}")
+    # Depth helps up to the paper's choice of 4...
+    assert data[4][0] >= data[1][0] - 0.005
+    # ...with diminishing returns beyond it.
+    assert data[8][0] - data[4][0] <= data[4][0] - data[1][0] + 0.01
+
+
+def run_widths():
+    out = {}
+    for width in (1, 4):
+        speeds, accs = [], []
+        for w in WORKLOADS:
+            res = run_scheme(
+                w, "sn4l_dis_btb", n_records=BENCH_RECORDS,
+                prefetcher_factory=lambda c=width: sn4l_dis_btb(
+                    chain_width=c),
+                cache_key_extra=f"width={width}")
+            base = run_scheme(w, "baseline", n_records=BENCH_RECORDS)
+            speeds.append(res.stats.speedup_over(base.stats))
+            accs.append(res.stats.prefetch_accuracy)
+        out[width] = (sum(speeds) / len(speeds), sum(accs) / len(accs))
+    return out
+
+
+def test_chain_width(once):
+    data = once(run_widths)
+    print()
+    print(f"{'width':>6s} {'speedup':>8s} {'accuracy':>9s}")
+    for width, (sp, acc) in sorted(data.items()):
+        print(f"{width:>6d} {sp:8.3f} {acc:9.1%}")
+    # SN1L past discontinuities (the paper's pick) is at least as
+    # accurate as chaining full SN4L windows.
+    assert data[1][1] >= data[4][1] - 0.01
+    # And performance is essentially equivalent.
+    assert abs(data[1][0] - data[4][0]) < 0.05

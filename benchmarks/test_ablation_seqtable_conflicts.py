@@ -1,0 +1,40 @@
+"""Ablation: why the tagless SeqTable works (paper Section VII-C).
+
+Paper: the 16 K-entry tagless SeqTable sees a 28% conflict ratio yet
+makes correct predictions 92% of the time, so tags are unnecessary."""
+
+from conftest import BENCH_RECORDS
+
+from repro.core import SeqTable, Sn4lPrefetcher
+from repro.experiments import run_scheme
+
+WORKLOAD = "web_apache"
+
+
+def run_conflict_study():
+    # The paper's workloads have multi-megabyte instruction footprints,
+    # several times the 16 K-entry SeqTable.  Our synthetic programs are
+    # ~1 MB (~14 K blocks), so we scale the table down to 4 K entries to
+    # recreate the same footprint-to-table pressure.
+    table = SeqTable(4 * 1024, track_conflicts=True)
+    res = run_scheme(
+        WORKLOAD, "sn4l", n_records=BENCH_RECORDS,
+        prefetcher_factory=lambda: Sn4lPrefetcher(seqtable=table),
+        cache_key_extra="conflict-study")
+    return table, res
+
+
+def test_seqtable_conflicts(once):
+    table, res = once(run_conflict_study)
+    st = res.stats
+    print()
+    print(f"SeqTable conflict ratio   : {table.conflict_ratio:.1%} "
+          f"(paper: 28%)")
+    print(f"SN4L prefetch accuracy    : {st.prefetch_accuracy:.1%} "
+          f"(paper: 92% correct predictions)")
+    # Conflicts are common yet accuracy stays far above what random
+    # conflict resolution (50/50) would give — the paper's argument for
+    # keeping the table tagless.
+    assert table.conflict_ratio > 0.05
+    assert st.prefetch_accuracy > 0.65
+    assert st.prefetch_accuracy > 1.0 - table.conflict_ratio / 2 - 0.25

@@ -1,0 +1,21 @@
+"""Fig. 1: Shotgun's U-BTB footprint miss ratio per workload.
+
+Paper: footprint misses are frequent, ranging from 4% to 31%, with
+OLTP (DB A) the worst."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_workload
+
+
+def test_fig01_footprint_miss_ratio(once):
+    data = once(figures.fig01_footprint_miss_ratio,
+                n_records=BENCH_RECORDS)
+    print()
+    print(render_per_workload("Fig 1: Shotgun U-BTB footprint miss ratio",
+                              data))
+    values = list(data.values())
+    # Shape: frequent misses across the board, OLTP (DB A) the highest.
+    assert all(0.01 <= v <= 0.6 for v in values)
+    assert max(data, key=data.get) == "oltp_db_a"
+    assert data["oltp_db_a"] > 2 * min(values)

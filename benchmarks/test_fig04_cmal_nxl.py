@@ -1,0 +1,20 @@
+"""Fig. 4: Covered Memory Access Latency of NL/N2L/N4L/N8L.
+
+Paper: NL 65%, N2L 80%, N4L 88%, N8L 85% — deeper prefetching improves
+timeliness until N8L's useless prefetches inflate LLC latency."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_scheme
+
+
+def test_fig04_cmal(once):
+    data = once(figures.fig04_cmal_nxl, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_scheme("Fig 4: CMAL of NXL prefetchers", data,
+                            fmt="{:.1%}"))
+    assert data["nl"] < data["n2l"] < data["n4l"]
+    # N8L's gain over N4L collapses (paper: goes negative).
+    assert data["n8l"] - data["n4l"] < data["n4l"] - data["n2l"]
+    assert 0.4 <= data["nl"] <= 0.8
+    assert 0.75 <= data["n4l"] <= 1.0

@@ -1,0 +1,23 @@
+"""Fig. 5: side effects of useless NXL prefetches.
+
+Paper: N8L inflates average LLC access latency by ~28% and L1i external
+bandwidth by ~7.2x over the no-prefetcher baseline."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_matrix
+
+
+def test_fig05_side_effects(once):
+    data = once(figures.fig05_side_effects, n_records=BENCH_RECORDS)
+    print()
+    print(render_matrix("Fig 5: NXL side effects (normalised to baseline)",
+                        data))
+    lat = {k: v["llc_latency"] for k, v in data.items()}
+    bw = {k: v["bandwidth"] for k, v in data.items()}
+    # Both grow monotonically with depth...
+    assert lat["nl_buf"] <= lat["n4l_buf"] <= lat["n8l_buf"]
+    assert bw["nl_buf"] < bw["n2l_buf"] < bw["n4l_buf"] < bw["n8l_buf"]
+    # ...and N8L pays a clear latency premium and a multi-x bandwidth cost.
+    assert lat["n8l_buf"] > 1.05
+    assert bw["n8l_buf"] > 2.0

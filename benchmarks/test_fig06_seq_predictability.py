@@ -1,0 +1,21 @@
+"""Fig. 6: predictability of the next-4-block access pattern.
+
+Paper: comparing a block's pattern across residencies predicts with 92%
+accuracy on average — the basis of SN4L's usefulness bits."""
+
+from conftest import BENCH_RECORDS
+
+from repro.analysis import arithmetic_mean
+from repro.experiments import figures, render_per_workload
+
+
+def test_fig06_predictability(once):
+    data = once(figures.fig06_seq_predictability, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_workload("Fig 6: next-4-block pattern predictability",
+                              data))
+    avg = arithmetic_mean(list(data.values()))
+    print(f"average            {avg:.1%}")
+    assert avg >= 0.8  # paper: 0.92
+    for workload, value in data.items():
+        assert value >= 0.7, workload

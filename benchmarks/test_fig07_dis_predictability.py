@@ -1,0 +1,21 @@
+"""Fig. 7: predictability of the discontinuity-causing branch.
+
+Paper: 78-83% (avg 80%) of consecutive discontinuities out of a block
+are caused by the same single branch instruction."""
+
+from conftest import BENCH_RECORDS
+
+from repro.analysis import arithmetic_mean
+from repro.experiments import figures, render_per_workload
+
+
+def test_fig07_predictability(once):
+    data = once(figures.fig07_dis_predictability, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_workload(
+        "Fig 7: same-branch discontinuity predictability", data))
+    avg = arithmetic_mean(list(data.values()))
+    print(f"average            {avg:.1%}")
+    assert 0.6 <= avg <= 0.95  # paper: 0.80
+    for workload, value in data.items():
+        assert value >= 0.5, workload

@@ -1,0 +1,18 @@
+"""Fig. 8: uncovered branches vs branches stored per branch footprint.
+
+Paper: storing four branch byte-offsets per cache block identifies
+almost all branches."""
+
+from repro.experiments import figures, render_sweep
+
+
+def test_fig08_branches_per_footprint(once):
+    data = once(figures.fig08_bf_branches)
+    print()
+    print(render_sweep("Fig 8: uncovered branches vs branches per BF",
+                       data, x_name="branches", fmt="{:.2%}"))
+    keys = sorted(data)
+    for a, b in zip(keys, keys[1:]):
+        assert data[a] >= data[b]  # monotonically decreasing
+    assert data[4] <= 0.08        # four branches ~ cover everything
+    assert data[1] > data[4]

@@ -1,0 +1,20 @@
+"""Fig. 9: uncovered branch footprints vs BF slots per LLC set.
+
+Paper: two BF slots leave ~2% uncovered, four leave ~0.2%."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_sweep
+
+
+def test_fig09_bf_slots_per_set(once):
+    data = once(figures.fig09_bf_per_set, n_records=BENCH_RECORDS)
+    print()
+    print(render_sweep("Fig 9: uncovered BFs vs slots per LLC set",
+                       data, x_name="slots", fmt="{:.2%}"))
+    keys = sorted(data)
+    for a, b in zip(keys, keys[1:]):
+        assert data[a] >= data[b]
+    # A handful of slots suffices (paper: 4 slots -> ~0.2%).
+    assert data[4] <= 0.1
+    assert data[4] < data[1]

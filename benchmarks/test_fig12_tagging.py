@@ -1,0 +1,21 @@
+"""Fig. 12: Dis overprediction under different DisTable tagging policies.
+
+Paper: the tagless table overpredicts heavily; a 4-bit partial tag
+moderates it close to a fully-tagged table."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_scheme
+
+
+def test_fig12_tagging_policies(once):
+    data = once(figures.fig12_tagging, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_scheme("Fig 12: Dis overprediction by tagging policy",
+                            data, fmt="{:.1%}"))
+    assert data["tagless"] >= data["partial_4bit"] >= data["full_tag"]
+    # The partial tag recovers most of the gap to full tagging.
+    gap_full = data["tagless"] - data["full_tag"]
+    gap_partial = data["partial_4bit"] - data["full_tag"]
+    if gap_full > 0.01:
+        assert gap_partial <= 0.6 * gap_full

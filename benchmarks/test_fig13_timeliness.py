@@ -1,0 +1,20 @@
+"""Fig. 13: prefetch timeliness (CMAL) of the proposed components.
+
+Paper: N4L 88%, SN4L 93%, Dis 89%, SN4L+Dis+BTB 91%."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_scheme
+
+
+def test_fig13_timeliness(once):
+    data = once(figures.fig13_timeliness, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_scheme("Fig 13: CMAL", data, fmt="{:.1%}"))
+    # SN4L is timelier than plain N4L (same depth, less traffic).
+    assert data["sn4l"] >= data["n4l"] - 0.01
+    # Dis's longer issue path (table lookup + pre-decode) costs CMAL.
+    assert data["dis"] <= data["sn4l"]
+    # Everything is solidly timely.
+    for scheme, value in data.items():
+        assert 0.6 <= value <= 1.0, scheme

@@ -1,0 +1,21 @@
+"""Fig. 14: L1i cache lookups, normalised to a no-prefetcher baseline.
+
+Paper: an 8-entry RLU keeps SN4L+Dis+BTB's lookups on par with Shotgun;
+Confluence needs the fewest lookups."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_scheme
+
+
+def test_fig14_cache_lookups(once):
+    data = once(figures.fig14_lookups, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_scheme("Fig 14: normalised L1i lookups", data))
+    # Confluence probes the least (stream replay, no per-block walking).
+    assert data["confluence"] <= data["sn4l_dis_btb"]
+    assert data["confluence"] <= data["shotgun"]
+    # Ours and Shotgun are in the same ballpark (paper: "the same").
+    assert 0.5 <= data["sn4l_dis_btb"] / data["shotgun"] <= 2.0
+    # The RLU keeps the overhead bounded.
+    assert data["sn4l_dis_btb"] <= 3.0

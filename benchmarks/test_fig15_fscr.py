@@ -1,0 +1,24 @@
+"""Fig. 15: Frontend Stall Cycle Reduction.
+
+Paper: SN4L+Dis+BTB covers the most frontend stalls (61% avg), ahead of
+Shotgun (35%) and Confluence (32%)."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_matrix
+
+
+def test_fig15_fscr(once):
+    data = once(figures.fig15_fscr, n_records=BENCH_RECORDS)
+    print()
+    print(render_matrix("Fig 15: FSCR", data))
+    avg = data["average"]
+    # Ordering: ours first, Confluence last.
+    assert avg["sn4l_dis_btb"] > avg["confluence"]
+    assert avg["shotgun"] > avg["confluence"]
+    assert avg["sn4l_dis_btb"] >= avg["shotgun"] - 0.02
+    # All schemes remove a substantial fraction of frontend stalls.
+    for scheme, value in avg.items():
+        assert 0.2 <= value <= 0.95, scheme
+    # On the footprint-heavy workload the gap to Shotgun is clear.
+    assert data["oltp_db_a"]["sn4l_dis_btb"] > data["oltp_db_a"]["shotgun"]

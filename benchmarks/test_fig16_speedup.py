@@ -1,0 +1,29 @@
+"""Fig. 16: speedup over a no-prefetcher baseline.
+
+Paper: SN4L+Dis+BTB improves performance by 19% on average, 5% over
+Shotgun, with the largest gap (16%) on OLTP (DB A); Web Frontend sees
+the smallest gain (7%)."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_matrix
+
+
+def test_fig16_speedup(once):
+    data = once(figures.fig16_speedup, n_records=BENCH_RECORDS)
+    print()
+    print(render_matrix("Fig 16: speedup over baseline", data))
+    avg = data["average"]
+    # Who wins: ours on average, and clearly on OLTP (DB A).
+    assert avg["sn4l_dis_btb"] > avg["shotgun"]
+    assert avg["sn4l_dis_btb"] > avg["confluence"]
+    assert data["oltp_db_a"]["sn4l_dis_btb"] > \
+        data["oltp_db_a"]["shotgun"] * 1.02
+    # Everything beats the baseline; gains are in the tens of percent.
+    for workload, row in data.items():
+        for scheme, value in row.items():
+            assert 1.0 <= value <= 1.8, (workload, scheme)
+    # Web Frontend is the least improved workload for our scheme.
+    ours = {w: row["sn4l_dis_btb"] for w, row in data.items()
+            if w != "average"}
+    assert min(ours, key=ours.get) == "web_frontend"

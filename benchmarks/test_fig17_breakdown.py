@@ -1,0 +1,24 @@
+"""Fig. 17: performance breakdown of SN4L+Dis+BTB's components.
+
+Paper: N4L < SN4L (13%) < SN4L+Dis (15%) < SN4L+Dis+BTB (19%), with the
+full scheme close to Perfect L1i and Perfect L1i + BTBinf at 29%."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_scheme
+
+
+def test_fig17_breakdown(once):
+    data = once(figures.fig17_breakdown, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_scheme("Fig 17: average speedup breakdown", data))
+    # Each component adds performance on top of the previous one.
+    # (Single-core, the SN4L-over-N4L step compresses to noise — its
+    # shared-bandwidth origin is shown by test_ablation_multicore.)
+    assert data["sn4l"] >= data["n4l"] - 0.005
+    assert data["sn4l_dis"] >= data["sn4l"]
+    assert data["sn4l_dis_btb"] >= data["sn4l_dis"]
+    # The perfect-frontend reference points bound the practical scheme.
+    assert data["perfect_l1i"] >= data["sn4l_dis"] - 0.02
+    assert data["perfect_l1i_btb"] >= data["perfect_l1i"]
+    assert data["perfect_l1i_btb"] >= data["sn4l_dis_btb"]

@@ -1,0 +1,22 @@
+"""Fig. 18: SN4L+Dis+BTB's speedup over Shotgun as the BTB shrinks.
+
+Paper: the smaller the BTB (i.e. the more BTB misses, as in commercial
+workloads with huge footprints), the wider the gap in our favour."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_sweep
+
+WORKLOADS = ["oltp_db_a", "web_apache", "web_search"]
+
+
+def test_fig18_btb_size_sweep(once):
+    data = once(figures.fig18_btb_sweep, WORKLOADS,
+                n_records=BENCH_RECORDS)
+    print()
+    print(render_sweep("Fig 18: ours/Shotgun speedup vs BTB budget",
+                       data, x_name="btb_entries"))
+    sizes = sorted(data, reverse=True)  # 2048 ... 256
+    # We win at every size, and the advantage grows as the BTB shrinks.
+    assert all(data[s] > 0.98 for s in sizes)
+    assert data[sizes[-1]] > data[sizes[0]]

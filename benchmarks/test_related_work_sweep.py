@@ -1,0 +1,59 @@
+"""Extended related-work comparison (paper Sections II and VIII).
+
+Sweeps every implemented prior scheme — the NL family and its NLmiss /
+NLtagged variants, the temporal prefetchers (TIFS, PIF, SHIFT/Confluence),
+RDIP, and the BTB-directed line (FDIP -> Boomerang -> Shotgun) — against
+SN4L+Dis+BTB, and checks the qualitative relations the literature
+establishes."""
+
+from conftest import BENCH_RECORDS
+
+from repro.analysis import geometric_mean
+from repro.experiments import run_scheme
+
+WORKLOADS = ["web_apache", "oltp_db_a", "web_search"]
+SCHEMES = ["nl", "nlmiss", "nltagged", "n4l", "tifs", "pif", "rdip",
+           "fdip", "confluence", "boomerang", "shotgun", "sn4l_dis_btb"]
+
+
+def run_grid():
+    speed = {}
+    cover = {}
+    for scheme in SCHEMES:
+        sp, cv = [], []
+        for w in WORKLOADS:
+            base = run_scheme(w, "baseline", n_records=BENCH_RECORDS)
+            res = run_scheme(w, scheme, n_records=BENCH_RECORDS)
+            sp.append(res.stats.speedup_over(base.stats))
+            cv.append(res.stats.coverage_over(base.stats))
+        speed[scheme] = geometric_mean(sp)
+        cover[scheme] = sum(cv) / len(cv)
+    return speed, cover
+
+
+def test_related_work_sweep(once):
+    speed, cover = once(run_grid)
+    print()
+    print(f"{'scheme':14s} {'speedup':>8s} {'coverage':>9s}")
+    for scheme in sorted(SCHEMES, key=lambda s: -speed[s]):
+        print(f"{scheme:14s} {speed[scheme]:8.3f} {cover[scheme]:9.1%}")
+
+    # The paper's proposal leads the field.
+    rivals = [s for s in SCHEMES if s != "sn4l_dis_btb"]
+    assert speed["sn4l_dis_btb"] >= max(speed[s] for s in rivals) - 0.005
+
+    # Temporal family: a longer access history (PIF) covers at least as
+    # much as the miss-stream history (TIFS).
+    assert cover["pif"] >= cover["tifs"] - 0.02
+
+    # BTB-directed line: pre-decode prefilling (Boomerang) repairs the
+    # BTB misses that end FDIP's runahead.  The two are close because
+    # the demand stream also trains the BTB quickly; allow noise.
+    assert speed["boomerang"] >= speed["fdip"] - 0.015
+
+    # NL variants: miss-triggered NL issues less but covers less than N4L.
+    assert cover["n4l"] > cover["nlmiss"]
+
+    # Everything beats doing nothing.
+    for scheme in SCHEMES:
+        assert speed[scheme] > 0.99, scheme

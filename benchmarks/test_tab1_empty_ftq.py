@@ -1,0 +1,21 @@
+"""Table I: fraction of cycles stalled on an empty FTQ under Shotgun.
+
+Paper: 1.6% (OLTP DB B) up to 18.9% (OLTP DB A)."""
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments import figures, render_per_workload
+
+
+def test_tab1_empty_ftq(once):
+    data = once(figures.tab1_empty_ftq, n_records=BENCH_RECORDS)
+    print()
+    print(render_per_workload("Table I: empty-FTQ stall cycle fraction",
+                              data))
+    values = list(data.values())
+    assert all(0.0 <= v <= 0.35 for v in values)
+    # OLTP (DB A), the footprint-miss-heavy workload, stalls the most;
+    # the small workloads stall the least.
+    assert max(data, key=data.get) == "oltp_db_a"
+    assert data["oltp_db_a"] >= 0.05
+    assert min(data["web_frontend"], data["oltp_db_b"]) < 0.07

@@ -1,0 +1,25 @@
+"""Table II: storage and structural comparison of the three schemes.
+
+Paper: SN4L+Dis+BTB 7.6 KB, Shotgun ~6 KB, Confluence hundreds of KB
+virtualized in the LLC; only ours avoids BTB modification."""
+
+from repro.experiments import figures, render_storage
+
+
+def test_tab2_storage(once):
+    table = once(figures.tab2_storage)
+    print()
+    print(render_storage(table))
+    ours = table["sn4l_dis_btb"]
+    shotgun = table["shotgun"]
+    confluence = table["confluence"]
+
+    assert 7.0 <= ours["storage_bytes"] / 1024 <= 8.2   # 7.6 KB
+    assert confluence["storage_bytes"] > 15 * ours["storage_bytes"]
+    assert ours["btb_modification"] is False
+    assert shotgun["btb_modification"] is True
+    assert ours["instruction_prefetch_buffer"] is False
+    assert shotgun["instruction_prefetch_buffer"] is True
+    # Scalability: doubling our metadata costs far less than doubling
+    # Shotgun's U-BTB.
+    assert ours["scalability_bytes"] < shotgun["scalability_bytes"]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the SN4L+Dis+BTB prefetcher.
+
+Sweeps the design parameters the paper fixes by measurement — SeqTable
+size (Fig. 11), DisTable size and tagging (Fig. 11/12), proactive chain
+depth (Section V-B) and RLU size (Fig. 14) — and prints the ablation
+each choice was based on.
+
+Usage:
+    python examples/design_space.py [workload]
+"""
+
+import sys
+
+from repro.core import ProactivePrefetcher, sn4l_dis_btb
+from repro.frontend import FrontendSimulator
+from repro.workloads import get_generator, get_trace, workload_names
+
+RECORDS = 60_000
+WARMUP = 20_000
+
+
+def run(prefetcher, program, trace):
+    sim = FrontendSimulator(trace, prefetcher=prefetcher, program=program)
+    return sim.run(warmup=WARMUP), sim
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "web_apache"
+    if workload not in workload_names():
+        raise SystemExit(f"unknown workload {workload!r}")
+    generator = get_generator(workload)
+    trace = get_trace(workload, n_records=RECORDS)
+    program = generator.program
+
+    base, _ = run(None, program, trace)
+    base_misses = base.demand_misses + base.demand_late_prefetch
+    print(f"{workload}: baseline L1i MPKI "
+          f"{base_misses / base.instructions * 1000:.1f}\n")
+
+    print("SeqTable size (Fig. 11a)   coverage   storage")
+    for entries in (2048, 8192, 16 * 1024, 64 * 1024, None):
+        pf = ProactivePrefetcher(enable_dis=False, enable_btb=False,
+                                 seqtable_entries=entries)
+        stats, _ = run(pf, program, trace)
+        label = "unlimited" if entries is None else str(entries)
+        storage = (f"{pf.seqtable.storage_bytes() / 1024:.2f} KB"
+                   if entries else "-")
+        print(f"  {label:>10s}            {stats.coverage_over(base):6.1%}"
+              f"   {storage}")
+
+    print("\nDisTable size (Fig. 11b)   coverage")
+    for entries in (512, 2048, 4096, 16 * 1024, None):
+        pf = ProactivePrefetcher(
+            enable_btb=False, distable_entries=entries,
+            distable_tag_bits=None if entries is None else 4)
+        stats, _ = run(pf, program, trace)
+        label = "unlimited" if entries is None else str(entries)
+        print(f"  {label:>10s}            {stats.coverage_over(base):6.1%}")
+
+    print("\nDisTable tagging (Fig. 12)  accuracy  useless-prefetch ratio")
+    for label, bits in (("tagless", 0), ("4-bit", 4), ("full", None)):
+        pf = ProactivePrefetcher(enable_seq=False, enable_btb=False,
+                                 distable_tag_bits=bits)
+        stats, _ = run(pf, program, trace)
+        done = stats.prefetches_useful + stats.prefetches_useless
+        over = stats.prefetches_useless / done if done else 0.0
+        print(f"  {label:>10s}            {stats.prefetch_accuracy:6.1%}"
+              f"     {over:6.1%}")
+
+    print("\nProactive chain depth      coverage   CMAL")
+    for depth in (1, 2, 4, 8):
+        stats, _ = run(sn4l_dis_btb(max_depth=depth), program, trace)
+        print(f"  {depth:>10d}            {stats.coverage_over(base):6.1%}"
+              f"   {stats.cmal:6.1%}")
+
+    print("\nRLU entries (Fig. 14)      L1i lookups vs baseline")
+    for entries in (2, 4, 8, 32):
+        stats, _ = run(sn4l_dis_btb(rlu_entries=entries), program, trace)
+        print(f"  {entries:>10d}            "
+              f"{stats.cache_lookups / base.cache_lookups:6.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: run SN4L+Dis+BTB on a synthetic server workload.
+
+Builds the Web (Apache) workload, simulates the frontend without a
+prefetcher and with the paper's SN4L+Dis+BTB, and prints the headline
+metrics (speedup, miss coverage, CMAL, FSCR, storage budget).
+
+Usage:
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro.core import sn4l_dis_btb
+from repro.frontend import FrontendSimulator
+from repro.workloads import get_generator, get_trace, workload_names
+
+RECORDS = 90_000
+WARMUP = 30_000
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "web_apache"
+    if workload not in workload_names():
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose from {', '.join(workload_names())}")
+
+    print(f"Building workload {workload!r} ...")
+    generator = get_generator(workload)
+    trace = get_trace(workload, n_records=RECORDS)
+    print(f"  program text: {generator.program.text_bytes // 1024} KB, "
+          f"trace: {len(trace)} fetch records / "
+          f"{trace.n_instructions} instructions")
+
+    print("Simulating baseline (no prefetcher) ...")
+    baseline = FrontendSimulator(trace, program=generator.program)
+    base_stats = baseline.run(warmup=WARMUP)
+
+    print("Simulating SN4L+Dis+BTB ...")
+    prefetcher = sn4l_dis_btb()
+    sim = FrontendSimulator(trace, prefetcher=prefetcher,
+                            program=generator.program)
+    stats = sim.run(warmup=WARMUP)
+
+    base_misses = base_stats.demand_misses + base_stats.demand_late_prefetch
+    print()
+    print(f"baseline   IPC {base_stats.ipc:.3f}   "
+          f"L1i MPKI {base_misses / base_stats.instructions * 1000:.1f}   "
+          f"BTB misses {base_stats.btb_misses}")
+    print(f"with SN4L+Dis+BTB:")
+    print(f"  speedup          {stats.speedup_over(base_stats):.3f}x")
+    print(f"  miss coverage    {stats.coverage_over(base_stats):.1%}")
+    print(f"  CMAL             {stats.cmal:.1%}")
+    print(f"  FSCR             {stats.fscr_over(base_stats):.1%}")
+    print(f"  accuracy         {stats.prefetch_accuracy:.1%}")
+    print(f"  BTB misses       {stats.btb_misses} "
+          f"(buffer rescued {stats.btb_buffer_fills})")
+    print(f"  storage budget   {prefetcher.storage_bytes() / 1024:.1f} KB "
+          f"(paper: 7.6 KB)")
+
+
+if __name__ == "__main__":
+    main()

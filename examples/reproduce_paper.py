@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper's evaluation.
+
+Runs the full experiment grid (seven workloads, all schemes, full-length
+traces) and prints each figure's rows in the paper's shape.  This is the
+long-form version of what `pytest benchmarks/ --benchmark-only` checks
+with shorter traces; expect ~15 minutes.
+
+Usage:
+    python examples/reproduce_paper.py [--records N]
+"""
+
+import argparse
+import time
+
+from repro.analysis import arithmetic_mean
+from repro.experiments import (
+    figures,
+    render_matrix,
+    render_per_scheme,
+    render_per_workload,
+    render_storage,
+    render_sweep,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--records", type=int, default=150_000,
+                        help="fetch records per workload trace")
+    args = parser.parse_args()
+    n = args.records
+    t0 = time.time()
+
+    def stamp(title):
+        print(f"\n[{time.time() - t0:6.0f}s] {title}")
+
+    stamp("Section III: why not Shotgun")
+    print(render_per_workload("Fig 1: Shotgun U-BTB footprint miss ratio",
+                              figures.fig01_footprint_miss_ratio(n_records=n)))
+    print()
+    print(render_per_workload("Table I: empty-FTQ stall cycle fraction",
+                              figures.tab1_empty_ftq(n_records=n)))
+
+    stamp("Section IV: motivation")
+    print(render_per_workload("Fig 2: sequential fraction of L1i misses",
+                              figures.fig02_sequential_fraction(n_records=n)))
+    print()
+    nl = figures.fig03_nl_seq_coverage(n_records=n)
+    print(render_per_workload("Fig 3: NL sequential-miss coverage", nl))
+    print(f"{'average':18s} {arithmetic_mean(list(nl.values())):.1%}")
+    print()
+    print(render_per_scheme("Fig 4: CMAL of NXL prefetchers",
+                            figures.fig04_cmal_nxl(n_records=n), fmt="{:.1%}"))
+    print()
+    print(render_matrix("Fig 5: NXL side effects (normalised)",
+                        figures.fig05_side_effects(n_records=n)))
+    print()
+    f6 = figures.fig06_seq_predictability(n_records=n)
+    print(render_per_workload("Fig 6: next-4-block predictability", f6))
+    print(f"{'average':18s} {arithmetic_mean(list(f6.values())):.1%}")
+    print()
+    f7 = figures.fig07_dis_predictability(n_records=n)
+    print(render_per_workload("Fig 7: same-branch discontinuity "
+                              "predictability", f7))
+    print(f"{'average':18s} {arithmetic_mean(list(f7.values())):.1%}")
+    print()
+    print(render_sweep("Fig 8: uncovered branches vs branches per BF",
+                       figures.fig08_bf_branches(), x_name="branches",
+                       fmt="{:.2%}"))
+    print()
+    print(render_sweep("Fig 9: uncovered BFs vs slots per LLC set",
+                       figures.fig09_bf_per_set(n_records=n),
+                       x_name="slots", fmt="{:.2%}"))
+
+    stamp("Section VII: evaluation")
+    f11 = figures.fig11_table_sizes(n_records=n)
+    print(render_sweep("Fig 11a: coverage vs SeqTable entries",
+                       f11["seqtable"], x_name="entries", fmt="{:.1%}"))
+    print()
+    print(render_sweep("Fig 11b: coverage vs DisTable entries",
+                       f11["distable"], x_name="entries", fmt="{:.1%}"))
+    print()
+    print(render_per_scheme("Fig 12: Dis overprediction by tagging policy",
+                            figures.fig12_tagging(n_records=n), fmt="{:.1%}"))
+    print()
+    print(render_per_scheme("Fig 13: CMAL",
+                            figures.fig13_timeliness(n_records=n),
+                            fmt="{:.1%}"))
+    print()
+    print(render_per_scheme("Fig 14: normalised L1i lookups",
+                            figures.fig14_lookups(n_records=n)))
+    print()
+    print(render_matrix("Fig 15: FSCR", figures.fig15_fscr(n_records=n)))
+    print()
+    print(render_matrix("Fig 16: speedup over baseline",
+                        figures.fig16_speedup(n_records=n)))
+    print()
+    print(render_per_scheme("Fig 17: average speedup breakdown",
+                            figures.fig17_breakdown(n_records=n)))
+    print()
+    print(render_sweep("Fig 18: ours/Shotgun speedup vs BTB budget",
+                       figures.fig18_btb_sweep(n_records=n),
+                       x_name="btb_entries"))
+    print()
+    print(render_storage(figures.tab2_storage()))
+    print()
+    out = figures.dvllc_experiment(n_records=n)
+    print("Section VII-J: DV-LLC")
+    for key, value in out.items():
+        print(f"  {key:32s} {value:.4f}")
+
+    stamp("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Divide and Conquer Frontend Bottleneck" (ISCA 2020).
+
+The package implements the paper's SN4L+Dis+BTB frontend prefetcher, the
+baselines it is compared against (NXL family, conventional discontinuity,
+Confluence/SHIFT, Boomerang, Shotgun), and the full substrate they run on:
+a synthetic ISA with a real byte-level pre-decoder, synthetic server
+workloads generated from control-flow graphs, a memory hierarchy with a
+dynamically-virtualized LLC, BTB organisations, and a trace-driven
+cycle-approximate frontend simulator.
+
+Quickstart::
+
+    from repro import get_trace
+    from repro.experiments import run_scheme
+
+    result = run_scheme("web_apache", "sn4l_dis_btb")
+    print(result.speedup)
+"""
+
+__version__ = "1.0.0"
+
+from .workloads import get_trace, workload_names  # noqa: F401
+
+__all__ = ["get_trace", "workload_names", "__version__"]

@@ -1,0 +1,75 @@
+"""Cycle-stack (stall breakdown) reporting.
+
+Architecture papers reason about where cycles go; this module turns a
+run's :class:`~repro.frontend.stats.FrontendStats` into a normalized
+cycle stack and renders it as text bars, so any experiment can show *why*
+a scheme won, not just that it did.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..frontend.stats import FrontendStats
+
+#: Cycle-stack categories, in display order.
+CATEGORIES = ("delivery", "icache", "btb", "mispredict", "backend")
+
+
+def cycle_stack(stats: FrontendStats) -> Dict[str, float]:
+    """Fractions of total cycles per category (sums to 1)."""
+    total = stats.total_cycles
+    if total <= 0:
+        return {c: 0.0 for c in CATEGORIES}
+    return {
+        "delivery": stats.delivery_cycles / total,
+        "icache": stats.icache_stall_cycles / total,
+        "btb": stats.btb_stall_cycles / total,
+        "mispredict": stats.mispredict_stall_cycles / total,
+        "backend": stats.backend_cycles / total,
+    }
+
+
+def frontend_bound_fraction(stats: FrontendStats) -> float:
+    """The slice of the cycle stack a frontend prefetcher can attack."""
+    stack = cycle_stack(stats)
+    return stack["icache"] + stack["btb"]
+
+
+def render_cycle_stack(stats: FrontendStats, label: str = "",
+                       width: int = 50) -> str:
+    """One run's cycle stack as a labelled ASCII bar."""
+    stack = cycle_stack(stats)
+    lines = [f"cycle stack {label}".rstrip()]
+    for cat in CATEGORIES:
+        frac = stack[cat]
+        bar = "#" * max(0, round(frac * width))
+        lines.append(f"  {cat:10s} {frac:6.1%} {bar}")
+    return "\n".join(lines)
+
+
+def render_stack_comparison(runs: Mapping[str, FrontendStats],
+                            width: int = 40) -> str:
+    """Compare several runs' stacks; rows are schemes, columns categories."""
+    header = f"{'scheme':16s}" + "".join(f"{c:>12s}" for c in CATEGORIES) \
+        + f"{'cycles':>12s}"
+    lines = [header]
+    for name, stats in runs.items():
+        stack = cycle_stack(stats)
+        cells = "".join(f"{stack[c]:>12.1%}" for c in CATEGORIES)
+        lines.append(f"{name:16s}{cells}{stats.total_cycles:>12d}")
+    return "\n".join(lines)
+
+
+def stall_reduction(baseline: FrontendStats,
+                    scheme: FrontendStats) -> Dict[str, float]:
+    """Per-category stall cycles removed relative to the baseline (can be
+    negative when a scheme adds stalls of a category)."""
+    out = {}
+    for cat, base_attr in (("icache", "icache_stall_cycles"),
+                           ("btb", "btb_stall_cycles"),
+                           ("mispredict", "mispredict_stall_cycles")):
+        base = getattr(baseline, base_attr)
+        mine = getattr(scheme, base_attr)
+        out[cat] = (base - mine) / base if base else 0.0
+    return out

@@ -1,0 +1,69 @@
+"""Aggregation helpers for the paper's metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of no values")
+    return sum(vals) / len(vals)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """The conventional aggregate for speedups across workloads."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_cycles: float, scheme_cycles: float) -> float:
+    if scheme_cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return baseline_cycles / scheme_cycles
+
+
+def miss_coverage(baseline_misses: float, scheme_misses: float) -> float:
+    """Fraction of baseline misses the scheme eliminated (floored at 0)."""
+    if baseline_misses <= 0:
+        return 0.0
+    return max(0.0, 1.0 - scheme_misses / baseline_misses)
+
+
+def fscr(baseline_stalls: float, scheme_stalls: float) -> float:
+    """Frontend Stall Cycle Reduction (Fig. 15)."""
+    if baseline_stalls <= 0:
+        return 0.0
+    return 1.0 - scheme_stalls / baseline_stalls
+
+
+def normalize(values: Mapping[str, float], base_key: str) -> Dict[str, float]:
+    """Normalise a per-scheme metric to one scheme (e.g. lookups, Fig. 14)."""
+    base = values[base_key]
+    if base == 0:
+        raise ValueError(f"cannot normalise to zero {base_key!r}")
+    return {k: v / base for k, v in values.items()}
+
+
+def per_kilo_instruction(count: float, instructions: int) -> float:
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    return count * 1000.0 / instructions
+
+
+def average_over_workloads(per_workload: Mapping[str, Mapping[str, float]],
+                           metric_keys: Iterable[str],
+                           geo: bool = False) -> Dict[str, float]:
+    """Average a {workload: {metric: value}} nest across workloads."""
+    out: Dict[str, float] = {}
+    names = list(per_workload)
+    for key in metric_keys:
+        vals = [per_workload[w][key] for w in names]
+        out[key] = geometric_mean(vals) if geo else arithmetic_mean(vals)
+    return out

@@ -1,0 +1,153 @@
+"""Trace-level predictability studies behind the paper's motivation figures.
+
+* Fig. 6 — stability of the "which of the four subsequent blocks get
+  accessed" pattern across a block's cache residencies;
+* Fig. 7 — stability of the branch instruction responsible for a block's
+  discontinuities;
+* Fig. 8 — how many branches per block a branch footprint must store;
+* Fig. 9 — how many branch footprints per LLC set are needed.
+
+These are functional analyses: they run over the trace (plus a functional
+cache model where residency matters) without the timing machinery.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence
+
+from ..cfg import Program
+from ..isa import CACHE_BLOCK_SIZE
+from ..memory import DynamicallyVirtualizedLlc
+from ..workloads import Trace
+
+
+def next4_pattern_predictability(trace: Trace, l1i_size: int = 32 * 1024,
+                                 l1i_assoc: int = 8,
+                                 block_size: int = CACHE_BLOCK_SIZE) -> float:
+    """Fig. 6: per-bit accuracy of predicting a block's next-4 access
+    pattern from its previous residency's pattern.
+
+    A functional L1i tracks residencies.  While block ``B`` is resident,
+    accesses to ``B+1 .. B+4`` set bits in its pattern; on eviction the
+    pattern is compared bit-by-bit with the pattern of ``B``'s previous
+    residency.
+    """
+    n_sets = l1i_size // block_size // l1i_assoc
+    sets: List[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
+    patterns: Dict[int, int] = {}       # resident block -> current pattern
+    last_pattern: Dict[int, int] = {}   # block -> pattern at last eviction
+    matches = 0
+    total = 0
+
+    def evict(block: int) -> None:
+        nonlocal matches, total
+        pat = patterns.pop(block, 0)
+        prev = last_pattern.get(block)
+        if prev is not None:
+            for i in range(4):
+                total += 1
+                if (pat >> i & 1) == (prev >> i & 1):
+                    matches += 1
+        last_pattern[block] = pat
+
+    for record in trace:
+        block = record.line // block_size
+        # Mark this access in the patterns of the four preceding blocks.
+        for back in range(1, 5):
+            pred = block - back
+            if pred in patterns:
+                patterns[pred] |= 1 << (back - 1)
+        cset = sets[block % n_sets]
+        if block in cset:
+            cset.move_to_end(block)
+            continue
+        if len(cset) >= l1i_assoc:
+            victim, _ = cset.popitem(last=False)
+            evict(victim)
+        cset[block] = True
+        patterns.setdefault(block, 0)
+
+    return matches / total if total else 0.0
+
+
+def discontinuity_branch_predictability(trace: Trace,
+                                        block_size: int = CACHE_BLOCK_SIZE
+                                        ) -> float:
+    """Fig. 7: fraction of consecutive discontinuities out of the same
+    block that were caused by the same branch instruction."""
+    last_branch: Dict[int, int] = {}
+    same = 0
+    total = 0
+    prev = None
+    for record in trace:
+        if prev is not None and not record.seq \
+                and record.line != prev.line \
+                and prev.has_branch and prev.taken:
+            src_block = prev.branch_pc // block_size
+            seen = last_branch.get(src_block)
+            if seen is not None:
+                total += 1
+                if seen == prev.branch_pc:
+                    same += 1
+            last_branch[src_block] = prev.branch_pc
+        prev = record
+    return same / total if total else 0.0
+
+
+def uncovered_branches_by_footprint_size(program: Program,
+                                         max_branches: int = 6
+                                         ) -> Dict[int, float]:
+    """Fig. 8: fraction of branches left uncovered when a branch footprint
+    stores at most ``k`` branches per cache block, for k = 1..max."""
+    per_block: List[int] = []
+    for line in program.lines():
+        n = len(program.branch_byte_offsets(line))
+        if n:
+            per_block.append(n)
+    total = sum(per_block)
+    out: Dict[int, float] = {}
+    for k in range(1, max_branches + 1):
+        covered = sum(min(n, k) for n in per_block)
+        out[k] = 1.0 - covered / total if total else 0.0
+    return out
+
+
+def uncovered_footprints_by_slots(trace: Trace, program: Program,
+                                  slots: Sequence[int] = (1, 2, 3, 4),
+                                  llc_size: int = 2 * 1024 * 1024,
+                                  llc_assoc: int = 16) -> Dict[int, float]:
+    """Fig. 9: BF fetch miss ratio as a function of footprints per LLC set.
+
+    Replays the instruction stream through a DV-LLC configured with ``k``
+    footprint slots per set; every block access first asks for the
+    block's footprint and stores it on a miss, so the steady-state miss
+    ratio measures how often ``k`` slots are insufficient.
+    """
+    out: Dict[int, float] = {}
+    for k in slots:
+        llc = DynamicallyVirtualizedLlc(llc_size, llc_assoc, bf_slots=k)
+        stored_once = set()
+        half = len(trace) // 2
+        covered = 0
+        uncovered = 0
+        for i, record in enumerate(trace):
+            llc.access(record.line, is_instruction=True)
+            offsets = program.branch_byte_offsets(record.line)
+            if not offsets:
+                continue  # branchless blocks own no footprint
+            got = llc.get_footprint(record.line)
+            if i >= half and record.line in stored_once:
+                # A re-lookup of a previously constructed footprint: a
+                # miss now means the k slots were insufficient (cold
+                # first-touches are not capacity effects).
+                if got is None:
+                    uncovered += 1
+                else:
+                    covered += 1
+            if got is None:
+                llc.store_footprint(record.line, offsets)
+                stored_once.add(record.line)
+        total = covered + uncovered
+        out[k] = uncovered / total if total else 0.0
+    return out

@@ -1,0 +1,28 @@
+"""Branch-target-buffer organisations and related frontend structures."""
+
+from .airbtb import AirBtb, AirBtbBranch
+from .basic_block import BasicBlockBtb, BasicBlockEntry
+from .conventional import BtbEntry, ConventionalBtb, ReturnAddressStack
+from .prefetch_buffer import BtbPrefetchBuffer, BufferedBranch
+from .shotgun_btb import (
+    CBtbEntry,
+    RegionFootprint,
+    ShotgunBtb,
+    UBtbEntry,
+)
+
+__all__ = [
+    "AirBtb",
+    "AirBtbBranch",
+    "ConventionalBtb",
+    "BtbEntry",
+    "ReturnAddressStack",
+    "BasicBlockBtb",
+    "BasicBlockEntry",
+    "BtbPrefetchBuffer",
+    "BufferedBranch",
+    "ShotgunBtb",
+    "UBtbEntry",
+    "CBtbEntry",
+    "RegionFootprint",
+]

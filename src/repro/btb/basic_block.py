@@ -1,0 +1,85 @@
+"""Basic-block-oriented BTB, as used by Boomerang.
+
+Boomerang's frontend works in basic-block units: the BTB is indexed by the
+*start address* of a basic block and each entry describes where the block
+ends (its terminator branch) and where it goes.  This is what lets
+Boomerang *detect* BTB misses — asking for a block start and missing means
+the control flow beyond that point is unknown, so the prefetcher must stop
+and resolve the miss by pre-decoding (Section II-B).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa import BranchKind
+
+
+@dataclass
+class BasicBlockEntry:
+    start: int
+    #: Bytes from ``start`` to the end of the terminator instruction.
+    size: int
+    branch_pc: int
+    kind: BranchKind
+    #: Encoded/last target for COND/JUMP/CALL; None for RETURN/INDIRECT.
+    target: Optional[int]
+
+    @property
+    def fallthrough(self) -> int:
+        return self.start + self.size
+
+
+class BasicBlockBtb:
+    """Set-associative BTB keyed by basic-block start address."""
+
+    def __init__(self, n_entries: int = 2048, assoc: int = 4,
+                 name: str = "bb-btb"):
+        if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
+            raise ValueError("BTB entries must be a positive multiple of assoc")
+        self.name = name
+        self.n_entries = n_entries
+        self.assoc = assoc
+        self.n_sets = n_entries // assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, start: int) -> OrderedDict:
+        return self._sets[(start >> 2) % self.n_sets]
+
+    def lookup(self, start: int) -> Optional[BasicBlockEntry]:
+        cset = self._set_of(start)
+        entry = cset.get(start)
+        if entry is None:
+            self.misses += 1
+            return None
+        cset.move_to_end(start)
+        self.hits += 1
+        return entry
+
+    def peek(self, start: int) -> Optional[BasicBlockEntry]:
+        return self._set_of(start).get(start)
+
+    def insert(self, entry: BasicBlockEntry) -> None:
+        cset = self._set_of(entry.start)
+        if entry.start in cset:
+            cset[entry.start] = entry
+            cset.move_to_end(entry.start)
+            return
+        if len(cset) >= self.assoc:
+            cset.popitem(last=False)
+        cset[entry.start] = entry
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    #: Tag + size (6b) + offset (4b) + kind (3b) + target (~32b).
+    ENTRY_BITS = 40 + 6 + 4 + 3 + 32
+
+    def storage_bytes(self) -> int:
+        return self.n_entries * self.ENTRY_BITS // 8

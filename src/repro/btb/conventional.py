@@ -1,0 +1,117 @@
+"""Conventional program-counter-indexed branch target buffer.
+
+This is the BTB the paper's proposal leaves untouched ("our goal is not to
+change the structure of BTB", Section V-C): a set-associative structure
+keyed by branch PC, storing the branch kind and (for non-return branches)
+the last observed target.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa import BranchKind
+
+
+@dataclass
+class BtbEntry:
+    pc: int
+    target: int
+    kind: BranchKind
+
+
+class ConventionalBtb:
+    """Set-associative, LRU, PC-indexed BTB."""
+
+    def __init__(self, n_entries: int = 2048, assoc: int = 4,
+                 name: str = "btb"):
+        if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
+            raise ValueError("BTB entries must be a positive multiple of assoc")
+        self.name = name
+        self.n_entries = n_entries
+        self.assoc = assoc
+        self.n_sets = n_entries // assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, pc: int) -> OrderedDict:
+        return self._sets[(pc >> 2) % self.n_sets]
+
+    def lookup(self, pc: int) -> Optional[BtbEntry]:
+        """Architectural lookup: updates LRU and hit/miss statistics."""
+        cset = self._set_of(pc)
+        entry = cset.get(pc)
+        if entry is None:
+            self.misses += 1
+            return None
+        cset.move_to_end(pc)
+        self.hits += 1
+        return entry
+
+    def peek(self, pc: int) -> Optional[BtbEntry]:
+        """Side-effect-free probe (used by prefetchers, not counted)."""
+        return self._set_of(pc).get(pc)
+
+    def insert(self, pc: int, target: int, kind: BranchKind) -> None:
+        cset = self._set_of(pc)
+        if pc in cset:
+            entry = cset[pc]
+            entry.target = target
+            entry.kind = kind
+            cset.move_to_end(pc)
+            return
+        if len(cset) >= self.assoc:
+            cset.popitem(last=False)
+        cset[pc] = BtbEntry(pc, target, kind)
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    #: Approximate bits per entry: ~46-bit tag+target and a 2-bit kind.
+    ENTRY_BITS = 48 + 2
+
+    def storage_bytes(self) -> int:
+        return self.n_entries * self.ENTRY_BITS // 8
+
+
+class ReturnAddressStack:
+    """A bounded return-address stack.
+
+    Returns normally take their target from the RAS, which is why the
+    paper's Dis prefetcher and BTBs treat returns specially (Shotgun gives
+    them a dedicated RIB)."""
+
+    def __init__(self, depth: int = 32):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self.depth:
+            # Circular overwrite of the oldest entry.
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,91 @@
+"""BTB prefetch buffer (paper Section V-C).
+
+Pre-decoded branches are not inserted straight into the BTB; they go into a
+small 2-way set-associative buffer whose entries are organised like
+Confluence's AirBTB entries: one entry per *cache block*, holding all (up
+to a bounded number of) branches of that block.  A later BTB lookup that
+misses but hits in the buffer moves the matching branch into the BTB,
+avoiding the miss penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..isa import CACHE_BLOCK_SIZE, BranchKind, Instruction
+
+
+@dataclass
+class BufferedBranch:
+    pc: int
+    target: Optional[int]
+    kind: BranchKind
+
+
+class BtbPrefetchBuffer:
+    """Block-grained, set-associative buffer of pre-decoded branches."""
+
+    #: Bound on branches stored per block entry; matches the branch
+    #: footprint size (Fig. 8: four branches cover almost all blocks).
+    BRANCHES_PER_ENTRY = 4
+
+    def __init__(self, n_entries: int = 32, assoc: int = 2,
+                 block_size: int = CACHE_BLOCK_SIZE):
+        if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
+            raise ValueError("buffer entries must be a positive multiple of assoc")
+        self.n_entries = n_entries
+        self.assoc = assoc
+        self.block_size = block_size
+        self.n_sets = n_entries // assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[line % self.n_sets]
+
+    def fill(self, block_addr: int, branches: Sequence[Instruction]) -> None:
+        """Store the pre-decoded branches of one cache block (one access)."""
+        line = block_addr // self.block_size
+        cset = self._set_of(line)
+        entry: Dict[int, BufferedBranch] = {}
+        for instr in branches[:self.BRANCHES_PER_ENTRY]:
+            entry[instr.pc] = BufferedBranch(instr.pc, instr.target, instr.kind)
+        if line in cset:
+            cset[line].update(entry)
+            cset.move_to_end(line)
+        else:
+            if len(cset) >= self.assoc:
+                cset.popitem(last=False)
+            cset[line] = entry
+        self.inserts += 1
+
+    def lookup(self, pc: int) -> Optional[BufferedBranch]:
+        """Probe for a branch at ``pc``; a hit promotes nothing by itself —
+        the caller moves the entry into the BTB."""
+        line = pc // self.block_size
+        cset = self._set_of(line)
+        entry = cset.get(line)
+        if entry is None:
+            self.misses += 1
+            return None
+        branch = entry.get(pc)
+        if branch is None:
+            self.misses += 1
+            return None
+        cset.move_to_end(line)
+        self.hits += 1
+        return branch
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    #: Per entry: block tag (~40 bits) + 4 branches x (6-bit offset +
+    #: 32-bit target + 2-bit kind).
+    ENTRY_BITS = 40 + 4 * (6 + 32 + 2)
+
+    def storage_bytes(self) -> int:
+        return self.n_entries * self.ENTRY_BITS // 8

@@ -1,0 +1,255 @@
+"""Shotgun's split BTB organisation (paper Sections II-B and III).
+
+Shotgun divides BTB storage into three structures:
+
+* **U-BTB** — unconditional branches (jumps, calls, indirect calls).  Each
+  entry additionally stores two spatial *footprints*: the blocks touched
+  around the branch target (*call footprint*) and around the return site
+  (*return footprint*).  Footprints are learned from the retired
+  instruction stream, so BTB prefilling can recreate the entry's target but
+  never its footprints — the root cause of the paper's Fig. 1 critique.
+* **C-BTB** — a small table for conditional branches, aggressively
+  prefilled by pre-decoding prefetched blocks.
+* **RIB** — return instruction buffer; returns take targets from the RAS.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa import CACHE_BLOCK_SIZE, BranchKind
+
+
+@dataclass
+class RegionFootprint:
+    """A bit vector of useful blocks around an anchor block.
+
+    ``bits`` bit *i* set means block ``anchor_block + i - blocks_before``
+    was touched while the region was live.
+    """
+
+    anchor_block: int
+    bits: int = 0
+    blocks_before: int = 2
+    blocks_after: int = 5
+
+    @property
+    def span(self) -> int:
+        return self.blocks_before + 1 + self.blocks_after
+
+    def record(self, block: int) -> bool:
+        rel = block - self.anchor_block + self.blocks_before
+        if 0 <= rel < self.span:
+            self.bits |= 1 << rel
+            return True
+        return False
+
+    def blocks(self) -> List[int]:
+        return [self.anchor_block - self.blocks_before + i
+                for i in range(self.span) if self.bits >> i & 1]
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+
+@dataclass
+class UBtbEntry:
+    pc: int
+    target: Optional[int]
+    kind: BranchKind
+    call_footprint: Optional[RegionFootprint] = None
+    return_footprint: Optional[RegionFootprint] = None
+    #: True when the entry was created by BTB prefilling (pre-decode):
+    #: the target is known but footprints cannot be recreated.
+    prefilled: bool = False
+
+
+@dataclass
+class CBtbEntry:
+    pc: int
+    target: int
+
+
+class _AssocTable:
+    """Small generic set-associative LRU table keyed by PC."""
+
+    def __init__(self, n_entries: int, assoc: int, name: str):
+        if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
+            raise ValueError(f"{name}: entries must be a positive multiple of assoc")
+        self.name = name
+        self.n_entries = n_entries
+        self.assoc = assoc
+        self.n_sets = n_entries // assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, pc: int) -> OrderedDict:
+        return self._sets[(pc >> 2) % self.n_sets]
+
+    def lookup(self, pc: int):
+        cset = self._set_of(pc)
+        entry = cset.get(pc)
+        if entry is None:
+            self.misses += 1
+            return None
+        cset.move_to_end(pc)
+        self.hits += 1
+        return entry
+
+    def peek(self, pc: int):
+        return self._set_of(pc).get(pc)
+
+    def insert(self, pc: int, entry) -> None:
+        cset = self._set_of(pc)
+        if pc in cset:
+            cset[pc] = entry
+            cset.move_to_end(pc)
+            return
+        if len(cset) >= self.assoc:
+            cset.popitem(last=False)
+        cset[pc] = entry
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass
+class _OpenRegion:
+    """A footprint being collected from the retire stream."""
+
+    owner_pc: int
+    footprint: RegionFootprint
+    is_call_footprint: bool
+
+
+class ShotgunBtb:
+    """The three-way split BTB plus retired-stream footprint learning."""
+
+    def __init__(self, u_entries: int = 1536, c_entries: int = 128,
+                 rib_entries: int = 512, u_assoc: int = 4,
+                 c_assoc: int = 4, rib_assoc: int = 4,
+                 block_size: int = CACHE_BLOCK_SIZE):
+        self.u_btb = _AssocTable(u_entries, u_assoc, "u-btb")
+        self.c_btb = _AssocTable(c_entries, c_assoc, "c-btb")
+        self.rib = _AssocTable(rib_entries, rib_assoc, "rib")
+        self.block_size = block_size
+        self._open_regions: List[_OpenRegion] = []
+        # Footprint accounting for Fig. 1.
+        self.footprint_accesses = 0
+        self.footprint_misses = 0
+
+    # -- lookups ---------------------------------------------------------
+
+    def lookup_unconditional(self, pc: int) -> Optional[UBtbEntry]:
+        entry = self.u_btb.lookup(pc)
+        if entry is not None:
+            self.footprint_accesses += 1
+            if not entry.call_footprint and not entry.return_footprint:
+                self.footprint_misses += 1
+        else:
+            # A missing entry necessarily misses its footprints too.
+            self.footprint_accesses += 1
+            self.footprint_misses += 1
+        return entry
+
+    def lookup_conditional(self, pc: int) -> Optional[CBtbEntry]:
+        return self.c_btb.lookup(pc)
+
+    def lookup_return(self, pc: int) -> bool:
+        return self.rib.lookup(pc) is not None
+
+    @property
+    def footprint_miss_ratio(self) -> float:
+        if not self.footprint_accesses:
+            return 0.0
+        return self.footprint_misses / self.footprint_accesses
+
+    # -- fills -------------------------------------------------------------
+
+    def insert_branch(self, pc: int, kind: BranchKind,
+                      target: Optional[int], prefilled: bool = False) -> None:
+        """Route a branch to its table.  ``prefilled`` marks pre-decode
+        fills, which can never carry footprints."""
+        if kind is BranchKind.COND:
+            if target is not None:
+                self.c_btb.insert(pc, CBtbEntry(pc, target))
+            return
+        if kind is BranchKind.RETURN:
+            self.rib.insert(pc, True)
+            return
+        existing = self.u_btb.peek(pc)
+        if existing is not None:
+            existing.target = target if target is not None else existing.target
+            return
+        self.u_btb.insert(pc, UBtbEntry(pc, target, kind, prefilled=prefilled))
+
+    # -- footprint learning from the retire stream -------------------------
+
+    MAX_OPEN_REGIONS = 4
+
+    def retire_unconditional(self, pc: int, target: Optional[int],
+                             kind: BranchKind,
+                             return_site: Optional[int] = None) -> None:
+        """An unconditional branch retired: close open regions, open new ones.
+
+        The *call footprint* region anchors at the target block; for calls,
+        a *return footprint* region anchors at the return-site block.
+        """
+        self.insert_branch(pc, kind, target)
+        entry = self.u_btb.peek(pc)
+        self._open_regions = [
+            r for r in self._open_regions
+            if self._install_if_done(r) is False
+        ]
+        if entry is None:
+            return
+        entry.prefilled = False
+        if target is not None:
+            self._open_regions.append(_OpenRegion(
+                owner_pc=pc,
+                footprint=RegionFootprint(anchor_block=target // self.block_size),
+                is_call_footprint=True))
+        if kind is BranchKind.CALL and return_site is not None:
+            self._open_regions.append(_OpenRegion(
+                owner_pc=pc,
+                footprint=RegionFootprint(anchor_block=return_site // self.block_size),
+                is_call_footprint=False))
+        while len(self._open_regions) > self.MAX_OPEN_REGIONS:
+            self._install_region(self._open_regions.pop(0))
+
+    def _install_if_done(self, region: _OpenRegion) -> bool:
+        """Close every region when a new unconditional retires: install."""
+        self._install_region(region)
+        return True
+
+    def _install_region(self, region: _OpenRegion) -> None:
+        entry = self.u_btb.peek(region.owner_pc)
+        if entry is None or not region.footprint:
+            return
+        if region.is_call_footprint:
+            entry.call_footprint = region.footprint
+        else:
+            entry.return_footprint = region.footprint
+
+    def retire_block_access(self, block_addr: int) -> None:
+        """Feed a retired demand block into all open footprint regions."""
+        block = block_addr // self.block_size
+        for region in self._open_regions:
+            region.footprint.record(block)
+
+    # -- storage ------------------------------------------------------------
+
+    #: U-BTB entry: tag+target (~72b) + two footprints (2 x 8b) + kind.
+    U_ENTRY_BITS = 72 + 16 + 3
+    C_ENTRY_BITS = 40 + 32
+    RIB_ENTRY_BITS = 40
+
+    def storage_bytes(self) -> int:
+        return (self.u_btb.n_entries * self.U_ENTRY_BITS +
+                self.c_btb.n_entries * self.C_ENTRY_BITS +
+                self.rib.n_entries * self.RIB_ENTRY_BITS) // 8

@@ -1,0 +1,26 @@
+"""Synthetic control-flow graphs: data model, generator, and code layout."""
+
+from .generator import CfgGenerator, CfgParams, generate_cfg
+from .graph import BasicBlock, ControlFlowGraph, Function, Terminator
+from .layout import (
+    DEFAULT_TEXT_BASE,
+    FUNCTION_ALIGNMENT,
+    LineSpan,
+    Program,
+    layout_program,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Function",
+    "Terminator",
+    "CfgParams",
+    "CfgGenerator",
+    "generate_cfg",
+    "Program",
+    "LineSpan",
+    "layout_program",
+    "DEFAULT_TEXT_BASE",
+    "FUNCTION_ALIGNMENT",
+]

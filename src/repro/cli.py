@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``            list the synthetic server workloads
+``schemes``              list the registered prefetching schemes
+``run``                  simulate one (workload, scheme) pair
+``compare``              compare several schemes on one workload
+``figure``               regenerate one of the paper's figures/tables
+``sample``               SimFlex-style sampled run with confidence intervals
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import arithmetic_mean
+from .experiments import (
+    figures,
+    render_matrix,
+    render_per_scheme,
+    render_per_workload,
+    render_sampled,
+    render_storage,
+    render_sweep,
+    run_sampled,
+    run_scheme,
+    scheme_names,
+)
+from .workloads import DISPLAY_NAMES, get_generator, get_trace, workload_names
+
+#: figure id -> (driver, renderer)
+_FIGURES = {
+    "fig1": lambda n: render_per_workload(
+        "Fig 1: Shotgun U-BTB footprint miss ratio",
+        figures.fig01_footprint_miss_ratio(n_records=n)),
+    "tab1": lambda n: render_per_workload(
+        "Table I: empty-FTQ stall fraction",
+        figures.tab1_empty_ftq(n_records=n)),
+    "fig2": lambda n: render_per_workload(
+        "Fig 2: sequential fraction of L1i misses",
+        figures.fig02_sequential_fraction(n_records=n)),
+    "fig3": lambda n: render_per_workload(
+        "Fig 3: NL sequential-miss coverage",
+        figures.fig03_nl_seq_coverage(n_records=n)),
+    "fig4": lambda n: render_per_scheme(
+        "Fig 4: CMAL of NXL prefetchers",
+        figures.fig04_cmal_nxl(n_records=n), fmt="{:.1%}"),
+    "fig5": lambda n: render_matrix(
+        "Fig 5: NXL side effects", figures.fig05_side_effects(n_records=n)),
+    "fig6": lambda n: render_per_workload(
+        "Fig 6: next-4-block predictability",
+        figures.fig06_seq_predictability(n_records=n)),
+    "fig7": lambda n: render_per_workload(
+        "Fig 7: discontinuity-branch predictability",
+        figures.fig07_dis_predictability(n_records=n)),
+    "fig8": lambda n: render_sweep(
+        "Fig 8: uncovered branches per BF size",
+        figures.fig08_bf_branches(), x_name="branches", fmt="{:.2%}"),
+    "fig9": lambda n: render_sweep(
+        "Fig 9: uncovered BFs per LLC-set slots",
+        figures.fig09_bf_per_set(n_records=n), x_name="slots", fmt="{:.2%}"),
+    "fig12": lambda n: render_per_scheme(
+        "Fig 12: Dis overprediction by tagging",
+        figures.fig12_tagging(n_records=n), fmt="{:.1%}"),
+    "fig13": lambda n: render_per_scheme(
+        "Fig 13: CMAL", figures.fig13_timeliness(n_records=n), fmt="{:.1%}"),
+    "fig14": lambda n: render_per_scheme(
+        "Fig 14: normalised L1i lookups", figures.fig14_lookups(n_records=n)),
+    "fig15": lambda n: render_matrix(
+        "Fig 15: FSCR", figures.fig15_fscr(n_records=n)),
+    "fig16": lambda n: render_matrix(
+        "Fig 16: speedup", figures.fig16_speedup(n_records=n)),
+    "fig17": lambda n: render_per_scheme(
+        "Fig 17: breakdown", figures.fig17_breakdown(n_records=n)),
+    "fig18": lambda n: render_sweep(
+        "Fig 18: ours/Shotgun vs BTB size",
+        figures.fig18_btb_sweep(n_records=n), x_name="btb"),
+    "tab2": lambda n: render_storage(figures.tab2_storage()),
+}
+
+
+def _cmd_workloads(args) -> int:
+    print(f"{'name':18s} {'display':18s} {'functions':>9s} {'handlers':>8s}")
+    from .workloads import get_profile
+    for name in workload_names():
+        prof = get_profile(name)
+        print(f"{name:18s} {DISPLAY_NAMES[name]:18s} "
+              f"{prof.cfg.n_functions:>9d} {prof.walk.n_handlers:>8d}")
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    for name in scheme_names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    base = run_scheme(args.workload, "baseline", n_records=args.records,
+                      scale=args.scale, variable_length=args.vl)
+    res = run_scheme(args.workload, args.scheme, n_records=args.records,
+                     scale=args.scale, variable_length=args.vl)
+    st = res.stats
+    misses = st.demand_misses + st.demand_late_prefetch
+    print(f"{args.workload} / {args.scheme} "
+          f"({args.records} records, scale {args.scale})")
+    print(f"  speedup    {st.speedup_over(base.stats):8.3f}x")
+    print(f"  ipc        {st.ipc:8.3f}")
+    print(f"  L1i MPKI   {misses / st.instructions * 1000:8.1f}")
+    print(f"  coverage   {st.coverage_over(base.stats):8.1%}")
+    print(f"  cmal       {st.cmal:8.1%}")
+    print(f"  fscr       {st.fscr_over(base.stats):8.1%}")
+    print(f"  accuracy   {st.prefetch_accuracy:8.1%}")
+    print(f"  btb misses {st.btb_misses:8d}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    schemes = args.schemes.split(",")
+    unknown = [s for s in schemes if s not in scheme_names()]
+    if unknown:
+        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    base = run_scheme(args.workload, "baseline", n_records=args.records,
+                      scale=args.scale)
+    print(f"{'scheme':16s} {'speedup':>8s} {'coverage':>9s} "
+          f"{'cmal':>7s} {'fscr':>7s} {'accuracy':>9s}")
+    for scheme in schemes:
+        st = run_scheme(args.workload, scheme, n_records=args.records,
+                        scale=args.scale).stats
+        print(f"{scheme:16s} {st.speedup_over(base.stats):8.3f} "
+              f"{st.coverage_over(base.stats):9.1%} {st.cmal:7.1%} "
+              f"{st.fscr_over(base.stats):7.1%} {st.prefetch_accuracy:9.1%}")
+    return 0
+
+
+#: figure id -> raw-data driver (for exports).
+_FIGURE_DATA = {
+    "fig1": lambda n: figures.fig01_footprint_miss_ratio(n_records=n),
+    "tab1": lambda n: figures.tab1_empty_ftq(n_records=n),
+    "fig2": lambda n: figures.fig02_sequential_fraction(n_records=n),
+    "fig3": lambda n: figures.fig03_nl_seq_coverage(n_records=n),
+    "fig4": lambda n: figures.fig04_cmal_nxl(n_records=n),
+    "fig5": lambda n: figures.fig05_side_effects(n_records=n),
+    "fig6": lambda n: figures.fig06_seq_predictability(n_records=n),
+    "fig7": lambda n: figures.fig07_dis_predictability(n_records=n),
+    "fig8": lambda n: figures.fig08_bf_branches(),
+    "fig9": lambda n: figures.fig09_bf_per_set(n_records=n),
+    "fig12": lambda n: figures.fig12_tagging(n_records=n),
+    "fig13": lambda n: figures.fig13_timeliness(n_records=n),
+    "fig14": lambda n: figures.fig14_lookups(n_records=n),
+    "fig15": lambda n: figures.fig15_fscr(n_records=n),
+    "fig16": lambda n: figures.fig16_speedup(n_records=n),
+    "fig17": lambda n: figures.fig17_breakdown(n_records=n),
+    "fig18": lambda n: figures.fig18_btb_sweep(n_records=n),
+}
+
+
+def _cmd_figure(args) -> int:
+    driver = _FIGURES.get(args.id)
+    if driver is None:
+        print(f"unknown figure {args.id!r}; known: "
+              f"{', '.join(sorted(_FIGURES))}", file=sys.stderr)
+        return 2
+    print(driver(args.records))
+    if args.csv or args.json:
+        data_driver = _FIGURE_DATA.get(args.id)
+        if data_driver is None:
+            print(f"{args.id} has no tabular data to export",
+                  file=sys.stderr)
+            return 2
+        data = data_driver(args.records)  # cached: re-renders instantly
+        from .experiments.export import write_csv, write_json
+        if args.csv:
+            print(f"wrote {write_csv(data, args.csv)}")
+        if args.json:
+            print(f"wrote {write_json(data, args.json, title=args.id)}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    run = run_sampled(args.workload, args.scheme, n_samples=args.samples,
+                      n_records=args.records, scale=args.scale)
+    print(render_sampled(run))
+    return 0
+
+
+def _cmd_multicore(args) -> int:
+    from .analysis import render_stack_comparison
+    from .experiments import build_scheme
+    from .multicore import STANDARD_MIXES, MulticoreSimulator, build_mix
+
+    mix = STANDARD_MIXES.get(args.mix)
+    if mix is None:
+        print(f"unknown mix {args.mix!r}; known: "
+              f"{', '.join(sorted(STANDARD_MIXES))}", file=sys.stderr)
+        return 2
+    traces, programs = build_mix(mix, n_records=args.records,
+                                 scale=args.scale)
+
+    def factory():
+        prefetcher, _overrides = build_scheme(args.scheme)
+        return prefetcher
+
+    sim = MulticoreSimulator(
+        traces, prefetcher_factory=factory if args.scheme != "baseline"
+        else None, programs=programs)
+    result = sim.run(warmup=args.records // 3)
+    print(f"mix {mix.name} / scheme {args.scheme} "
+          f"({mix.n_cores} cores, {args.records} records each)")
+    print(f"aggregate IPC      {result.aggregate_ipc:.3f}")
+    print(f"shared LLC latency {sim.latency.average_latency:.1f} cycles")
+    print()
+    print(render_stack_comparison(
+        {f"core{c.core}:{c.workload}": c.stats for c in result.cores}))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Divide and Conquer Frontend "
+                    "Bottleneck' (ISCA 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workloads"
+                   ).set_defaults(func=_cmd_workloads)
+    sub.add_parser("schemes", help="list schemes"
+                   ).set_defaults(func=_cmd_schemes)
+
+    def common(p):
+        p.add_argument("--records", type=int, default=90_000)
+        p.add_argument("--scale", type=float, default=1.0)
+
+    p_run = sub.add_parser("run", help="simulate one workload/scheme pair")
+    p_run.add_argument("--workload", default="web_apache",
+                       choices=workload_names())
+    p_run.add_argument("--scheme", default="sn4l_dis_btb",
+                       choices=sorted(scheme_names()))
+    p_run.add_argument("--vl", action="store_true",
+                       help="variable-length ISA build")
+    common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare schemes on a workload")
+    p_cmp.add_argument("--workload", default="web_apache",
+                       choices=workload_names())
+    p_cmp.add_argument("--schemes",
+                       default="n4l,sn4l,sn4l_dis,sn4l_dis_btb,shotgun")
+    common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("id", help="e.g. fig16, tab1")
+    p_fig.add_argument("--csv", help="also export the data as CSV")
+    p_fig.add_argument("--json", help="also export the data as JSON")
+    common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sample = sub.add_parser("sample",
+                              help="sampled run with confidence intervals")
+    p_sample.add_argument("--workload", default="web_apache",
+                          choices=workload_names())
+    p_sample.add_argument("--scheme", default="sn4l_dis_btb",
+                          choices=sorted(scheme_names()))
+    p_sample.add_argument("--samples", type=int, default=5)
+    p_sample.add_argument("--records", type=int, default=60_000)
+    p_sample.add_argument("--scale", type=float, default=1.0)
+    p_sample.set_defaults(func=_cmd_sample)
+
+    p_mc = sub.add_parser("multicore",
+                          help="co-simulate a workload mix over a shared LLC")
+    p_mc.add_argument("--mix", default="web4",
+                      help="a named mix (see repro.multicore.STANDARD_MIXES)")
+    p_mc.add_argument("--scheme", default="sn4l_dis_btb",
+                      choices=sorted(scheme_names()))
+    p_mc.add_argument("--records", type=int, default=40_000)
+    p_mc.add_argument("--scale", type=float, default=0.5)
+    p_mc.set_defaults(func=_cmd_multicore)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

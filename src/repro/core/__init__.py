@@ -1,0 +1,36 @@
+"""The paper's contribution: SN4L, Dis, the proactive engine, BTB prefilling.
+
+Public entry points:
+
+* :class:`Sn4lPrefetcher` — standalone selective next-four-line prefetcher;
+* :class:`ProactivePrefetcher` — the composable SN4L+Dis+BTB engine;
+* :func:`sn4l_dis_btb` / :func:`sn4l_dis` / :func:`dis_only` — the named
+  configurations evaluated in the paper.
+"""
+
+from .distable import DisTable
+from .proactive import (
+    FIXED_OFFSET_BITS,
+    VARIABLE_OFFSET_BITS,
+    ProactivePrefetcher,
+    dis_only,
+    sn4l_dis,
+    sn4l_dis_btb,
+)
+from .rlu import PrefetchQueue, RecentlyLookedUp
+from .seqtable import SeqTable
+from .sn4l import Sn4lPrefetcher
+
+__all__ = [
+    "SeqTable",
+    "DisTable",
+    "RecentlyLookedUp",
+    "PrefetchQueue",
+    "Sn4lPrefetcher",
+    "ProactivePrefetcher",
+    "sn4l_dis_btb",
+    "sn4l_dis",
+    "dis_only",
+    "FIXED_OFFSET_BITS",
+    "VARIABLE_OFFSET_BITS",
+]

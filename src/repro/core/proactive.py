@@ -1,0 +1,344 @@
+"""Proactive SN4L+Dis(+BTB) prefetching (paper Sections V-B and V-C).
+
+The proactive machinery chains sequential and discontinuity prefetches
+multiple regions ahead of the fetch stream:
+
+* every demand access that misses the **RLU** becomes a depth-0 trigger in
+  **SeqQueue** and **DisQueue**;
+* SN4L pops SeqQueue and emits the useful subsequent blocks (4-wide at
+  depth 0, SN1L beyond — the paper trades width for accuracy deeper in the
+  chain) as candidates into **RLUQueue**;
+* Dis pops DisQueue, consults DisTable, pre-decodes the block (when it is
+  available) to re-extract the discontinuity branch, and emits the branch
+  target as a candidate;
+* candidates popped from RLUQueue that miss the RLU are looked up in the
+  cache, prefetched on a miss, and — depth permitting — pushed back into
+  the queues as new triggers (sequential candidates trigger only Dis;
+  discontinuity candidates trigger both SN4L and Dis).
+
+Chains terminate at depth :attr:`max_depth` (four, per the paper).  The
+same pre-decode pass that answers Dis also feeds the **BTB prefetch
+buffer** (Section V-C): every block missing the RLU is pre-decoded and all
+its branches buffered next to the BTB.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..btb import BtbPrefetchBuffer
+from ..frontend.engine import HIT
+from ..isa import CACHE_BLOCK_SIZE, BranchKind, block_base, block_offset
+from ..memory import DynamicallyVirtualizedLlc
+from ..prefetchers.base import Prefetcher
+from ..workloads import NO_ADDR
+from .distable import DisTable
+from .rlu import PrefetchQueue, RecentlyLookedUp
+from .seqtable import SeqTable
+
+#: Candidate provenance inside RLUQueue.
+_SRC_SEQ = 0
+_SRC_DIS = 1
+
+FIXED_OFFSET_BITS = 4     # instruction offset within a 16-instruction block
+VARIABLE_OFFSET_BITS = 6  # byte offset within a 64-byte block
+
+
+class ProactivePrefetcher(Prefetcher):
+    """SN4L+Dis+BTB and its ablations.
+
+    ``enable_seq`` / ``enable_dis`` / ``enable_btb`` select the composed
+    scheme: all three give the paper's SN4L+Dis+BTB; ``enable_btb=False``
+    gives SN4L+Dis; ``enable_seq=False, enable_btb=False`` gives the
+    standalone Dis prefetcher of Fig. 13.
+
+    ``variable_length=True`` switches DisTable to 6-bit byte offsets and
+    sources pre-decode boundaries from branch footprints virtualized in
+    the DV-LLC (Section V-D); the simulator must then be configured with
+    ``dv_llc=True``.
+    """
+
+    def __init__(self, enable_seq: bool = True, enable_dis: bool = True,
+                 enable_btb: bool = True,
+                 seqtable: Optional[SeqTable] = None,
+                 distable: Optional[DisTable] = None,
+                 seqtable_entries: Optional[int] = 16 * 1024,
+                 distable_entries: Optional[int] = 4096,
+                 distable_tag_bits: Optional[int] = 4,
+                 max_depth: int = 4,
+                 chain_width: int = 1,
+                 rlu_entries: int = 8,
+                 queue_entries: int = 16,
+                 drain_budget: int = 64,
+                 predecode_delay: int = 3,
+                 btb_buffer_entries: int = 32,
+                 variable_length: bool = False):
+        super().__init__()
+        if max_depth < 1:
+            raise ValueError("max chain depth must be >= 1")
+        if not 1 <= chain_width <= 4:
+            raise ValueError("chain width is 1 (SN1L, the paper's choice) "
+                             "to 4 (SN4L everywhere)")
+        self.enable_seq = enable_seq
+        self.enable_dis = enable_dis
+        self.enable_btb = enable_btb
+        self.variable_length = variable_length
+        self.max_depth = max_depth
+        #: Sequential width used past the first discontinuity.  The paper
+        #: uses SN1L there ("timeliness is obtained at the cost of lower
+        #: prefetch accuracy", Section V-B); 4 keeps SN4L everywhere.
+        self.chain_width = chain_width
+        self.drain_budget = drain_budget
+        self.predecode_delay = predecode_delay
+        self.btb_buffer_entries = btb_buffer_entries
+
+        offset_bits = VARIABLE_OFFSET_BITS if variable_length \
+            else FIXED_OFFSET_BITS
+        self.seqtable = seqtable if seqtable is not None else \
+            SeqTable(seqtable_entries)
+        self.distable = distable if distable is not None else \
+            DisTable(distable_entries, tag_bits=distable_tag_bits,
+                     offset_bits=offset_bits)
+        self.rlu = RecentlyLookedUp(rlu_entries)
+        self.seq_queue = PrefetchQueue(queue_entries, "SeqQueue")
+        self.dis_queue = PrefetchQueue(queue_entries, "DisQueue")
+        self._rlu_queue: Deque[Tuple[int, int, int]] = deque()
+        self.rlu_queue_entries = queue_entries
+        #: Blocks awaiting pre-decode once they arrive: line -> depth.
+        self._pending_predecode: Dict[int, int] = {}
+        self._prev_record = None
+
+        parts = []
+        if enable_seq:
+            parts.append("sn4l")
+        if enable_dis:
+            parts.append("dis")
+        if enable_btb:
+            parts.append("btb")
+        self.name = "+".join(parts) if parts else "proactive-none"
+
+        self.predecodes = 0
+        self.dis_prefetch_candidates = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        if self.enable_btb:
+            sim.btb_prefetch_buffer = BtbPrefetchBuffer(self.btb_buffer_entries)
+        if self.variable_length and not isinstance(
+                sim.llc, DynamicallyVirtualizedLlc):
+            raise RuntimeError(
+                "variable-length mode stores branch footprints in the "
+                "DV-LLC; build the simulator with FrontendConfig(dv_llc=True)"
+            )
+
+    # ------------------------------------------------------------------
+    # metadata updates (SN4L usefulness + Dis recording)
+
+    def _branch_offset(self, branch_pc: int) -> int:
+        if self.variable_length:
+            return block_offset(branch_pc)
+        return block_offset(branch_pc) // 4
+
+    def _record_discontinuity(self, record) -> None:
+        """A miss occurred; if the previous demanded instruction was a
+        taken branch, remember its in-block offset (Section V-B)."""
+        prev = self._prev_record
+        if prev is None or not prev.has_branch or not prev.taken:
+            return
+        if prev.branch_kind is BranchKind.RETURN:
+            # Return targets come from the RAS, never from pre-decode or
+            # the BTB; recording them would only evict useful entries.
+            return
+        self.distable.record(block_base(prev.branch_pc),
+                             self._branch_offset(prev.branch_pc))
+
+    def on_prefetch_hit(self, line_addr, cycle) -> None:
+        self.seqtable.set(line_addr)
+
+    def on_evict(self, line, cycle) -> None:
+        if line.is_prefetch:
+            self.seqtable.reset(line.addr)
+        self._pending_predecode.pop(line.addr, None)
+
+    # ------------------------------------------------------------------
+    # triggers
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        line = record.line
+        if outcome is not HIT:
+            self.seqtable.set(line)
+            if self.enable_dis:
+                self._record_discontinuity(record)
+        self._prev_record = record
+
+        # SN4L triggers on *every* access via the local prefetch status;
+        # the RLU only gates pre-decode (Dis/BTB) and candidate lookups.
+        fresh = not self.rlu.contains(line)
+        self.rlu.touch(line)
+        if self.enable_seq:
+            self.seq_queue.push(line, 0)
+        if fresh and (self.enable_dis or self.enable_btb):
+            self.dis_queue.push(line, 0)
+        self._drain()
+
+    def on_fill(self, line_addr, was_prefetch, cycle) -> None:
+        resident = self.sim.l1i.lookup(line_addr, touch=False)
+        if resident is not None:
+            resident.local_status = self.seqtable.next4_status(line_addr)
+        depth = self._pending_predecode.pop(line_addr, None)
+        if depth is not None:
+            self._predecode_block(line_addr, depth)
+            self._drain()
+
+    def on_branch_retire(self, record, cycle) -> None:
+        if not self.variable_length:
+            return
+        # Build the branch footprint of the branch's block in the DV-LLC:
+        # retired branches accrete their byte offsets (Section V-D).
+        line = block_base(record.branch_pc)
+        llc = self.sim.llc
+        existing = llc.get_footprint(line) or ()
+        offset = block_offset(record.branch_pc)
+        if offset not in existing:
+            llc.store_footprint(line, tuple(existing) + (offset,))
+
+    # ------------------------------------------------------------------
+    # the proactive drain loop
+
+    def _push_candidate(self, line: int, depth: int, src: int) -> None:
+        if len(self._rlu_queue) >= self.rlu_queue_entries:
+            self._rlu_queue.popleft()
+        self._rlu_queue.append((line, depth, src))
+
+    def _drain(self) -> None:
+        budget = self.drain_budget
+        sim = self.sim
+        while budget > 0:
+            progressed = False
+
+            if self.enable_seq and self.seq_queue:
+                line, depth = self.seq_queue.pop()
+                budget -= 1
+                progressed = True
+                # SN4L at the demand frontier, SN1L deeper in the chain.
+                width = 4 if depth == 0 else self.chain_width
+                status = self._local_status(line)
+                for i in range(1, width + 1):
+                    if status >> (i - 1) & 1:
+                        self._push_candidate(line + i * CACHE_BLOCK_SIZE,
+                                             depth + 1, _SRC_SEQ)
+
+            if (self.enable_dis or self.enable_btb) and self.dis_queue:
+                line, depth = self.dis_queue.pop()
+                budget -= 1
+                progressed = True
+                if sim.l1i.contains(line):
+                    self._predecode_block(line, depth)
+                else:
+                    self._pending_predecode[line] = depth
+                    if len(self._pending_predecode) > 64:
+                        self._pending_predecode.pop(
+                            next(iter(self._pending_predecode)))
+
+            while self._rlu_queue and budget > 0:
+                cand, depth, src = self._rlu_queue.popleft()
+                budget -= 1
+                progressed = True
+                if self.rlu.contains(cand):
+                    continue
+                self.rlu.touch(cand)
+                hit = sim.lookup_cache(cand)
+                if not hit:
+                    delay = self.predecode_delay if src == _SRC_DIS else 0
+                    sim.issue_prefetch(cand, probe_cache=False, delay=delay)
+                if depth < self.max_depth:
+                    if src == _SRC_DIS and self.enable_seq:
+                        self.seq_queue.push(cand, depth)
+                    if self.enable_dis or self.enable_btb:
+                        self.dis_queue.push(cand, depth)
+
+            if not progressed:
+                break
+
+    def _local_status(self, line: int) -> int:
+        resident = self.sim.l1i.lookup(line, touch=False)
+        if resident is not None:
+            return resident.local_status
+        return self.seqtable.next4_status(line)
+
+    # ------------------------------------------------------------------
+    # pre-decode: serves Dis and the BTB prefetch buffer together
+
+    def _predecode_block(self, line: int, depth: int) -> None:
+        offset = self.distable.lookup(line) if self.enable_dis else None
+        if offset is None and not self.enable_btb:
+            return
+        footprint = None
+        if self.variable_length:
+            footprint = self.sim.llc.get_footprint(line)
+            if footprint is None and offset is None:
+                return  # nothing decodable without boundaries
+        result = self.sim.predecoder().decode_block(
+            line, footprint_offsets=footprint, dis_offset=offset)
+        self.predecodes += 1
+
+        if self.enable_btb and (result.branches or result.offset_branch):
+            branches = list(result.branches)
+            if result.offset_branch and result.offset_branch not in branches:
+                branches.append(result.offset_branch)
+            self.sim.btb_prefetch_buffer.fill(line, branches)
+
+        if offset is None or result.offset_branch is None:
+            return
+        instr = result.offset_branch
+        target = instr.target
+        if target is None:
+            entry = self.sim.btb.peek(instr.pc)
+            target = entry.target if entry is not None else None
+        if target is None or target == NO_ADDR:
+            return  # paper: no BTB entry, no prefetch
+        self.dis_prefetch_candidates += 1
+        self._push_candidate(block_base(target), depth + 1, _SRC_DIS)
+
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Per-core storage, mirroring the paper's 7.6 KB accounting."""
+        total = 0
+        if self.enable_seq:
+            total += self.seqtable.storage_bytes()
+        if self.enable_dis:
+            total += self.distable.storage_bytes()
+        if self.enable_btb and self.sim is not None \
+                and self.sim.btb_prefetch_buffer is not None:
+            total += self.sim.btb_prefetch_buffer.storage_bytes()
+        l1_lines = (self.sim.l1i.size_bytes // self.sim.l1i.block_size
+                    if self.sim is not None else 512)
+        total += l1_lines * 5 // 8  # local status + prefetch flag
+        queue_bits = (self.seq_queue.storage_bits() +
+                      self.dis_queue.storage_bits() +
+                      self.rlu_queue_entries * (40 + 3 + 1) +
+                      self.rlu.storage_bits())
+        total += queue_bits // 8
+        return total
+
+
+def sn4l_dis_btb(**kwargs) -> ProactivePrefetcher:
+    """The paper's full proposal."""
+    return ProactivePrefetcher(enable_seq=True, enable_dis=True,
+                               enable_btb=True, **kwargs)
+
+
+def sn4l_dis(**kwargs) -> ProactivePrefetcher:
+    """SN4L+Dis without BTB prefilling (Fig. 17 breakdown point)."""
+    return ProactivePrefetcher(enable_seq=True, enable_dis=True,
+                               enable_btb=False, **kwargs)
+
+
+def dis_only(**kwargs) -> ProactivePrefetcher:
+    """Standalone Dis prefetcher (Fig. 13)."""
+    return ProactivePrefetcher(enable_seq=False, enable_dis=True,
+                               enable_btb=False, **kwargs)

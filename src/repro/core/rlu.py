@@ -1,0 +1,87 @@
+"""Recently-Looked-Up filter and the proactive prefetch queues.
+
+The RLU (paper Section V-B) is a tiny structure holding the last eight
+block addresses that were looked up in the L1i — by the prefetcher or by
+demand fetch.  Every prefetch candidate passes through it; an RLU hit
+means the block was just checked, so the candidate is dropped without
+another cache lookup.  An RLU *miss* is also the event that advances the
+proactive machinery: the candidate becomes a new triggering block in
+SeqQueue and DisQueue, carrying its chain depth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional, Tuple
+
+
+class RecentlyLookedUp:
+    """Small LRU set of recently looked-up block addresses."""
+
+    def __init__(self, n_entries: int = 8):
+        if n_entries <= 0:
+            raise ValueError("RLU needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, line: int) -> bool:
+        """Probe without inserting; counts hit/miss statistics."""
+        if line in self._entries:
+            self._entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def touch(self, line: int) -> None:
+        """Record a lookup of ``line`` (demand or prefetcher)."""
+        if line in self._entries:
+            self._entries.move_to_end(line)
+            return
+        if len(self._entries) >= self.n_entries:
+            self._entries.popitem(last=False)
+        self._entries[line] = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bits(self) -> int:
+        return self.n_entries * 40  # block-address tags
+
+
+class PrefetchQueue:
+    """Bounded FIFO of ``(line, depth)`` work items.
+
+    Overflow drops the oldest entry — stale work is the least valuable
+    since the fetch stream has moved on.
+    """
+
+    def __init__(self, n_entries: int = 16, name: str = "queue"):
+        if n_entries <= 0:
+            raise ValueError("queue needs at least one entry")
+        self.n_entries = n_entries
+        self.name = name
+        self._items: Deque[Tuple[int, int]] = deque()
+        self.dropped = 0
+
+    def push(self, line: int, depth: int) -> None:
+        if len(self._items) >= self.n_entries:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append((line, depth))
+
+    def pop(self) -> Optional[Tuple[int, int]]:
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def storage_bits(self) -> int:
+        return self.n_entries * (40 + 3)  # address + depth

@@ -1,0 +1,92 @@
+"""SeqTable: SN4L's per-block sequential-prefetch usefulness bits.
+
+A direct-mapped, tagless table of single bits, one per instruction block
+(paper Section V-A).  All entries initialise to 1 ("prefetch the first
+time").  Because the table is indexed by block number modulo its size, the
+four subsequent blocks of block ``A`` naturally live in entries
+``A+1 .. A+4`` — one table read yields the 4-bit status SN4L caches in the
+line's *local prefetch status*.
+
+``n_entries=None`` gives the unlimited reference table used by Fig. 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa import CACHE_BLOCK_SIZE
+
+
+class SeqTable:
+    """Direct-mapped tagless bit table, with optional conflict telemetry."""
+
+    def __init__(self, n_entries: Optional[int] = 16 * 1024,
+                 block_size: int = CACHE_BLOCK_SIZE,
+                 track_conflicts: bool = False):
+        if n_entries is not None and n_entries <= 0:
+            raise ValueError("SeqTable size must be positive (or None)")
+        self.n_entries = n_entries
+        self.block_size = block_size
+        if n_entries is None:
+            self._bits: Dict[int, int] = {}
+        else:
+            self._bits = bytearray(b"\x01" * n_entries)
+        self.track_conflicts = track_conflicts
+        self._owners: Dict[int, int] = {}
+        self.lookups = 0
+        self.conflicts = 0
+
+    @property
+    def unlimited(self) -> bool:
+        return self.n_entries is None
+
+    def _index(self, addr: int) -> int:
+        block = addr // self.block_size
+        if self.unlimited:
+            return block
+        return block % self.n_entries
+
+    def _note_access(self, addr: int, idx: int) -> None:
+        self.lookups += 1
+        if self.track_conflicts and not self.unlimited:
+            block = addr // self.block_size
+            owner = self._owners.get(idx)
+            if owner is not None and owner != block:
+                self.conflicts += 1
+            self._owners[idx] = block
+
+    def get(self, addr: int) -> bool:
+        """Should the block holding ``addr`` be sequentially prefetched?"""
+        idx = self._index(addr)
+        self._note_access(addr, idx)
+        if self.unlimited:
+            return bool(self._bits.get(idx, 1))
+        return bool(self._bits[idx])
+
+    def set(self, addr: int) -> None:
+        idx = self._index(addr)
+        if self.unlimited:
+            self._bits[idx] = 1
+        else:
+            self._bits[idx] = 1
+
+    def reset(self, addr: int) -> None:
+        idx = self._index(addr)
+        self._bits[idx] = 0
+
+    def next4_status(self, addr: int) -> int:
+        """4-bit status of the four subsequent blocks (bit 0 = next block)."""
+        status = 0
+        for i in range(1, 5):
+            if self.get(addr + i * self.block_size):
+                status |= 1 << (i - 1)
+        return status
+
+    @property
+    def conflict_ratio(self) -> float:
+        return self.conflicts / self.lookups if self.lookups else 0.0
+
+    def storage_bytes(self) -> int:
+        if self.unlimited:
+            return 0  # reference configuration, not hardware
+        return self.n_entries // 8

@@ -1,0 +1,43 @@
+"""Experiment harness: scheme registry, cached runner, figure drivers."""
+
+from . import export, figures
+from .sampling import SampledMetric, SampledRun, render_sampled, run_sampled
+from .report import (
+    render_matrix,
+    render_per_scheme,
+    render_per_workload,
+    render_storage,
+    render_sweep,
+)
+from .runner import (
+    DEFAULT_RECORDS,
+    DEFAULT_WARMUP,
+    SCHEMES,
+    RunResult,
+    build_scheme,
+    clear_cache,
+    run_scheme,
+    scheme_names,
+)
+
+__all__ = [
+    "figures",
+    "export",
+    "run_scheme",
+    "build_scheme",
+    "scheme_names",
+    "RunResult",
+    "SCHEMES",
+    "DEFAULT_RECORDS",
+    "DEFAULT_WARMUP",
+    "clear_cache",
+    "render_per_workload",
+    "render_per_scheme",
+    "render_matrix",
+    "render_sweep",
+    "render_storage",
+    "run_sampled",
+    "render_sampled",
+    "SampledRun",
+    "SampledMetric",
+]

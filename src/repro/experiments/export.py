@@ -1,0 +1,84 @@
+"""Export experiment data as CSV / JSON for external plotting.
+
+The figure drivers return plain nested dictionaries; this module
+flattens them into tidy rows and writes standard formats, so the
+regenerated figures can be re-plotted with any toolchain.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def flatten(data: Mapping, value_name: str = "value") -> List[Dict]:
+    """Flatten per-key or nested {row: {col: v}} data into tidy rows.
+
+    ``{"a": 1.0}``              -> ``[{"key": "a", value_name: 1.0}]``
+    ``{"a": {"x": 1.0}}``       -> ``[{"key": "a", "series": "x", ...}]``
+    """
+    rows: List[Dict] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            for col, inner in value.items():
+                rows.append({"key": str(key), "series": str(col),
+                             value_name: inner})
+        else:
+            rows.append({"key": str(key), value_name: value})
+    return rows
+
+
+def write_csv(data: Mapping, path: PathLike,
+              value_name: str = "value") -> Path:
+    """Write flattened figure data as CSV; returns the path."""
+    path = Path(path)
+    rows = flatten(data, value_name)
+    if not rows:
+        raise ValueError("nothing to export")
+    fieldnames = list(rows[0].keys())
+    for row in rows:
+        for field in row:
+            if field not in fieldnames:
+                fieldnames.append(field)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(data: Mapping, path: PathLike, title: str = "") -> Path:
+    """Write figure data as JSON with a small metadata header."""
+    path = Path(path)
+    payload = {
+        "title": title,
+        "data": {str(k): (dict(v) if isinstance(v, Mapping) else v)
+                 for k, v in data.items()},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def read_json(path: PathLike) -> Dict:
+    with open(Path(path)) as fh:
+        return json.load(fh)
+
+
+def ascii_bar_chart(data: Mapping[str, float], title: str = "",
+                    width: int = 40, fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart of a {label: value} mapping."""
+    if not data:
+        raise ValueError("nothing to chart")
+    top = max(abs(v) for v in data.values()) or 1.0
+    lines = [title] if title else []
+    label_width = max(len(str(k)) for k in data)
+    for key, value in data.items():
+        bar = "#" * max(0, round(abs(value) / top * width))
+        lines.append(f"{str(key):{label_width}s} "
+                     f"{fmt.format(value):>9s} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Golden-number regression guards.
+
+The calibration that makes the reproduction track the paper (workload
+profiles, latency parameters, backend damping) is spread across many
+constants; an innocent change can silently break the headline shapes.
+This module pins the headline relations to *tolerance bands* — wide
+enough to survive legitimate refactors, tight enough to catch calibration
+regressions — and checks a quick run against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .runner import run_scheme
+
+
+@dataclass(frozen=True)
+class GoldenBand:
+    """A metric pinned to [lo, hi]."""
+
+    name: str
+    lo: float
+    hi: float
+
+    def check(self, value: float) -> str:
+        if self.lo <= value <= self.hi:
+            return ""
+        return (f"{self.name}: {value:.4f} outside "
+                f"[{self.lo:.4f}, {self.hi:.4f}]")
+
+
+#: Headline bands at the standard quick-check size (45 K records,
+#: web_apache + oltp_db_a).  Derived from the full-scale report in
+#: EXPERIMENTS.md with generous margins.
+GOLDEN_BANDS: Tuple[GoldenBand, ...] = (
+    GoldenBand("web_apache.baseline.mpki", 25.0, 75.0),
+    GoldenBand("web_apache.baseline.seq_fraction", 0.60, 0.92),
+    GoldenBand("web_apache.sn4l_dis_btb.speedup", 1.15, 1.50),
+    GoldenBand("web_apache.sn4l_dis_btb.cmal", 0.80, 0.99),
+    GoldenBand("web_apache.ours_over_shotgun", 0.98, 1.20),
+    GoldenBand("oltp_db_a.ours_over_shotgun", 1.01, 1.25),
+    GoldenBand("oltp_db_a.shotgun.footprint_miss_ratio", 0.10, 0.45),
+)
+
+
+def measure_goldens(n_records: int = 45_000) -> Dict[str, float]:
+    """Run the quick checks and return the measured golden metrics."""
+    out: Dict[str, float] = {}
+    for w in ("web_apache", "oltp_db_a"):
+        base = run_scheme(w, "baseline", n_records=n_records)
+        ours = run_scheme(w, "sn4l_dis_btb", n_records=n_records)
+        shotgun = run_scheme(w, "shotgun", n_records=n_records)
+        st = base.stats
+        misses = st.demand_misses + st.demand_late_prefetch
+        if w == "web_apache":
+            out[f"{w}.baseline.mpki"] = misses / st.instructions * 1000
+            out[f"{w}.baseline.seq_fraction"] = \
+                st.seq_misses / misses if misses else 0.0
+            out[f"{w}.sn4l_dis_btb.speedup"] = \
+                ours.stats.speedup_over(base.stats)
+            out[f"{w}.sn4l_dis_btb.cmal"] = ours.stats.cmal
+        out[f"{w}.ours_over_shotgun"] = \
+            shotgun.stats.total_cycles / ours.stats.total_cycles
+        if w == "oltp_db_a":
+            out[f"{w}.shotgun.footprint_miss_ratio"] = \
+                shotgun.extra["footprint_miss_ratio"]
+    return out
+
+
+def check_goldens(n_records: int = 45_000) -> List[str]:
+    """Returns a list of violations (empty = calibration intact)."""
+    measured = measure_goldens(n_records)
+    violations = []
+    for band in GOLDEN_BANDS:
+        problem = band.check(measured[band.name])
+        if problem:
+            violations.append(problem)
+    return violations

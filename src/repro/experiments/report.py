@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results, shaped like the paper's
+figures (one row per workload / scheme / sweep point)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..workloads import DISPLAY_NAMES
+
+
+def _label(key: str) -> str:
+    return DISPLAY_NAMES.get(key, key)
+
+
+def render_per_workload(title: str, data: Mapping[str, float],
+                        fmt: str = "{:.1%}") -> str:
+    lines = [title, "-" * len(title)]
+    for key, value in data.items():
+        lines.append(f"{_label(key):18s} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_per_scheme(title: str, data: Mapping[str, float],
+                      fmt: str = "{:.3f}") -> str:
+    lines = [title, "-" * len(title)]
+    for key, value in data.items():
+        lines.append(f"{key:16s} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_matrix(title: str, data: Mapping[str, Mapping[str, float]],
+                  fmt: str = "{:.3f}") -> str:
+    """Render {row: {column: value}} with aligned columns."""
+    rows = list(data)
+    cols: list = []
+    for r in rows:
+        for c in data[r]:
+            if c not in cols:
+                cols.append(c)
+    lines = [title, "-" * len(title)]
+    header = f"{'':18s} " + " ".join(f"{c:>14s}" for c in cols)
+    lines.append(header)
+    for r in rows:
+        cells = " ".join(
+            f"{fmt.format(data[r][c]):>14s}" if c in data[r] else " " * 14
+            for c in cols)
+        lines.append(f"{_label(r):18s} {cells}")
+    return "\n".join(lines)
+
+
+def render_sweep(title: str, data: Mapping, x_name: str = "x",
+                 fmt: str = "{:.3f}") -> str:
+    lines = [title, "-" * len(title)]
+    for key, value in data.items():
+        lines.append(f"{x_name}={key!s:>8s}  {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_storage(table: Dict[str, Dict[str, object]]) -> str:
+    lines = ["Table II: storage & structure comparison",
+             "-" * 42]
+    for scheme, row in table.items():
+        kb = row["storage_bytes"] / 1024
+        scal = row["scalability_bytes"]
+        scal_txt = f"{scal / 1024:.0f} KB" if scal else "-"
+        lines.append(
+            f"{scheme:14s} storage={kb:6.1f} KB  "
+            f"btb_mod={'yes' if row['btb_modification'] else 'no':3s}  "
+            f"l1i_buf={'yes' if row['instruction_prefetch_buffer'] else 'no':3s}  "
+            f"scaling={scal_txt:8s} search={row['search_complexity']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Experiment runner: named schemes, cached (workload x scheme) runs.
+
+Every figure/table driver goes through :func:`run_scheme`, which memoises
+results so that e.g. the baseline run of a workload is shared by every
+figure that normalises against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import ProactivePrefetcher, Sn4lPrefetcher, dis_only, sn4l_dis, sn4l_dis_btb
+from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
+from ..prefetchers import (
+    AdaptiveNxlPrefetcher,
+    BoomerangPrefetcher,
+    ConfluencePrefetcher,
+    ConventionalDiscontinuityPrefetcher,
+    FdipPrefetcher,
+    NextLineOnMissPrefetcher,
+    NextLineTaggedPrefetcher,
+    NextXLinePrefetcher,
+    PifPrefetcher,
+    RdipPrefetcher,
+    ShotgunPrefetcher,
+    TifsPrefetcher,
+)
+from ..workloads import get_generator, get_trace
+
+#: Default measurement window, mirroring the paper's warm-then-measure
+#: sampling (Section VI-C).
+DEFAULT_RECORDS = 150_000
+DEFAULT_WARMUP = 50_000
+
+
+@dataclass
+class RunResult:
+    """One simulation run plus scheme-side observables."""
+
+    workload: str
+    scheme: str
+    stats: FrontendStats
+    prefetcher: object = None
+    simulator: FrontendSimulator = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.total_cycles
+
+
+SchemeFactory = Callable[[], Tuple[Optional[object], Dict]]
+
+#: scheme name -> () -> (prefetcher or None, FrontendConfig overrides)
+SCHEMES: Dict[str, SchemeFactory] = {
+    "baseline": lambda: (None, {}),
+    "nl": lambda: (NextXLinePrefetcher(1), {}),
+    "n2l": lambda: (NextXLinePrefetcher(2), {}),
+    "n4l": lambda: (NextXLinePrefetcher(4), {}),
+    "n8l": lambda: (NextXLinePrefetcher(8), {}),
+    "nl_buf": lambda: (NextXLinePrefetcher(1, use_buffer=True), {}),
+    "n2l_buf": lambda: (NextXLinePrefetcher(2, use_buffer=True), {}),
+    "n4l_buf": lambda: (NextXLinePrefetcher(4, use_buffer=True), {}),
+    "n8l_buf": lambda: (NextXLinePrefetcher(8, use_buffer=True), {}),
+    "sn4l": lambda: (Sn4lPrefetcher(), {}),
+    "dis": lambda: (dis_only(), {}),
+    "sn4l_dis": lambda: (sn4l_dis(), {}),
+    "sn4l_dis_btb": lambda: (sn4l_dis_btb(), {}),
+    "discontinuity": lambda: (ConventionalDiscontinuityPrefetcher(), {}),
+    "nlmiss": lambda: (NextLineOnMissPrefetcher(), {}),
+    "adaptive_nxl": lambda: (AdaptiveNxlPrefetcher(), {}),
+    "nltagged": lambda: (NextLineTaggedPrefetcher(), {}),
+    "tifs": lambda: (TifsPrefetcher(), {}),
+    "pif": lambda: (PifPrefetcher(), {}),
+    "rdip": lambda: (RdipPrefetcher(), {}),
+    "fdip": lambda: (FdipPrefetcher(), {}),
+    "confluence": lambda: (ConfluencePrefetcher(), {}),
+    "boomerang": lambda: (BoomerangPrefetcher(), {}),
+    "shotgun": lambda: (ShotgunPrefetcher(), {}),
+    "perfect_l1i": lambda: (None, {"perfect_l1i": True}),
+    "perfect_l1i_btb": lambda: (None, {"perfect_l1i": True,
+                                       "perfect_btb": True}),
+}
+
+
+def scheme_names() -> Tuple[str, ...]:
+    return tuple(SCHEMES)
+
+
+def build_scheme(name: str):
+    try:
+        factory = SCHEMES[name]
+    except KeyError:
+        known = ", ".join(SCHEMES)
+        raise KeyError(f"unknown scheme {name!r}; known: {known}") from None
+    return factory()
+
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def run_scheme(workload: str, scheme: str,
+               n_records: int = DEFAULT_RECORDS,
+               warmup: Optional[int] = None,
+               scale: float = 1.0,
+               variable_length: bool = False,
+               config_overrides: Optional[Dict] = None,
+               prefetcher_factory: Optional[Callable] = None,
+               cache_key_extra: Optional[str] = None,
+               use_cache: bool = True) -> RunResult:
+    """Run one (workload, scheme) pair and return the result.
+
+    ``prefetcher_factory`` overrides the registered factory (used by
+    sweeps that vary a scheme parameter); pass ``cache_key_extra`` to
+    keep such variants distinct in the cache.
+
+    ``warmup=None`` warms on the first third of the trace (which equals
+    :data:`DEFAULT_WARMUP` at the default trace length).
+    """
+    if warmup is None:
+        warmup = n_records // 3
+    overrides = dict(config_overrides or {})
+    key = (workload, scheme, n_records, warmup, scale, variable_length,
+           tuple(sorted(overrides.items())), cache_key_extra)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    if prefetcher_factory is not None:
+        prefetcher, scheme_overrides = prefetcher_factory(), {}
+        if isinstance(prefetcher, tuple):
+            prefetcher, scheme_overrides = prefetcher
+    else:
+        prefetcher, scheme_overrides = build_scheme(scheme)
+    merged = {**scheme_overrides, **overrides}
+
+    generator = get_generator(workload, scale=scale,
+                              variable_length=variable_length)
+    trace = get_trace(workload, n_records=n_records, scale=scale,
+                      variable_length=variable_length)
+    config = FrontendConfig(**merged)
+    sim = FrontendSimulator(trace, config=config, prefetcher=prefetcher,
+                            program=generator.program)
+    stats = sim.run(warmup=warmup)
+
+    result = RunResult(workload=workload, scheme=scheme, stats=stats,
+                       prefetcher=prefetcher, simulator=sim)
+    result.extra["llc_avg_latency"] = sim.latency.average_latency
+    result.extra["external_requests"] = float(sim.latency.requests)
+    if hasattr(prefetcher, "footprint_miss_ratio"):
+        result.extra["footprint_miss_ratio"] = prefetcher.footprint_miss_ratio
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,22 @@
+"""Trace-driven frontend simulator: fetch engine, BTB/RAS, predictor, stats."""
+
+from .branch_predictor import BimodalTable, DirectionPredictor
+from .config import FrontendConfig
+from .engine import HIT, LATE, MISS, FrontendSimulator, simulate
+from .l1pb import L1PrefetchBuffer
+from .stats import FrontendStats
+from .tage import TagePredictor
+
+__all__ = [
+    "FrontendConfig",
+    "FrontendSimulator",
+    "FrontendStats",
+    "simulate",
+    "HIT",
+    "MISS",
+    "LATE",
+    "DirectionPredictor",
+    "TagePredictor",
+    "BimodalTable",
+    "L1PrefetchBuffer",
+]

@@ -1,0 +1,84 @@
+"""Direction predictor: a small gshare/bimodal hybrid ("TAGE-lite").
+
+The paper uses TAGE; for the phenomena studied here the predictor only
+needs to (a) predict the heavily biased server branches well and (b) leave
+a realistic residue of mispredictions, which a gshare-with-bimodal-chooser
+achieves.  Both component tables use 2-bit saturating counters.
+"""
+
+from __future__ import annotations
+
+
+class BimodalTable:
+    """Direct-mapped table of 2-bit saturating counters."""
+
+    def __init__(self, n_entries: int, init: int = 2):
+        if n_entries <= 0 or n_entries & (n_entries - 1):
+            raise ValueError("table size must be a positive power of two")
+        self.n_entries = n_entries
+        self._mask = n_entries - 1
+        self._counters = bytearray([init] * n_entries)
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        return self._counters[key & self._mask] >= 2
+
+    def update(self, key: int, taken: bool) -> None:
+        i = key & self._mask
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+        elif c > 0:
+            self._counters[i] = c - 1
+
+
+class DirectionPredictor:
+    """gshare + bimodal with a per-PC chooser."""
+
+    def __init__(self, n_entries: int = 16 * 1024, history_bits: int = 12):
+        self.bimodal = BimodalTable(n_entries)
+        self.gshare = BimodalTable(n_entries)
+        self.chooser = BimodalTable(n_entries, init=1)  # favour bimodal cold
+        self.history_bits = history_bits
+        self._history = 0
+        self._hist_mask = (1 << history_bits) - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _keys(self, pc: int):
+        base = pc >> 2
+        return base, base ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        k_bim, k_gs = self._keys(pc)
+        if self.chooser.predict(k_bim):
+            return self.gshare.predict(k_gs)
+        return self.bimodal.predict(k_bim)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and return whether the prediction was correct."""
+        k_bim, k_gs = self._keys(pc)
+        p_bim = self.bimodal.predict(k_bim)
+        p_gs = self.gshare.predict(k_gs)
+        use_gshare = self.chooser.predict(k_bim)
+        predicted = p_gs if use_gshare else p_bim
+        correct = predicted == taken
+
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if p_bim != p_gs:
+            self.chooser.update(k_bim, p_gs == taken)
+        self.bimodal.update(k_bim, taken)
+        self.gshare.update(k_gs, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -1,0 +1,499 @@
+"""Trace-driven, cycle-approximate frontend simulator.
+
+The simulator advances a single timestamp through the fetch trace.  For
+each :class:`~repro.workloads.trace.FetchRecord` it:
+
+1. applies any fills whose data has arrived (MSHR drain);
+2. looks up the L1i (and the L1i prefetch buffer, for schemes that use
+   one); a full miss stalls for the whole fill latency, a hit on an
+   in-flight prefetch stalls only for the *remaining* latency — the
+   covered part is what the paper's CMAL metric measures;
+3. charges instruction delivery cycles (``ceil(n_instr / width)``);
+4. models the terminator branch: direction prediction, BTB lookup for
+   taken branches (a miss costs the redirect penalty unless the BTB
+   prefetch buffer rescues it), return-address-stack push/pop;
+5. hands the access to the attached prefetcher, which may issue prefetch
+   requests through :meth:`FrontendSimulator.issue_prefetch`.
+
+Stall cycles that accumulate while a BTB-directed prefetcher has declared
+itself blocked on a BTB miss are additionally attributed to *empty-FTQ*
+stalls (Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..btb import BtbPrefetchBuffer, ConventionalBtb, ReturnAddressStack
+from ..cfg import Program
+from ..isa import CACHE_BLOCK_SIZE, BranchKind, Predecoder, block_base
+from ..memory import (
+    DynamicallyVirtualizedLlc,
+    LastLevelCache,
+    LatencyModel,
+    MshrFile,
+    SetAssociativeCache,
+)
+from ..workloads import NO_ADDR, Trace
+from .branch_predictor import DirectionPredictor
+from .config import FrontendConfig
+from .tage import TagePredictor
+from .l1pb import L1PrefetchBuffer
+from .stats import FrontendStats
+
+#: Demand access outcomes passed to prefetchers.
+HIT = "hit"
+MISS = "miss"
+LATE = "late"                      # in-flight prefetch caught the demand
+
+
+class FrontendSimulator:
+    """One core's frontend running one fetch trace."""
+
+    def __init__(self, trace: Trace, config: Optional[FrontendConfig] = None,
+                 prefetcher=None, program: Optional[Program] = None,
+                 llc=None, latency: Optional[LatencyModel] = None):
+        self.trace = trace
+        self.config = config or FrontendConfig()
+        self.program = program
+        cfg = self.config
+
+        self.l1i = SetAssociativeCache(cfg.l1i_size, cfg.l1i_assoc,
+                                       cfg.block_size, name="l1i")
+        if llc is not None:
+            # Shared LLC slice (multi-core simulation).
+            self.llc = llc
+        else:
+            llc_cls = (DynamicallyVirtualizedLlc if cfg.dv_llc
+                       else LastLevelCache)
+            self.llc = llc_cls(cfg.llc_size, cfg.llc_assoc, cfg.block_size)
+        self.latency = latency if latency is not None \
+            else LatencyModel(cfg.latency)
+        self.mshr = MshrFile(cfg.mshrs)
+        self.btb = ConventionalBtb(cfg.btb_entries, cfg.btb_assoc)
+        self.ras = ReturnAddressStack(cfg.ras_depth)
+        if cfg.predictor_kind == "tage":
+            self.predictor = TagePredictor()
+        else:
+            self.predictor = DirectionPredictor(cfg.predictor_entries)
+        self.stats = FrontendStats()
+
+        self.cycle = 0
+        self._demand_index = 0
+        #: Timestamp prefetch requests are issued at.  During a demand
+        #: access this is the access *start* cycle: the prefetcher's probe
+        #: overlaps the demand fetch, exactly as in hardware, which is
+        #: what gives even a next-line prefetcher partial timeliness.
+        self.prefetch_clock = 0
+        #: Set by BTB-directed prefetchers while their runahead is stalled
+        #: on a BTB miss; stalls during this window count as empty-FTQ.
+        self.runahead_blocked_until = 0
+
+        #: Optional structures installed by prefetchers.
+        self.btb_prefetch_buffer: Optional[BtbPrefetchBuffer] = None
+        self.l1_prefetch_buffer: Optional[L1PrefetchBuffer] = None
+
+        self._predecoder: Optional[Predecoder] = None
+        #: Optional debugging aid: attach an ``EventLog`` to record a
+        #: structured stream of simulator events (see frontend.eventlog).
+        self.event_log = None
+        self.datapath = None
+        if cfg.model_data:
+            from .datapath import DataPathModel
+            self.datapath = DataPathModel(self)
+        self._call_depth = 0
+        self.prefetcher = prefetcher
+        if prefetcher is not None:
+            prefetcher.attach(self)
+
+    # ------------------------------------------------------------------
+    # services used by prefetchers
+
+    @property
+    def demand_index(self) -> int:
+        """Index of the record currently being fetched."""
+        return self._demand_index
+
+    def predecoder(self) -> Predecoder:
+        if self._predecoder is None:
+            if self.program is None:
+                raise RuntimeError(
+                    "this simulation was built without a Program; pass "
+                    "program= to FrontendSimulator to enable pre-decoding"
+                )
+            self._predecoder = self.program.predecoder()
+        return self._predecoder
+
+    def lookup_cache(self, addr: int, touch: bool = False) -> bool:
+        """Prefetcher-side L1i probe (counted as a cache lookup)."""
+        self.stats.cache_lookups += 1
+        if self.l1i.lookup(addr, touch=touch) is not None:
+            return True
+        return (self.l1_prefetch_buffer is not None
+                and self.l1_prefetch_buffer.contains(addr))
+
+    def in_flight(self, addr: int) -> bool:
+        return block_base(addr) in self.mshr
+
+    def issue_prefetch(self, addr: int, probe_cache: bool = True,
+                       delay: int = 0) -> bool:
+        """Issue a prefetch for the block containing ``addr``.
+
+        Returns True when a request was actually sent to the memory
+        hierarchy.  ``probe_cache=False`` skips the L1i lookup (the caller
+        already probed, e.g. through the RLU filter path).  ``delay`` adds
+        issue latency for longer prefetch paths, e.g. the Dis prefetcher's
+        DisTable-lookup + pre-decode pipeline.
+        """
+        line = block_base(addr)
+        if probe_cache and self.lookup_cache(line):
+            return False
+        if not probe_cache and self.l1i.contains(line):
+            return False
+        if line in self.mshr:
+            return False
+        llc_hit = self.llc.access(line, is_instruction=True)
+        at = self.prefetch_clock + delay
+        lat = self.latency.request(at, llc_hit=llc_hit)
+        entry = self.mshr.issue(line, at, at + lat, is_prefetch=True)
+        if entry is None:
+            return False
+        self.stats.prefetches_issued += 1
+        if self.event_log is not None:
+            self.event_log.emit(at, "prefetch", line, f"lat={lat}")
+        return True
+
+    # ------------------------------------------------------------------
+    # fills
+
+    def _apply_fill(self, line: int, is_prefetch: bool,
+                    fill_latency: int) -> None:
+        if is_prefetch and self.l1_prefetch_buffer is not None:
+            victim = self.l1_prefetch_buffer.fill(line, fill_latency)
+            if victim is not None:
+                self.stats.prefetches_useless += 1
+            if self.prefetcher is not None:
+                self.prefetch_clock = self.cycle
+                self.prefetcher.on_fill(line, True, self.cycle)
+            return
+        victim = self.l1i.insert(line, is_prefetch=is_prefetch,
+                                 is_instruction=True)
+        resident = self.l1i.lookup(line, touch=False)
+        if resident is not None:
+            resident.fill_latency = fill_latency
+        if self.event_log is not None:
+            self.event_log.emit(self.cycle, "fill", line,
+                                "prefetch" if is_prefetch else "demand")
+        if victim is not None:
+            if victim.is_prefetch:
+                self.stats.prefetches_useless += 1
+            if self.event_log is not None:
+                self.event_log.emit(self.cycle, "evict", victim.addr)
+            if self.prefetcher is not None:
+                self.prefetcher.on_evict(victim, self.cycle)
+        if self.prefetcher is not None:
+            # Fill-triggered prefetches (e.g. proactive Dis chains) start
+            # when the block actually arrives, not at demand-access start.
+            self.prefetch_clock = self.cycle
+            self.prefetcher.on_fill(line, is_prefetch, self.cycle)
+
+    def _drain_fills(self) -> None:
+        for entry in self.mshr.pop_ready(self.cycle):
+            self._apply_fill(entry.line, entry.is_prefetch,
+                             entry.full_latency)
+
+    # ------------------------------------------------------------------
+    # stall attribution
+
+    def _stall(self, cycles: int, bucket: str) -> None:
+        if cycles <= 0:
+            return
+        setattr(self.stats, bucket, getattr(self.stats, bucket) + cycles)
+        if self.cycle < self.runahead_blocked_until:
+            overlap = min(cycles, self.runahead_blocked_until - self.cycle)
+            self.stats.empty_ftq_stall_cycles += overlap
+        self.cycle += cycles
+
+    # ------------------------------------------------------------------
+    # demand path
+
+    def _demand_access(self, record) -> str:
+        stats = self.stats
+        stats.demand_accesses += 1
+        stats.cache_lookups += 1
+        line = record.line
+
+        if self.config.perfect_l1i:
+            stats.demand_hits += 1
+            return HIT
+
+        resident = self.l1i.lookup(line)
+        if resident is not None:
+            stats.demand_hits += 1
+            if self.event_log is not None:
+                self.event_log.emit(self.cycle, "demand_hit", line)
+            if resident.is_prefetch:
+                stats.prefetches_useful += 1
+                lat = resident.fill_latency
+                stats.covered_latency += lat
+                stats.prefetched_latency += lat
+                resident.is_prefetch = False
+                if self.prefetcher is not None:
+                    self.prefetcher.on_prefetch_hit(line, self.cycle)
+            return HIT
+
+        if self.l1_prefetch_buffer is not None:
+            buffered = self.l1_prefetch_buffer.take(line)
+            if buffered is not None:
+                stats.demand_hits += 1
+                stats.prefetches_useful += 1
+                stats.covered_latency += buffered
+                stats.prefetched_latency += buffered
+                self.l1i.insert(line, is_prefetch=False, is_instruction=True)
+                return HIT
+
+        inflight = self.mshr.get(line)
+        if inflight is not None and not inflight.is_prefetch:
+            # A wrong-path fetch for this very line is already in flight:
+            # the demand waits out the remainder (an accidental prefetch,
+            # but not credited as one).
+            remaining = inflight.remaining(self.cycle)
+            stats.demand_misses += 1
+            if record.seq:
+                stats.seq_misses += 1
+            else:
+                stats.disc_misses += 1
+            self.mshr.remove(line)
+            self._stall(remaining, "icache_stall_cycles")
+            self._apply_fill(line, is_prefetch=False,
+                             fill_latency=inflight.full_latency)
+            return MISS
+        if inflight is not None and inflight.is_prefetch:
+            remaining = inflight.remaining(self.cycle)
+            stats.demand_late_prefetch += 1
+            # A late prefetch is an uncovered miss for coverage metrics
+            # (the paper's Fig. 3 point), though its stall is shorter.
+            if record.seq:
+                stats.seq_misses += 1
+            else:
+                stats.disc_misses += 1
+            stats.prefetches_useful += 1
+            stats.covered_latency += inflight.full_latency - remaining
+            stats.prefetched_latency += inflight.full_latency
+            if self.event_log is not None:
+                self.event_log.emit(self.cycle, "demand_late", line,
+                                    f"remaining={remaining}")
+            self.mshr.remove(line)
+            self._stall(remaining, "icache_stall_cycles")
+            self._apply_fill(line, is_prefetch=False,
+                             fill_latency=inflight.full_latency)
+            if self.prefetcher is not None:
+                self.prefetcher.on_prefetch_hit(line, self.cycle)
+            return LATE
+
+        # Full demand miss.
+        stats.demand_misses += 1
+        if record.seq:
+            stats.seq_misses += 1
+        else:
+            stats.disc_misses += 1
+        if self.event_log is not None:
+            self.event_log.emit(self.cycle, "demand_miss", line,
+                                "seq" if record.seq else "disc")
+        llc_hit = self.llc.access(line, is_instruction=True)
+        lat = self.latency.request(self.cycle, llc_hit=llc_hit)
+        self._stall(lat, "icache_stall_cycles")
+        self._apply_fill(line, is_prefetch=False, fill_latency=lat)
+        return MISS
+
+    # ------------------------------------------------------------------
+    # branches
+
+    def _handle_branch(self, record) -> None:
+        stats = self.stats
+        kind = record.branch_kind
+        stats.branches += 1
+        cfg = self.config
+
+        if kind is BranchKind.COND:
+            correct = self.predictor.update(record.branch_pc, record.taken)
+            if not correct:
+                stats.mispredicts += 1
+                self._stall(cfg.mispredict_penalty, "mispredict_stall_cycles")
+                self._wrong_path_touch(record)
+            if record.taken:
+                self._btb_check(record)
+            return
+
+        if kind in (BranchKind.JUMP, BranchKind.CALL):
+            if not record.taken:       # depth-guard-skipped call
+                return
+            self._btb_check(record)
+            if kind is BranchKind.CALL:
+                self.ras.push(record.branch_pc + record.branch_size)
+            return
+
+        if kind is BranchKind.INDIRECT:
+            if not record.taken:
+                return
+            entry = None if cfg.perfect_btb else self.btb.lookup(record.branch_pc)
+            if cfg.perfect_btb:
+                self.ras.push(record.branch_pc + record.branch_size)
+                return
+            if entry is None:
+                self._btb_miss(record)
+            elif entry.target != record.branch_target:
+                stats.mispredicts += 1
+                self._stall(cfg.mispredict_penalty, "mispredict_stall_cycles")
+                entry.target = record.branch_target
+            self.ras.push(record.branch_pc + record.branch_size)
+            return
+
+        if kind is BranchKind.RETURN:
+            predicted = self.ras.pop()
+            if predicted != record.branch_target and record.branch_target != NO_ADDR:
+                stats.mispredicts += 1
+                if not cfg.perfect_btb:
+                    self._stall(cfg.mispredict_penalty,
+                                "mispredict_stall_cycles")
+
+    def _btb_check(self, record) -> None:
+        if self.config.perfect_btb:
+            return
+        entry = self.btb.lookup(record.branch_pc)
+        if entry is None:
+            self._btb_miss(record)
+        elif entry.target != record.branch_target:
+            entry.target = record.branch_target
+
+    def _btb_miss(self, record) -> None:
+        stats = self.stats
+        if self.btb_prefetch_buffer is not None:
+            buffered = self.btb_prefetch_buffer.lookup(record.branch_pc)
+            if buffered is not None:
+                target = (buffered.target if buffered.target is not None
+                          else record.branch_target)
+                self.btb.insert(record.branch_pc, target, buffered.kind)
+                stats.btb_buffer_fills += 1
+                if self.event_log is not None:
+                    self.event_log.emit(self.cycle, "btb_rescue",
+                                        record.branch_pc)
+                return
+        stats.btb_misses += 1
+        if self.event_log is not None:
+            self.event_log.emit(self.cycle, "btb_miss", record.branch_pc)
+        self._stall(self.config.btb_miss_penalty, "btb_stall_cycles")
+        self.btb.insert(record.branch_pc, record.branch_target,
+                        record.branch_kind)
+
+    def _wrong_path_touch(self, record) -> None:
+        """Wrong-path fetch after a misprediction.
+
+        The squash penalty is charged separately.  The touch accounts for
+        the wrong path's L1i lookup traffic, and — when
+        ``wrong_path_depth`` > 0 — actually fetches the first wrong-path
+        blocks: they burn shared bandwidth and pollute the L1i, though
+        occasionally they act as accidental prefetches, both of which the
+        paper's wrong-path modelling captures.
+        """
+        if record.taken:
+            alt = record.branch_pc + record.branch_size
+        else:
+            alt = record.branch_target
+        if alt == NO_ADDR:
+            return
+        self.stats.cache_lookups += 1
+        self.l1i.lookup(alt, touch=False)
+        base = block_base(alt)
+        for i in range(self.config.wrong_path_depth):
+            line = base + i * CACHE_BLOCK_SIZE
+            if self.l1i.contains(line) or line in self.mshr \
+                    or self.mshr.full:
+                continue
+            llc_hit = self.llc.access(line, is_instruction=True)
+            lat = self.latency.request(self.cycle, llc_hit=llc_hit)
+            self.mshr.issue(line, self.cycle, self.cycle + lat,
+                            is_prefetch=False)
+            self.stats.wrong_path_fetches += 1
+
+    # ------------------------------------------------------------------
+
+    def _reset_measurement(self) -> None:
+        """Zero statistics after warmup, keeping microarchitectural state.
+
+        Mirrors the SimFlex methodology the paper uses: caches, BTB and
+        predictor stay warm; only the measurement counters restart.
+        """
+        self.stats = FrontendStats()
+        self.latency.llc_latency_sum = 0.0
+        self.latency.llc_latency_count = 0
+        self.latency.contention.total_requests = 0
+        if self.datapath is not None:
+            self.datapath.reset_measurement()
+        self.btb.hits = self.btb.misses = 0
+        if self.btb_prefetch_buffer is not None:
+            self.btb_prefetch_buffer.hits = 0
+            self.btb_prefetch_buffer.misses = 0
+
+    def process_record(self, idx: int, record) -> None:
+        """Advance the frontend by one fetch record (one FTQ entry)."""
+        stats = self.stats
+        width = self.config.fetch_width
+        prefetcher = self.prefetcher
+
+        self._demand_index = idx
+        self._drain_fills()
+        start = self.cycle
+        self.prefetch_clock = start
+        outcome = self._demand_access(record)
+        stats.instructions += record.n_instr
+        stats.delivery_cycles += -(-record.n_instr // width)
+        self.cycle += -(-record.n_instr // width)
+        if self.datapath is not None:
+            stall = self.datapath.access_for_record(record,
+                                                    self._call_depth)
+            if stall:
+                stats.backend_cycles += stall
+                self.cycle += stall
+        if record.has_branch:
+            if record.taken:
+                if record.branch_kind in (BranchKind.CALL,
+                                          BranchKind.INDIRECT):
+                    self._call_depth = min(64, self._call_depth + 1)
+                elif record.branch_kind is BranchKind.RETURN:
+                    self._call_depth = max(0, self._call_depth - 1)
+            self._handle_branch(record)
+        if prefetcher is not None:
+            self.prefetch_clock = start
+            prefetcher.on_demand(idx, record, outcome, start)
+            if record.has_branch:
+                self.prefetch_clock = self.cycle
+                prefetcher.on_branch_retire(record, self.cycle)
+
+    def finalize(self) -> FrontendStats:
+        """Charge the backend cycles and return the statistics."""
+        cpi = (self.config.backend_cpi_with_data
+               if self.datapath is not None
+               else self.config.backend_cpi_extra)
+        self.stats.backend_cycles += int(self.stats.instructions * cpi)
+        return self.stats
+
+    def run(self, warmup: int = 0) -> FrontendStats:
+        """Simulate the whole trace and return the filled statistics.
+
+        The first ``warmup`` records warm caches, BTB and predictor but
+        are excluded from the returned statistics.
+        """
+        for idx, record in enumerate(self.trace):
+            if idx == warmup and warmup > 0:
+                self._reset_measurement()
+            self.process_record(idx, record)
+        return self.finalize()
+
+
+def simulate(trace: Trace, config: Optional[FrontendConfig] = None,
+             prefetcher=None, program: Optional[Program] = None,
+             warmup: int = 0) -> FrontendStats:
+    """Convenience one-shot simulation."""
+    return FrontendSimulator(trace, config=config, prefetcher=prefetcher,
+                             program=program).run(warmup=warmup)

@@ -1,0 +1,65 @@
+"""Structured event log for debugging simulations.
+
+An opt-in ring buffer of typed events the engine emits when a log is
+attached (``sim.event_log = EventLog(...)``).  Tests use it to assert
+event *sequences* (miss -> fill -> hit), and humans use ``dump()`` when a
+prefetcher misbehaves.  Disabled (None) by default: zero overhead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    cycle: int
+    kind: str          # e.g. "demand_hit", "demand_miss", "fill", "btb_miss"
+    addr: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.cycle:>10d}] {self.kind:<14s} {self.addr:#012x}{detail}"
+
+
+class EventLog:
+    """Bounded ring buffer of :class:`Event`."""
+
+    KINDS = ("demand_hit", "demand_miss", "demand_late", "fill",
+             "evict", "prefetch", "btb_miss", "btb_rescue", "mispredict")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+
+    def emit(self, cycle: int, kind: str, addr: int,
+             detail: str = "") -> None:
+        self._events.append(Event(cycle, kind, addr, detail))
+        self.counts[kind] += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def for_addr(self, addr: int, block_size: int = 64) -> List[Event]:
+        line = addr - addr % block_size
+        return [e for e in self._events
+                if e.addr - e.addr % block_size == line]
+
+    def last(self, n: int = 10) -> List[Event]:
+        return list(self._events)[-n:]
+
+    def dump(self, n: Optional[int] = None) -> str:
+        events = list(self._events) if n is None else self.last(n)
+        return "\n".join(str(e) for e in events)

@@ -1,0 +1,67 @@
+"""L1i prefetch buffer.
+
+Some evaluated schemes (Shotgun, and the NXL side-effect study of Fig. 5)
+place prefetched blocks in a small fully-associative buffer next to the
+L1i instead of the cache itself, trading pollution immunity for an extra
+lookup.  The paper's own SN4L and Dis prefetchers are accurate enough to
+prefetch directly into the cache and do not use one (Table II).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..isa import CACHE_BLOCK_SIZE, block_base
+
+
+class L1PrefetchBuffer:
+    """Fully-associative FIFO buffer of prefetched blocks.
+
+    Stores the fill latency of each block so a later demand hit can credit
+    the covered latency (CMAL accounting)."""
+
+    def __init__(self, n_entries: int = 64,
+                 block_size: int = CACHE_BLOCK_SIZE):
+        if n_entries <= 0:
+            raise ValueError("prefetch buffer needs at least one entry")
+        self.n_entries = n_entries
+        self.block_size = block_size
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, addr: int) -> bool:
+        return block_base(addr, self.block_size) in self._entries
+
+    def fill(self, addr: int, fill_latency: int) -> Optional[int]:
+        """Insert a prefetched block; returns the evicted block address
+        (a useless prefetch) when the FIFO overflows."""
+        line = block_base(addr, self.block_size)
+        victim = None
+        if line in self._entries:
+            self._entries.move_to_end(line)
+            self._entries[line] = fill_latency
+            return None
+        if len(self._entries) >= self.n_entries:
+            victim, _lat = self._entries.popitem(last=False)
+        self._entries[line] = fill_latency
+        return victim
+
+    def take(self, addr: int) -> Optional[int]:
+        """Demand lookup: remove and return the block's fill latency on a
+        hit (the block moves into the L1i), or ``None`` on a miss."""
+        line = block_base(addr, self.block_size)
+        lat = self._entries.pop(line, None)
+        if lat is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return lat
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    #: Tag (~40 bits) + data (one block) per entry.
+    def storage_bytes(self) -> int:
+        return self.n_entries * (40 // 8 + self.block_size)

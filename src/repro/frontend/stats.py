@@ -1,0 +1,134 @@
+"""Cycle and event accounting for the frontend simulator.
+
+Every metric the paper reports falls out of these counters:
+
+* speedup           — ``total_cycles`` ratios between schemes;
+* miss coverage     — ``demand_misses`` vs a baseline run;
+* sequential misses — ``seq_misses`` / ``demand_misses`` (Fig. 2);
+* CMAL              — ``covered_latency`` / ``prefetched_latency`` (Fig. 4/13);
+* FSCR              — frontend stall cycles vs a baseline run (Fig. 15);
+* empty-FTQ stalls  — ``empty_ftq_stall_cycles`` (Table I);
+* bandwidth         — external requests from the latency model (Fig. 5);
+* lookups           — ``cache_lookups`` (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class FrontendStats:
+    """Mutable counters filled by one simulation run."""
+
+    # -- cycles ---------------------------------------------------------
+    delivery_cycles: int = 0
+    icache_stall_cycles: int = 0
+    btb_stall_cycles: int = 0
+    mispredict_stall_cycles: int = 0
+    backend_cycles: int = 0
+    #: Stall cycles that occurred while a BTB-directed prefetcher's
+    #: runahead was blocked on a BTB miss (Table I's empty-FTQ stalls).
+    empty_ftq_stall_cycles: int = 0
+
+    # -- demand stream ----------------------------------------------------
+    instructions: int = 0
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0          # full misses (no prefetch in flight)
+    demand_late_prefetch: int = 0   # hit an in-flight prefetch
+    seq_misses: int = 0             # misses with a sequential transition
+    disc_misses: int = 0            # misses caused by a discontinuity
+
+    # -- prefetching ------------------------------------------------------
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0      # demanded while resident or in flight
+    prefetches_useless: int = 0     # evicted without a demand hit
+    covered_latency: float = 0.0    # cycles of fill latency hidden
+    prefetched_latency: float = 0.0  # total fill latency of useful prefetches
+
+    # -- structures -------------------------------------------------------
+    cache_lookups: int = 0          # L1i lookups: demand + prefetch probes
+    wrong_path_fetches: int = 0     # blocks fetched down squashed paths
+    btb_misses: int = 0
+    btb_buffer_fills: int = 0       # BTB misses rescued by the prefetch buffer
+    mispredicts: int = 0
+    branches: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return (self.delivery_cycles + self.icache_stall_cycles +
+                self.btb_stall_cycles + self.mispredict_stall_cycles +
+                self.backend_cycles)
+
+    @property
+    def frontend_stall_cycles(self) -> int:
+        """Stalls caused by the instruction-supply path (FSCR numerator)."""
+        return self.icache_stall_cycles + self.btb_stall_cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        if not self.demand_accesses:
+            return 0.0
+        return (self.demand_misses + self.demand_late_prefetch) / self.demand_accesses
+
+    @property
+    def cmal(self) -> float:
+        """Covered memory access latency over all useful prefetches."""
+        if self.prefetched_latency == 0:
+            return 0.0
+        return self.covered_latency / self.prefetched_latency
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        done = self.prefetches_useful + self.prefetches_useless
+        return self.prefetches_useful / done if done else 0.0
+
+    def speedup_over(self, baseline: "FrontendStats") -> float:
+        """IPC speedup relative to a baseline run of the same trace."""
+        if self.total_cycles == 0:
+            return 0.0
+        return baseline.total_cycles / self.total_cycles
+
+    def fscr_over(self, baseline: "FrontendStats") -> float:
+        """Frontend Stall Cycle Reduction vs a baseline run (Fig. 15)."""
+        base = baseline.frontend_stall_cycles
+        if base == 0:
+            return 0.0
+        return 1.0 - self.frontend_stall_cycles / base
+
+    def coverage_over(self, baseline: "FrontendStats") -> float:
+        """Classic miss coverage: fraction of baseline misses eliminated."""
+        base = baseline.demand_misses + baseline.demand_late_prefetch
+        if base == 0:
+            return 0.0
+        mine = self.demand_misses + self.demand_late_prefetch
+        return max(0.0, 1.0 - mine / base)
+
+    def seq_coverage_over(self, baseline: "FrontendStats") -> float:
+        """Sequential-miss coverage (Fig. 3)."""
+        if baseline.seq_misses == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.seq_misses / baseline.seq_misses)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary used by reports and tests."""
+        return {
+            "cycles": float(self.total_cycles),
+            "ipc": self.ipc,
+            "miss_ratio": self.miss_ratio,
+            "cmal": self.cmal,
+            "accuracy": self.prefetch_accuracy,
+            "lookups": float(self.cache_lookups),
+            "fe_stalls": float(self.frontend_stall_cycles),
+            "empty_ftq": float(self.empty_ftq_stall_cycles),
+        }

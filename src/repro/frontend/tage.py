@@ -1,0 +1,205 @@
+"""TAGE direction predictor (Seznec & Michaud, the paper's Table III).
+
+A base bimodal table plus ``n_tables`` partially-tagged components
+indexed with geometrically increasing global-history lengths.  The
+longest-history matching component provides the prediction; allocation
+on mispredictions steals a not-useful entry from a longer table; useful
+bits are granted when the provider beats the alternate prediction.
+
+This is a faithful (if compact) TAGE: tagged 3-bit prediction counters,
+2-bit useful counters, periodic useful-bit aging, and the weak-entry
+alternate-prediction heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class _TageEntry:
+    tag: int = 0
+    ctr: int = 0      # 3-bit signed counter in [-4, 3]; >= 0 means taken
+    useful: int = 0   # 2-bit useful counter
+
+    @property
+    def prediction(self) -> bool:
+        return self.ctr >= 0
+
+    @property
+    def is_weak(self) -> bool:
+        return self.ctr in (-1, 0)
+
+
+class _TaggedTable:
+    def __init__(self, n_entries: int, tag_bits: int, history_length: int):
+        if n_entries & (n_entries - 1):
+            raise ValueError("table size must be a power of two")
+        self.n_entries = n_entries
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self._mask = n_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self.entries: List[Optional[_TageEntry]] = [None] * n_entries
+
+    def _fold(self, history: int, bits: int) -> int:
+        """Fold ``history_length`` history bits down to ``bits`` bits."""
+        h = history & ((1 << self.history_length) - 1)
+        folded = 0
+        while h:
+            folded ^= h & ((1 << bits) - 1)
+            h >>= bits
+        return folded
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (pc >> 8) ^
+                self._fold(history, self._mask.bit_length())) & self._mask
+
+    def tag(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ self._fold(history, self.tag_bits) ^
+                (self._fold(history, self.tag_bits - 1) << 1)) & self._tag_mask
+
+    def lookup(self, pc: int, history: int) -> Optional[_TageEntry]:
+        entry = self.entries[self.index(pc, history)]
+        if entry is not None and entry.tag == self.tag(pc, history):
+            return entry
+        return None
+
+    def allocate(self, pc: int, history: int, taken: bool) -> bool:
+        """Try to claim the slot for this branch; fails if the incumbent
+        is still useful (its useful counter is decremented instead)."""
+        idx = self.index(pc, history)
+        entry = self.entries[idx]
+        if entry is not None and entry.useful > 0:
+            entry.useful -= 1
+            return False
+        self.entries[idx] = _TageEntry(tag=self.tag(pc, history),
+                                       ctr=0 if taken else -1)
+        return True
+
+
+class TagePredictor:
+    """TAGE with a bimodal base and geometric tagged components."""
+
+    def __init__(self, base_entries: int = 8 * 1024, n_tables: int = 4,
+                 table_entries: int = 1024, tag_bits: int = 9,
+                 min_history: int = 4, max_history: int = 64,
+                 useful_reset_period: int = 256 * 1024):
+        if n_tables < 1:
+            raise ValueError("TAGE needs at least one tagged table")
+        if base_entries & (base_entries - 1):
+            raise ValueError("base table size must be a power of two")
+        self._base = bytearray([2] * base_entries)  # 2-bit counters
+        self._base_mask = base_entries - 1
+        ratio = (max_history / min_history) ** (1.0 / max(1, n_tables - 1))
+        lengths = [max(1, int(round(min_history * ratio ** i)))
+                   for i in range(n_tables)]
+        self.tables = [_TaggedTable(table_entries, tag_bits, length)
+                       for length in lengths]
+        self._history = 0
+        self._history_mask = (1 << max_history) - 1
+        self.useful_reset_period = useful_reset_period
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- prediction ------------------------------------------------------
+
+    def _base_predict(self, pc: int) -> bool:
+        return self._base[(pc >> 2) & self._base_mask] >= 2
+
+    def _provider(self, pc: int) -> Tuple[Optional[int], bool, bool]:
+        """(provider table idx, prediction, alternate prediction)."""
+        provider = None
+        alt: Optional[bool] = None
+        pred: Optional[bool] = None
+        for i in reversed(range(len(self.tables))):
+            entry = self.tables[i].lookup(pc, self._history)
+            if entry is None:
+                continue
+            if provider is None:
+                provider = i
+                pred = entry.prediction
+            else:
+                alt = entry.prediction
+                break
+        if alt is None:
+            alt = self._base_predict(pc)
+        if pred is None:
+            pred = alt
+        return provider, pred, alt
+
+    def predict(self, pc: int) -> bool:
+        provider, pred, alt = self._provider(pc)
+        if provider is not None:
+            entry = self.tables[provider].lookup(pc, self._history)
+            if entry is not None and entry.is_weak and entry.useful == 0:
+                # Newly allocated entries are unreliable: trust altpred.
+                return alt
+        return pred
+
+    # -- update -----------------------------------------------------------
+
+    def _update_base(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._base_mask
+        c = self._base[idx]
+        if taken and c < 3:
+            self._base[idx] = c + 1
+        elif not taken and c > 0:
+            self._base[idx] = c - 1
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and return whether the prediction was correct."""
+        provider, pred, alt = self._provider(pc)
+        predicted = self.predict(pc)
+        correct = predicted == taken
+
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if self.predictions % self.useful_reset_period == 0:
+            self._age_useful()
+
+        if provider is not None:
+            entry = self.tables[provider].lookup(pc, self._history)
+            if entry is not None:
+                if pred != alt:
+                    if pred == taken and entry.useful < 3:
+                        entry.useful += 1
+                    elif pred != taken and entry.useful > 0:
+                        entry.useful -= 1
+                if taken and entry.ctr < 3:
+                    entry.ctr += 1
+                elif not taken and entry.ctr > -4:
+                    entry.ctr -= 1
+        else:
+            self._update_base(pc, taken)
+
+        # Allocate a longer-history entry when the provider failed.
+        if not correct:
+            start = (provider + 1) if provider is not None else 0
+            for i in range(start, len(self.tables)):
+                if self.tables[i].allocate(pc, self._history, taken):
+                    break
+
+        self._history = ((self._history << 1) | int(taken)) & \
+            self._history_mask
+        return correct
+
+    def _age_useful(self) -> None:
+        for table in self.tables:
+            for entry in table.entries:
+                if entry is not None and entry.useful > 0:
+                    entry.useful -= 1
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def storage_bytes(self) -> int:
+        base_bits = len(self._base) * 2
+        tagged_bits = sum(t.n_entries * (t.tag_bits + 3 + 2)
+                          for t in self.tables)
+        return (base_bits + tagged_bits) // 8

@@ -1,0 +1,76 @@
+"""Tiny disassembler for the synthetic ISAs.
+
+Renders instructions and cache blocks as human-readable text — handy in
+tests, debugging sessions (next to the engine's event log), and for
+inspecting generated programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .encoding import EncodingError, TextSegment
+from .instructions import CACHE_BLOCK_SIZE, BranchKind, Instruction, block_base
+
+_MNEMONICS = {
+    BranchKind.NOT_BRANCH: "op",
+    BranchKind.COND: "bcc",
+    BranchKind.JUMP: "jmp",
+    BranchKind.CALL: "call",
+    BranchKind.RETURN: "ret",
+    BranchKind.INDIRECT: "icall",
+}
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line rendering: address, size, mnemonic, target."""
+    mnem = _MNEMONICS[instr.kind]
+    target = ""
+    if instr.target is not None:
+        target = f" {instr.target:#x}"
+    elif instr.kind in (BranchKind.RETURN, BranchKind.INDIRECT):
+        target = " <dynamic>"
+    return f"{instr.pc:#010x}: {mnem:<5s}{target}  ; {instr.size}B"
+
+
+def disassemble_range(segment: TextSegment, start: int, end: int,
+                      ) -> List[str]:
+    """Disassemble ``[start, end)``; ``start`` must be a boundary."""
+    lines = []
+    for instr in segment.decode_range(start, end):
+        lines.append(format_instruction(instr))
+    return lines
+
+
+def disassemble_block(segment: TextSegment, addr: int,
+                      footprint_offsets: Optional[Iterable[int]] = None
+                      ) -> str:
+    """Disassemble one cache block.
+
+    Fixed-length segments decode wholesale; variable-length segments
+    decode only at the given footprint byte offsets (the boundaries a
+    real pre-decoder would know), annotating the rest as opaque.
+    """
+    base = block_base(addr)
+    header = f"block {base:#x}..{base + CACHE_BLOCK_SIZE - 1:#x}"
+    if not segment.variable_length:
+        lo = max(base, segment.base)
+        hi = min(base + CACHE_BLOCK_SIZE, segment.end)
+        if lo >= hi:
+            return f"{header}\n  (outside text segment)"
+        body = disassemble_range(segment, lo, hi)
+        return "\n".join([header] + [f"  {line}" for line in body])
+
+    offsets = sorted(set(footprint_offsets or ()))
+    if not offsets:
+        return f"{header}\n  (variable-length: no known boundaries)"
+    lines = [header]
+    for off in offsets:
+        pc = base + off
+        try:
+            instr = segment.decode_at(pc)
+        except EncodingError:
+            lines.append(f"  {pc:#010x}: <undecodable>")
+            continue
+        lines.append(f"  {format_instruction(instr)}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Block pre-decoder shared by the Dis and BTB prefetchers (paper Section V-C).
+
+A single pre-decoder serves both consumers: it walks the instructions of a
+cache block, extracts the branch instructions (for BTB prefilling), and can
+additionally check whether the instruction at a given offset — the offset the
+DisTable recorded — is a branch, and if so compute its target.
+
+For the fixed-length ISA every 4-byte-aligned address in a block is an
+instruction boundary, so a block can be decoded in isolation.  For the
+variable-length ISA boundaries are unknown; the pre-decoder then requires a
+*branch footprint* (the byte offsets of up to four branches in the block,
+Section V-D) and only decodes at those offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .encoding import EncodingError, TextSegment
+from .instructions import (
+    CACHE_BLOCK_SIZE,
+    FIXED_INSTRUCTION_SIZE,
+    BranchKind,
+    Instruction,
+    block_base,
+)
+
+
+@dataclass
+class PredecodeResult:
+    """Everything a pre-decode pass over one cache block discovered."""
+
+    block_addr: int
+    branches: List[Instruction] = field(default_factory=list)
+    #: Branch found at the offset the caller asked about (DisTable replay),
+    #: or None when the offset held a non-branch / undecodable bytes.
+    offset_branch: Optional[Instruction] = None
+
+
+class Predecoder:
+    """Decodes cache blocks to find branch instructions.
+
+    ``latency`` is the modelled pipeline cost (cycles) of one pre-decode
+    pass; the frontend charges it on the prefetch path, never on the demand
+    path.  The paper notes that fixed-length blocks pre-decode in parallel
+    while VL-ISA blocks proceed instruction by instruction, hence the
+    higher default VL latency.
+    """
+
+    def __init__(self, segment: TextSegment, latency: int = 1,
+                 vl_latency: int = 4):
+        self.segment = segment
+        self.latency = vl_latency if segment.variable_length else latency
+        self.blocks_decoded = 0
+        # Simulation-speed memo: the text segment is immutable, so a
+        # block always decodes to the same result.  Hardware re-decodes
+        # every pass (``blocks_decoded`` still counts the passes).
+        self._fixed_cache: dict = {}
+        self._vl_cache: dict = {}
+
+    def _block_bounds(self, addr: int) -> range:
+        base = block_base(addr)
+        lo = max(base, self.segment.base)
+        hi = min(base + CACHE_BLOCK_SIZE, self.segment.end)
+        return range(lo, hi)
+
+    def decode_block(self, block_addr: int,
+                     footprint_offsets: Optional[Sequence[int]] = None,
+                     dis_offset: Optional[int] = None) -> PredecodeResult:
+        """Pre-decode one cache block.
+
+        ``footprint_offsets`` — byte offsets of branches within the block;
+        required for VL-ISA blocks, ignored for fixed-length ones.
+
+        ``dis_offset`` — the DisTable offset to check: an *instruction*
+        offset for the fixed-length ISA (4-bit, 16 slots) or a *byte*
+        offset for the VL-ISA (6-bit).
+        """
+        self.blocks_decoded += 1
+        bounds = self._block_bounds(block_addr)
+        result = PredecodeResult(block_addr=block_base(block_addr))
+        if not len(bounds):
+            return result
+
+        if self.segment.variable_length:
+            self._decode_variable(result, bounds, footprint_offsets, dis_offset)
+        else:
+            self._decode_fixed(result, bounds, dis_offset)
+        return result
+
+    def _decode_fixed(self, result: PredecodeResult, bounds: range,
+                      dis_offset: Optional[int]) -> None:
+        base = result.block_addr
+        cached = self._fixed_cache.get(base)
+        if cached is None:
+            cached = []
+            for pc in range(bounds.start, bounds.stop, FIXED_INSTRUCTION_SIZE):
+                try:
+                    instr = self.segment.decode_at(pc)
+                except EncodingError:
+                    continue
+                if instr.is_branch:
+                    cached.append(instr)
+            self._fixed_cache[base] = cached
+        result.branches = list(cached)
+        if dis_offset is not None:
+            for instr in cached:
+                if (instr.pc - base) // FIXED_INSTRUCTION_SIZE == dis_offset:
+                    result.offset_branch = instr
+                    break
+
+    def _decode_one_vl(self, pc: int) -> Optional[Instruction]:
+        if pc in self._vl_cache:
+            return self._vl_cache[pc]
+        try:
+            instr = self.segment.decode_at(pc)
+        except EncodingError:
+            instr = None
+        self._vl_cache[pc] = instr
+        return instr
+
+    def _decode_variable(self, result: PredecodeResult, bounds: range,
+                         footprint_offsets: Optional[Sequence[int]],
+                         dis_offset: Optional[int]) -> None:
+        base = result.block_addr
+        offsets = set(footprint_offsets or ())
+        if dis_offset is not None:
+            offsets.add(dis_offset)
+        for off in sorted(offsets):
+            pc = base + off
+            if not (bounds.start <= pc < bounds.stop):
+                continue
+            instr = self._decode_one_vl(pc)
+            if instr is None or not instr.is_branch:
+                continue
+            if footprint_offsets is None or off in footprint_offsets:
+                result.branches.append(instr)
+            if dis_offset is not None and off == dis_offset:
+                result.offset_branch = instr
+
+    def branch_offsets(self, block_addr: int) -> List[int]:
+        """Byte offsets of all branch instructions in a fixed-length block.
+
+        Used to *construct* branch footprints; only defined for the
+        fixed-length ISA (the retire stream provides offsets for VL-ISA).
+        """
+        if self.segment.variable_length:
+            raise EncodingError(
+                "branch offsets of a VL block cannot be discovered by "
+                "scanning; build footprints from the retire stream instead"
+            )
+        base = block_base(block_addr)
+        return [instr.pc - base
+                for instr in self.decode_block(block_addr).branches]
+
+
+def target_of(instr: Instruction, btb_lookup=None) -> Optional[int]:
+    """Resolve a branch target the way the Dis prefetcher does (Section V-B).
+
+    Targets encoded in the instruction are returned directly; otherwise the
+    BTB is consulted via ``btb_lookup(pc) -> Optional[int]``; if that also
+    fails, ``None`` (no prefetch is sent).
+    """
+    if not instr.is_branch:
+        return None
+    if instr.kind.target_encoded:
+        return instr.target
+    if btb_lookup is not None:
+        return btb_lookup(instr.pc)
+    return None

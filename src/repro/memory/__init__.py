@@ -1,0 +1,27 @@
+"""Memory hierarchy substrate: caches, LLC/DV-LLC, MSHRs, latency, NoC."""
+
+from .cache import CacheLine, SetAssociativeCache
+from .latency import ContentionTracker, LatencyConfig, LatencyModel
+from .llc import (
+    BF_BRANCHES,
+    BF_SLOTS_PER_WAY,
+    DynamicallyVirtualizedLlc,
+    LastLevelCache,
+)
+from .mshr import InFlight, MshrFile
+from .noc import MeshNoc
+
+__all__ = [
+    "CacheLine",
+    "SetAssociativeCache",
+    "LastLevelCache",
+    "DynamicallyVirtualizedLlc",
+    "BF_SLOTS_PER_WAY",
+    "BF_BRANCHES",
+    "MshrFile",
+    "InFlight",
+    "LatencyModel",
+    "LatencyConfig",
+    "ContentionTracker",
+    "MeshNoc",
+]

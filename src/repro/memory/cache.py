@@ -1,0 +1,148 @@
+"""Set-associative cache with LRU replacement and per-line metadata.
+
+The L1i metadata the paper adds is carried directly on the line:
+
+* ``is_prefetch`` — the 1-bit prefetch flag every prefetcher needs
+  (set on prefetch fill, cleared on first demand hit, Section V-A);
+* ``local_status`` — SN4L's 4-bit local prefetch status, a copy of the
+  SeqTable bits for the four subsequent blocks, cached at fill time to
+  avoid SeqTable lookups on every access;
+* ``is_instruction`` — the DV-LLC mode bit (Section V-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from ..isa import CACHE_BLOCK_SIZE
+
+
+class CacheLine:
+    """Metadata of one resident cache line."""
+
+    __slots__ = ("addr", "is_prefetch", "local_status", "is_instruction",
+                 "fill_latency")
+
+    def __init__(self, addr: int, is_prefetch: bool = False,
+                 is_instruction: bool = False):
+        self.addr = addr
+        self.is_prefetch = is_prefetch
+        self.local_status = 0
+        self.is_instruction = is_instruction
+        self.fill_latency = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheLine({self.addr:#x}, pf={self.is_prefetch}, "
+                f"ls={self.local_status:04b})")
+
+
+class SetAssociativeCache:
+    """A straightforward set-associative LRU cache keyed by line address.
+
+    All addresses passed in are byte addresses; they are truncated to
+    line granularity internally, so callers may pass any address within
+    a line.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int,
+                 block_size: int = CACHE_BLOCK_SIZE, name: str = "cache"):
+        if size_bytes <= 0 or assoc <= 0 or block_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = size_bytes // block_size
+        if n_lines % assoc != 0:
+            raise ValueError(
+                f"{size_bytes} B / {block_size} B lines not divisible by "
+                f"associativity {assoc}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_size = block_size
+        self.n_sets = n_lines // assoc
+        # Each set maps line-index -> CacheLine, in LRU order (first = LRU).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+
+    # ------------------------------------------------------------------
+
+    def _index(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.block_size
+        return line % self.n_sets, line
+
+    def set_capacity(self, set_idx: int) -> int:
+        """Ways usable for blocks in this set (DV-LLC overrides this)."""
+        return self.assoc
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line, updating LRU order unless ``touch=False``."""
+        set_idx, line = self._index(addr)
+        cset = self._sets[set_idx]
+        entry = cset.get(line)
+        if entry is not None and touch:
+            cset.move_to_end(line)
+        return entry
+
+    def contains(self, addr: int) -> bool:
+        set_idx, line = self._index(addr)
+        return line in self._sets[set_idx]
+
+    def insert(self, addr: int, is_prefetch: bool = False,
+               is_instruction: bool = False
+               ) -> Optional[CacheLine]:
+        """Insert a line as MRU; returns the evicted line, if any.
+
+        Re-inserting a resident line refreshes its LRU position and
+        prefetch flag without eviction.
+        """
+        set_idx, line = self._index(addr)
+        cset = self._sets[set_idx]
+        existing = cset.get(line)
+        if existing is not None:
+            cset.move_to_end(line)
+            existing.is_prefetch = is_prefetch
+            existing.is_instruction = existing.is_instruction or is_instruction
+            return None
+        victim = None
+        if len(cset) >= self.set_capacity(set_idx):
+            _key, victim = cset.popitem(last=False)
+        cset[line] = CacheLine(line * self.block_size,
+                               is_prefetch=is_prefetch,
+                               is_instruction=is_instruction)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        set_idx, line = self._index(addr)
+        return self._sets[set_idx].pop(line, None)
+
+    def evict_lru(self, set_idx: int) -> Optional[CacheLine]:
+        cset = self._sets[set_idx]
+        if not cset:
+            return None
+        _key, victim = cset.popitem(last=False)
+        return victim
+
+    # ------------------------------------------------------------------
+
+    def set_of(self, addr: int) -> int:
+        return self._index(addr)[0]
+
+    def lines_in_set(self, set_idx: int) -> List[CacheLine]:
+        return list(self._sets[set_idx].values())
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> Iterator[CacheLine]:
+        for cset in self._sets:
+            yield from cset.values()
+
+    def flush(self) -> None:
+        for cset in self._sets:
+            cset.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}({self.name}, "
+                f"{self.size_bytes // 1024} KB, {self.assoc}-way, "
+                f"{self.n_sets} sets)")

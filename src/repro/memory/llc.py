@@ -1,0 +1,177 @@
+"""Last-level cache, including the paper's dynamically-virtualized variant.
+
+``LastLevelCache`` is a plain set-associative LLC slice used to decide
+whether an L1i fill is served by the LLC or by memory.
+
+``DynamicallyVirtualizedLlc`` (DV-LLC, Section V-D) additionally stores
+*branch footprints* (BFs) for the VL-ISA BTB prefetcher.  Per set, when at
+least one resident block is an instruction block (tracked by the logical OR
+of the per-block ``isInstruction`` bits), the LRU way switches from
+block-holder to BF-holder: one way's worth of data (64 B) holds up to ten
+tagged 3-byte footprints.  When the last instruction block leaves the set,
+the way reverts to a block-holder.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..isa import CACHE_BLOCK_SIZE
+from .cache import CacheLine, SetAssociativeCache
+
+#: A 64-byte BF-holder way stores 3-byte footprints plus a tag each;
+#: the paper computes room for ten fully-tagged footprints.
+BF_SLOTS_PER_WAY = 10
+#: Branch byte-offsets stored per footprint (Fig. 8: four is enough).
+BF_BRANCHES = 4
+
+
+class LastLevelCache(SetAssociativeCache):
+    """An LLC slice with hit/miss accounting split by block type."""
+
+    def __init__(self, size_bytes: int = 2 * 1024 * 1024, assoc: int = 16,
+                 block_size: int = CACHE_BLOCK_SIZE, name: str = "llc"):
+        super().__init__(size_bytes, assoc, block_size, name)
+        self.instruction_hits = 0
+        self.instruction_misses = 0
+        self.data_hits = 0
+        self.data_misses = 0
+
+    def access(self, addr: int, is_instruction: bool = True) -> bool:
+        """Look up ``addr``; on miss, fill it.  Returns hit/miss."""
+        hit = self.lookup(addr) is not None
+        if is_instruction:
+            if hit:
+                self.instruction_hits += 1
+            else:
+                self.instruction_misses += 1
+        else:
+            if hit:
+                self.data_hits += 1
+            else:
+                self.data_misses += 1
+        if not hit:
+            self.fill(addr, is_instruction=is_instruction)
+        return hit
+
+    def fill(self, addr: int, is_instruction: bool = True) -> Optional[CacheLine]:
+        return self.insert(addr, is_instruction=is_instruction)
+
+    def hit_ratio(self, instruction: bool) -> float:
+        if instruction:
+            total = self.instruction_hits + self.instruction_misses
+            return self.instruction_hits / total if total else 0.0
+        total = self.data_hits + self.data_misses
+        return self.data_hits / total if total else 0.0
+
+
+class DynamicallyVirtualizedLlc(LastLevelCache):
+    """DV-LLC: the LRU way doubles as a branch-footprint holder."""
+
+    def __init__(self, size_bytes: int = 2 * 1024 * 1024, assoc: int = 16,
+                 block_size: int = CACHE_BLOCK_SIZE, name: str = "dvllc",
+                 bf_slots: int = BF_SLOTS_PER_WAY):
+        super().__init__(size_bytes, assoc, block_size, name)
+        self.bf_slots = bf_slots
+        # set index -> OrderedDict(line -> byte-offset tuple), LRU order.
+        self._footprints: Dict[int, OrderedDict] = {}
+        self.footprint_hits = 0
+        self.footprint_misses = 0
+        self.footprint_evictions = 0
+
+    # -- geometry ------------------------------------------------------
+
+    def _bf_mode(self, set_idx: int) -> bool:
+        """Logical OR of the isInstruction bits of the set's blocks."""
+        return any(l.is_instruction for l in self.lines_in_set(set_idx))
+
+    def set_capacity(self, set_idx: int) -> int:
+        if self._bf_mode(set_idx):
+            return self.assoc - 1
+        return self.assoc
+
+    def insert(self, addr: int, is_prefetch: bool = False,
+               is_instruction: bool = False) -> Optional[CacheLine]:
+        set_idx = self.set_of(addr)
+        entering_bf_mode = is_instruction and not self._bf_mode(set_idx)
+        victim = None
+        if entering_bf_mode:
+            # The LRU way becomes the BF holder: shrink the set so that
+            # after the incoming block lands, at most assoc-1 ways hold
+            # blocks.
+            while len(self.lines_in_set(set_idx)) >= self.assoc - 1:
+                evicted = self.evict_lru(set_idx)
+                if evicted is None:
+                    break
+                victim = evicted
+                self._on_block_evicted(set_idx, evicted)
+        inserted_victim = super().insert(addr, is_prefetch=is_prefetch,
+                                         is_instruction=is_instruction)
+        if inserted_victim is not None:
+            self._on_block_evicted(set_idx, inserted_victim)
+            victim = inserted_victim
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        victim = super().invalidate(addr)
+        if victim is not None:
+            self._on_block_evicted(self.set_of(addr), victim)
+        return victim
+
+    def _on_block_evicted(self, set_idx: int, victim: CacheLine) -> None:
+        fps = self._footprints.get(set_idx)
+        if fps is not None:
+            line = victim.addr // self.block_size
+            if fps.pop(line, None) is not None:
+                self.footprint_evictions += 1
+        if victim.is_instruction and not self._bf_mode(set_idx):
+            # Last instruction block left: the way reverts to block-holder
+            # and any remaining footprints are lost.
+            if self._footprints.pop(set_idx, None):
+                pass
+
+    # -- footprint storage ---------------------------------------------
+
+    def store_footprint(self, addr: int,
+                        offsets: Sequence[int]) -> bool:
+        """Store up to :data:`BF_BRANCHES` branch byte-offsets for a block.
+
+        Only possible while the block's set is in BF mode (i.e. the set
+        holds at least one instruction block — which it does whenever the
+        block itself is resident).  Returns False when the BF way is
+        unavailable.
+        """
+        set_idx = self.set_of(addr)
+        if not self._bf_mode(set_idx):
+            return False
+        fps = self._footprints.setdefault(set_idx, OrderedDict())
+        line = addr // self.block_size
+        if line in fps:
+            fps.move_to_end(line)
+        elif len(fps) >= self.bf_slots:
+            fps.popitem(last=False)
+            self.footprint_evictions += 1
+        fps[line] = tuple(offsets[:BF_BRANCHES])
+        return True
+
+    def get_footprint(self, addr: int) -> Optional[Tuple[int, ...]]:
+        set_idx = self.set_of(addr)
+        fps = self._footprints.get(set_idx)
+        line = addr // self.block_size
+        found = None if fps is None else fps.get(line)
+        if found is None:
+            self.footprint_misses += 1
+            return None
+        fps.move_to_end(line)
+        self.footprint_hits += 1
+        return found
+
+    def bf_ways_active(self) -> int:
+        """How many sets currently sacrifice their LRU way to footprints."""
+        return sum(1 for s in range(self.n_sets) if self._bf_mode(s))
+
+    def storage_overhead_fraction(self) -> float:
+        """Extra storage cost: one isInstruction bit per block."""
+        bits_added = (self.size_bytes // self.block_size) * 1
+        return bits_added / (self.size_bytes * 8)

@@ -1,0 +1,82 @@
+"""Miss-status holding registers: in-flight fill tracking.
+
+The frontend uses MSHRs both for demand misses and prefetches.  A demand
+access that finds its line in flight stalls only for the *remaining*
+latency — the covered fraction is exactly what the paper's CMAL timeliness
+metric (Fig. 4/13) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class InFlight:
+    """One outstanding fill."""
+
+    line: int
+    issue_cycle: int
+    ready_cycle: int
+    is_prefetch: bool
+
+    @property
+    def full_latency(self) -> int:
+        return self.ready_cycle - self.issue_cycle
+
+    def remaining(self, cycle: int) -> int:
+        return max(0, self.ready_cycle - cycle)
+
+
+class MshrFile:
+    """A bounded set of outstanding fills keyed by line address."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, InFlight] = {}
+        self.prefetches_dropped_full = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def get(self, line: int) -> Optional[InFlight]:
+        return self._entries.get(line)
+
+    def issue(self, line: int, issue_cycle: int, ready_cycle: int,
+              is_prefetch: bool) -> Optional[InFlight]:
+        """Allocate an entry; returns it, or ``None`` when a prefetch was
+        dropped because the file is full (demands always allocate — a real
+        core would stall the fetch unit instead, which costs the same
+        cycles this model already charges)."""
+        existing = self._entries.get(line)
+        if existing is not None:
+            # A demand arriving for an in-flight prefetch promotes it.
+            if not is_prefetch:
+                existing.is_prefetch = False
+            return existing
+        if self.full and is_prefetch:
+            self.prefetches_dropped_full += 1
+            return None
+        entry = InFlight(line, issue_cycle, ready_cycle, is_prefetch)
+        self._entries[line] = entry
+        return entry
+
+    def pop_ready(self, cycle: int) -> List[InFlight]:
+        """Remove and return every fill whose data has arrived by ``cycle``."""
+        ready = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        for e in ready:
+            del self._entries[e.line]
+        return ready
+
+    def remove(self, line: int) -> Optional[InFlight]:
+        return self._entries.pop(line, None)

@@ -1,0 +1,49 @@
+"""Mesh network-on-chip latency model.
+
+The paper's CMP is a 4x4 mesh of tiles (core + LLC slice + directory); each
+hop costs a 2-stage router pipeline plus 1-cycle link traversal = 3 cycles
+at zero load.  The frontend simulator is single-core, so the NoC reduces to
+the average request/response hop latency from a core tile to the LLC slices,
+plus a load-dependent component supplied by the contention model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshNoc:
+    """An ``n x n`` 2D mesh with XY dimension-order routing."""
+
+    n: int = 4
+    cycles_per_hop: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("mesh dimension must be >= 1")
+
+    def coords(self, tile: int):
+        if not 0 <= tile < self.n * self.n:
+            raise ValueError(f"tile {tile} outside {self.n}x{self.n} mesh")
+        return divmod(tile, self.n)
+
+    def hops(self, src: int, dst: int) -> int:
+        sy, sx = self.coords(src)
+        dy, dx = self.coords(dst)
+        return abs(sy - dy) + abs(sx - dx)
+
+    def latency(self, src: int, dst: int) -> int:
+        return self.hops(src, dst) * self.cycles_per_hop
+
+    def average_hops_from(self, src: int) -> float:
+        total = sum(self.hops(src, dst) for dst in range(self.n * self.n))
+        return total / (self.n * self.n)
+
+    def average_round_trip(self, src: int = 0) -> float:
+        """Mean request+response NoC cycles from ``src`` to a random slice.
+
+        LLC slices are address-interleaved across all tiles, so the mean
+        over destinations is the right expectation.
+        """
+        return 2.0 * self.average_hops_from(src) * self.cycles_per_hop

@@ -1,0 +1,21 @@
+"""Multi-core co-simulation over a shared LLC and contention domain."""
+
+from .mixes import (
+    STANDARD_MIXES,
+    WorkloadMix,
+    build_mix,
+    heterogeneous_mix,
+    homogeneous_mix,
+)
+from .simulator import CoreResult, MulticoreResult, MulticoreSimulator
+
+__all__ = [
+    "MulticoreSimulator",
+    "MulticoreResult",
+    "CoreResult",
+    "WorkloadMix",
+    "homogeneous_mix",
+    "heterogeneous_mix",
+    "build_mix",
+    "STANDARD_MIXES",
+]

@@ -1,0 +1,81 @@
+"""Standard workload mixes for multi-core experiments.
+
+CMP studies evaluate both *homogeneous* setups (every core runs a sample
+of the same workload — the paper's own configuration) and *heterogeneous*
+mixes (consolidated servers).  This module names canonical mixes and
+builds the per-core traces/programs for :class:`MulticoreSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..workloads import get_generator, workload_names
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named assignment of workloads to cores."""
+
+    name: str
+    assignments: Tuple[str, ...]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def homogeneous(self) -> bool:
+        return len(set(self.assignments)) == 1
+
+
+def homogeneous_mix(workload: str, n_cores: int = 4) -> WorkloadMix:
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    return WorkloadMix(name=f"homo_{workload}_{n_cores}",
+                       assignments=(workload,) * n_cores)
+
+
+def heterogeneous_mix(workloads: Sequence[str],
+                      name: str = "") -> WorkloadMix:
+    if not workloads:
+        raise ValueError("need at least one workload")
+    known = set(workload_names())
+    unknown = [w for w in workloads if w not in known]
+    if unknown:
+        raise ValueError(f"unknown workloads: {', '.join(unknown)}")
+    return WorkloadMix(name=name or "mix_" + "_".join(workloads),
+                       assignments=tuple(workloads))
+
+
+#: Canonical mixes used by the multicore tests and examples.
+STANDARD_MIXES: Dict[str, WorkloadMix] = {
+    "oltp4": homogeneous_mix("oltp_db_a", 4),
+    "web4": homogeneous_mix("web_apache", 4),
+    "consolidated4": heterogeneous_mix(
+        ("oltp_db_a", "web_apache", "media_streaming", "web_search"),
+        name="consolidated4"),
+    "webfarm4": heterogeneous_mix(
+        ("web_apache", "web_zeus", "web_frontend", "web_apache"),
+        name="webfarm4"),
+}
+
+
+def build_mix(mix: WorkloadMix, n_records: int, scale: float = 1.0,
+              base_sample: int = 0):
+    """Materialise a mix: (traces, programs) ready for MulticoreSimulator.
+
+    Cores running the same workload get *different* samples (independent
+    request arrival orders), like distinct server threads.
+    """
+    sample_counters: Dict[str, int] = {}
+    traces: List = []
+    programs: List = []
+    for workload in mix.assignments:
+        gen = get_generator(workload, scale=scale)
+        sample = base_sample + sample_counters.get(workload, 0)
+        sample_counters[workload] = sample_counters.get(workload, 0) + 1
+        traces.append(gen.generate(n_records, sample=sample))
+        programs.append(gen.program)
+    return traces, programs

@@ -1,0 +1,46 @@
+"""Baseline prefetchers the paper compares against, plus the interface."""
+
+from .adaptive import AdaptiveNxlPrefetcher
+from .base import Prefetcher
+from .boomerang import BoomerangPrefetcher
+from .confluence import ConfluencePrefetcher, ShiftHistory
+from .discontinuity import (
+    ConventionalDiscontinuityPrefetcher,
+    DiscontinuityTable,
+)
+from .fdip import FdipPrefetcher
+from .nextline import (
+    NextLineOnMissPrefetcher,
+    NextLineTaggedPrefetcher,
+    NextXLinePrefetcher,
+    next_line,
+    next_x_line,
+)
+from .rdip import RdipPrefetcher, SignatureTable
+from .runahead import RunaheadPrefetcher, pseudo_random
+from .shotgun import ShotgunBtbAdapter, ShotgunPrefetcher
+from .temporal import PifPrefetcher, TifsPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "AdaptiveNxlPrefetcher",
+    "NextXLinePrefetcher",
+    "NextLineOnMissPrefetcher",
+    "NextLineTaggedPrefetcher",
+    "next_line",
+    "next_x_line",
+    "ConventionalDiscontinuityPrefetcher",
+    "DiscontinuityTable",
+    "ConfluencePrefetcher",
+    "ShiftHistory",
+    "TifsPrefetcher",
+    "PifPrefetcher",
+    "RdipPrefetcher",
+    "SignatureTable",
+    "FdipPrefetcher",
+    "BoomerangPrefetcher",
+    "ShotgunPrefetcher",
+    "ShotgunBtbAdapter",
+    "RunaheadPrefetcher",
+    "pseudo_random",
+]

@@ -1,0 +1,97 @@
+"""Adaptive-depth sequential prefetching (an extension experiment).
+
+The paper resolves the NXL timeliness/accuracy trade-off with per-block
+usefulness bits (SN4L).  A classic alternative from the prefetching
+literature is *feedback-directed throttling*: keep a single global depth
+and adjust it from measured accuracy and lateness.  This extension
+implements that alternative so the repository can quantify how much of
+SN4L's benefit per-block selectivity provides over global throttling —
+an ablation the paper argues implicitly.
+"""
+
+from __future__ import annotations
+
+from ..isa import CACHE_BLOCK_SIZE
+from .base import Prefetcher
+
+
+class AdaptiveNxlPrefetcher(Prefetcher):
+    """NXL with a feedback-controlled depth in [1, max_depth].
+
+    Every ``epoch`` completed prefetches, the controller looks at the
+    epoch's accuracy (useful / completed) and lateness (late-useful /
+    useful) and moves the depth:
+
+    * accuracy below ``low_accuracy``  -> shallower (waste dominates);
+    * accuracy above ``high_accuracy`` and lateness above
+      ``late_threshold`` -> deeper (coverage is late, not wrong).
+    """
+
+    name = "adaptive_nxl"
+
+    def __init__(self, max_depth: int = 8, start_depth: int = 2,
+                 epoch: int = 64, low_accuracy: float = 0.55,
+                 high_accuracy: float = 0.75, late_threshold: float = 0.25):
+        super().__init__()
+        if not 1 <= start_depth <= max_depth:
+            raise ValueError("need 1 <= start_depth <= max_depth")
+        if not 0.0 <= low_accuracy <= high_accuracy <= 1.0:
+            raise ValueError("need 0 <= low_accuracy <= high_accuracy <= 1")
+        self.max_depth = max_depth
+        self.depth = start_depth
+        self.epoch = epoch
+        self.low_accuracy = low_accuracy
+        self.high_accuracy = high_accuracy
+        self.late_threshold = late_threshold
+        # Epoch counters.
+        self._useful = 0
+        self._useless = 0
+        self._late = 0
+        self.depth_history = [start_depth]
+
+    # -- feedback -----------------------------------------------------------
+
+    def _epoch_done(self) -> bool:
+        return self._useful + self._useless >= self.epoch
+
+    def _adjust(self) -> None:
+        done = self._useful + self._useless
+        accuracy = self._useful / done if done else 1.0
+        lateness = self._late / self._useful if self._useful else 0.0
+        if accuracy < self.low_accuracy and self.depth > 1:
+            self.depth -= 1
+        elif accuracy > self.high_accuracy \
+                and lateness > self.late_threshold \
+                and self.depth < self.max_depth:
+            self.depth += 1
+        self.depth_history.append(self.depth)
+        self._useful = self._useless = self._late = 0
+
+    # -- events ---------------------------------------------------------------
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        if outcome == "late":
+            self._late += 1
+        line = record.line
+        for i in range(1, self.depth + 1):
+            self.sim.issue_prefetch(line + i * CACHE_BLOCK_SIZE)
+
+    def on_prefetch_hit(self, line_addr, cycle) -> None:
+        self._useful += 1
+        if self._epoch_done():
+            self._adjust()
+
+    def on_evict(self, line, cycle) -> None:
+        if line.is_prefetch:
+            self._useless += 1
+            if self._epoch_done():
+                self._adjust()
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def mean_depth(self) -> float:
+        return sum(self.depth_history) / len(self.depth_history)
+
+    def storage_bytes(self) -> int:
+        return 8  # a few counters and the depth register

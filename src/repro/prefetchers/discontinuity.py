@@ -1,0 +1,108 @@
+"""Conventional discontinuity prefetcher (Spracklen et al., HPCA'05 style).
+
+The straightforward implementation the paper improves upon (Section V-B):
+a table mapping a trigger block to the *full target address* of the
+discontinuity miss that followed it.  Stored tagless in the conventional
+design to bound its tens-of-kilobytes cost, which is exactly what causes
+the overprediction Fig. 12 quantifies; ``tag_bits`` selects the tagging
+policy for that study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..frontend.engine import HIT
+from ..isa import CACHE_BLOCK_SIZE
+from .base import Prefetcher
+
+
+class DiscontinuityTable:
+    """Block -> discontinuity-target-block mapping with optional tags."""
+
+    def __init__(self, n_entries: int = 2048, tag_bits: Optional[int] = 0,
+                 block_size: int = CACHE_BLOCK_SIZE):
+        if n_entries <= 0:
+            raise ValueError("table size must be positive")
+        self.n_entries = n_entries
+        self.tag_bits = tag_bits
+        self.block_size = block_size
+        self._rows: Dict[int, Tuple[int, int]] = {}
+        self._true_owner: Dict[int, int] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.false_hits = 0
+
+    @property
+    def fully_tagged(self) -> bool:
+        return self.tag_bits is None
+
+    def _row_tag(self, addr: int) -> Tuple[int, int]:
+        block = addr // self.block_size
+        row = block % self.n_entries
+        rest = block // self.n_entries
+        if self.fully_tagged:
+            tag = rest
+        elif self.tag_bits == 0:
+            tag = 0
+        else:
+            tag = rest & ((1 << self.tag_bits) - 1)
+        return row, tag
+
+    def record(self, trigger_addr: int, target_addr: int) -> None:
+        row, tag = self._row_tag(trigger_addr)
+        self._rows[row] = (tag, target_addr - target_addr % self.block_size)
+        self._true_owner[row] = trigger_addr // self.block_size
+
+    def lookup(self, trigger_addr: int) -> Optional[int]:
+        self.lookups += 1
+        row, tag = self._row_tag(trigger_addr)
+        entry = self._rows.get(row)
+        if entry is None or entry[0] != tag:
+            return None
+        self.hits += 1
+        if self._true_owner.get(row) != trigger_addr // self.block_size:
+            self.false_hits += 1
+        return entry[1]
+
+    def storage_bytes(self) -> int:
+        tag_bits = 40 if self.fully_tagged else (self.tag_bits or 0)
+        target_bits = 34  # full block address
+        return self.n_entries * (tag_bits + target_bits) // 8
+
+
+class ConventionalDiscontinuityPrefetcher(Prefetcher):
+    """Record discontinuity miss targets; replay them on re-access."""
+
+    def __init__(self, n_entries: int = 2048, tag_bits: Optional[int] = 0):
+        super().__init__()
+        self.table = DiscontinuityTable(n_entries, tag_bits)
+        self._prev_line: Optional[int] = None
+        self.name = "discontinuity"
+        self.overpredictions = 0
+        self.predictions = 0
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        line = record.line
+        if outcome is not HIT and not record.seq \
+                and self._prev_line is not None \
+                and self._prev_line != line:
+            self.table.record(self._prev_line, line)
+        target = self.table.lookup(line)
+        if target is not None and target != line:
+            self.predictions += 1
+            self.sim.issue_prefetch(target)
+        self._prev_line = line
+
+    def on_evict(self, line, cycle) -> None:
+        if line.is_prefetch:
+            self.overpredictions += 1
+
+    @property
+    def overprediction_ratio(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.overpredictions / self.predictions
+
+    def storage_bytes(self) -> int:
+        return self.table.storage_bytes()

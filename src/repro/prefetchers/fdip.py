@@ -1,0 +1,50 @@
+"""FDIP: classic fetch-directed instruction prefetching.
+
+Reinman, Calder and Austin (MICRO'99), cited by the paper as [10] — the
+original BTB-directed scheme Boomerang revived.  The branch prediction
+unit runs ahead through the BTB and prefetches the discovered blocks, but
+unlike Boomerang there is **no pre-decode BTB prefilling**: a BTB miss
+simply ends the runahead until the demand stream resolves the branch and
+trains the BTB.  This is the "need a near-ideal BTB" weakness the paper's
+Section II-B describes.
+"""
+
+from __future__ import annotations
+
+from ..isa import BranchKind
+from .runahead import RunaheadPrefetcher
+
+
+class FdipPrefetcher(RunaheadPrefetcher):
+    """BTB-directed runahead without BTB prefilling."""
+
+    name = "fdip"
+
+    def process_runahead(self, index: int, record) -> bool:
+        sim = self.sim
+        sim.issue_prefetch(record.line)
+
+        if not record.has_branch:
+            return True
+        if record.branch_kind is BranchKind.RETURN:
+            return True  # RAS-resolved
+
+        entry = sim.btb.peek(record.branch_pc)
+        if entry is None:
+            # No prefill path: give up until demand trains the BTB.
+            self.runahead_btb_misses += 1
+            self.resync(index)
+            return False
+
+        if record.branch_kind is BranchKind.COND \
+                and self.sample_mispredict(record, index):
+            self.resync(index)
+            return False
+        if record.branch_kind is BranchKind.INDIRECT \
+                and entry.target != record.branch_target:
+            self.resync(index)
+            return False
+        return True
+
+    def storage_bytes(self) -> int:
+        return self.window * 8  # FTQ only; metadata-free

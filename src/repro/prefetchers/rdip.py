@@ -1,0 +1,113 @@
+"""RDIP: return-address-stack directed instruction prefetching.
+
+Kolli et al. (MICRO'13), cited by the paper as prior work [18].  The key
+observation: a program's instruction working set is strongly predicted by
+its *call-stack context*.  RDIP summarises the top of the return address
+stack into a signature, associates the L1i misses observed under each
+signature with it, and prefetches that miss set whenever the signature
+recurs (i.e. on every call and return).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from ..isa import BranchKind
+from .base import Prefetcher
+
+
+class SignatureTable:
+    """Signature -> bounded set of miss lines, LRU over signatures."""
+
+    def __init__(self, n_signatures: int = 2048, lines_per_entry: int = 12):
+        if n_signatures <= 0 or lines_per_entry <= 0:
+            raise ValueError("table geometry must be positive")
+        self.n_signatures = n_signatures
+        self.lines_per_entry = lines_per_entry
+        self._table: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, signature: int) -> List[int]:
+        entry = self._table.get(signature)
+        if entry is None:
+            self.misses += 1
+            return []
+        self._table.move_to_end(signature)
+        self.hits += 1
+        return list(entry)
+
+    def train(self, signature: int, line: int) -> None:
+        entry = self._table.get(signature)
+        if entry is None:
+            if len(self._table) >= self.n_signatures:
+                self._table.popitem(last=False)
+            entry = OrderedDict()
+            self._table[signature] = entry
+        else:
+            self._table.move_to_end(signature)
+        if line in entry:
+            entry.move_to_end(line)
+            return
+        if len(entry) >= self.lines_per_entry:
+            entry.popitem(last=False)
+        entry[line] = True
+
+    def storage_bytes(self) -> int:
+        # signature tag (~20b) + lines_per_entry pointers (~26b each)
+        bits = self.n_signatures * (20 + self.lines_per_entry * 26)
+        return bits // 8
+
+
+class RdipPrefetcher(Prefetcher):
+    """RAS-directed prefetching: signature = hash of the top RAS frames."""
+
+    name = "rdip"
+
+    def __init__(self, n_signatures: int = 2048, lines_per_entry: int = 12,
+                 ras_frames: int = 4):
+        super().__init__()
+        if ras_frames < 1:
+            raise ValueError("need at least one RAS frame in the signature")
+        self.table = SignatureTable(n_signatures, lines_per_entry)
+        self.ras_frames = ras_frames
+        self._shadow_ras: List[int] = []
+        self._signature = 0
+        self.trigger_events = 0
+
+    # ------------------------------------------------------------------
+
+    def _compute_signature(self) -> int:
+        sig = 0
+        for i, ret in enumerate(self._shadow_ras[-self.ras_frames:]):
+            sig ^= (ret >> 2) * (0x9E3779B1 + i * 2)
+        return sig & 0xFFFFFFFF
+
+    def _trigger(self) -> None:
+        """Call-stack context changed: prefetch the signature's miss set."""
+        self._signature = self._compute_signature()
+        self.trigger_events += 1
+        for line in self.table.lookup(self._signature):
+            self.sim.issue_prefetch(line)
+
+    # ------------------------------------------------------------------
+
+    def on_branch_retire(self, record, cycle) -> None:
+        kind = record.branch_kind
+        if kind in (BranchKind.CALL, BranchKind.INDIRECT) and record.taken:
+            self._shadow_ras.append(record.branch_pc + record.branch_size)
+            if len(self._shadow_ras) > 64:
+                self._shadow_ras.pop(0)
+            self._trigger()
+        elif kind is BranchKind.RETURN and record.taken:
+            if self._shadow_ras:
+                self._shadow_ras.pop()
+            self._trigger()
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        if outcome != "hit":
+            self.table.train(self._signature, record.line)
+
+    def storage_bytes(self) -> int:
+        return self.table.storage_bytes()

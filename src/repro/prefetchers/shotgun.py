@@ -1,0 +1,259 @@
+"""Shotgun: BTB-directed prefetching over a split U-BTB/C-BTB/RIB.
+
+Shotgun (Kumar et al., ASPLOS'18; paper Sections II-B and III) dedicates
+most BTB storage to unconditional branches (U-BTB), each entry carrying
+spatial *footprints* of the blocks used around the branch target (call
+footprint) and around the return site (return footprint).  On a U-BTB hit
+the footprint blocks are bulk-prefetched and pre-decoded to proactively
+prefill the small C-BTB through a 32-entry BTB prefetch buffer.  On a
+U-BTB or C-BTB miss the runahead falls back to reactive prefill: fetch the
+block, pre-decode, fill, continue — one block at a time.
+
+Footprints are learned from the *retired* instruction stream, so entries
+recreated by pre-decode prefilling have no footprints.  That is the
+paper's Fig. 1 critique: on footprint misses Shotgun degenerates to the
+slow reactive path, the FTQ drains, and the core stalls (Table I).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..btb import BtbEntry, BtbPrefetchBuffer, ShotgunBtb, UBtbEntry
+from ..frontend.l1pb import L1PrefetchBuffer
+from ..isa import CACHE_BLOCK_SIZE, BranchKind, block_base
+from .runahead import RunaheadPrefetcher
+
+_UNCONDITIONAL = (BranchKind.JUMP, BranchKind.CALL, BranchKind.INDIRECT)
+
+
+class ShotgunBtbAdapter:
+    """Presents the three-way split BTB to the engine's demand path.
+
+    Hardware searches the three structures simultaneously on every lookup
+    (paper Section V-F); the adapter mirrors that and routes inserts by
+    branch kind.
+    """
+
+    def __init__(self, shotgun: ShotgunBtb):
+        self.shotgun = shotgun
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int):
+        s = self.shotgun
+        entry = s.c_btb.lookup(pc)
+        if entry is None:
+            u = s.u_btb.lookup(pc)
+            if u is not None and u.target is not None:
+                entry = u
+        if entry is None and s.rib.lookup(pc):
+            entry = BtbEntry(pc, -1, BranchKind.RETURN)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def peek(self, pc: int):
+        s = self.shotgun
+        entry = s.c_btb.peek(pc)
+        if entry is not None:
+            return entry
+        u = s.u_btb.peek(pc)
+        if u is not None and u.target is not None:
+            return u
+        if s.rib.peek(pc):
+            return BtbEntry(pc, -1, BranchKind.RETURN)
+        return None
+
+    def insert(self, pc: int, target: int, kind: BranchKind) -> None:
+        self.shotgun.insert_branch(pc, kind, target)
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class ShotgunPrefetcher(RunaheadPrefetcher):
+    """The full Shotgun scheme."""
+
+    name = "shotgun"
+
+    def __init__(self, u_entries: int = 1536, c_entries: int = 128,
+                 rib_entries: int = 512, window: int = 32,
+                 mispredict_rate: float = 0.04,
+                 predecode_latency: int = 3,
+                 l1_buffer_entries: int = 64,
+                 btb_buffer_entries: int = 32):
+        super().__init__(window, mispredict_rate, predecode_latency)
+        self.shotgun = ShotgunBtb(u_entries=u_entries, c_entries=c_entries,
+                                  rib_entries=rib_entries)
+        self.l1_buffer_entries = l1_buffer_entries
+        self.btb_buffer_entries = btb_buffer_entries
+        self._call_stack: List[UBtbEntry] = []
+        #: Footprint blocks awaiting arrival before they can be
+        #: pre-decoded for proactive C-BTB prefill.
+        self._pending_prefill: set = set()
+        self.footprint_prefetches = 0
+        self.proactive_prefills = 0
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        sim.btb = ShotgunBtbAdapter(self.shotgun)
+        sim.l1_prefetch_buffer = L1PrefetchBuffer(self.l1_buffer_entries)
+        sim.btb_prefetch_buffer = BtbPrefetchBuffer(self.btb_buffer_entries)
+
+    # ------------------------------------------------------------------
+    # retire-stream learning
+
+    def on_branch_retire(self, record, cycle) -> None:
+        if record.branch_kind in _UNCONDITIONAL and record.taken:
+            return_site = None
+            if record.branch_kind in (BranchKind.CALL, BranchKind.INDIRECT):
+                return_site = record.branch_pc + record.branch_size
+            self.shotgun.retire_unconditional(
+                record.branch_pc, record.branch_target,
+                record.branch_kind, return_site=return_site)
+        elif record.branch_kind is BranchKind.RETURN:
+            self.shotgun.insert_branch(record.branch_pc,
+                                       BranchKind.RETURN, None)
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        self.shotgun.retire_block_access(record.line)
+        super().on_demand(index, record, outcome, cycle)
+
+    # ------------------------------------------------------------------
+    # runahead
+
+    def process_runahead(self, index: int, record) -> bool:
+        sim = self.sim
+        sim.issue_prefetch(record.line)
+
+        if not record.has_branch or not record.taken:
+            if record.has_branch and record.branch_kind is BranchKind.COND:
+                return self._conditional(index, record)
+            return True
+
+        kind = record.branch_kind
+        if kind is BranchKind.COND:
+            return self._conditional(index, record)
+        if kind is BranchKind.RETURN:
+            self._return_branch()
+            return True
+        return self._unconditional(index, record)
+
+    def _conditional(self, index: int, record) -> bool:
+        sim = self.sim
+        known = self.shotgun.c_btb.peek(record.branch_pc) is not None
+        if not known:
+            buffered = sim.btb_prefetch_buffer.lookup(record.branch_pc)
+            if buffered is not None and buffered.target is not None:
+                self.shotgun.insert_branch(record.branch_pc,
+                                           BranchKind.COND, buffered.target)
+            else:
+                # Reactive C-BTB prefill: the slow one-block-at-a-time path.
+                self.block_on_fill(record.branch_pc, sim.cycle)
+                self._predecode_prefill(block_base(record.branch_pc))
+                return False
+        if self.sample_mispredict(record, index):
+            self.resync(index)
+            return False
+        return True
+
+    def _unconditional(self, index: int, record) -> bool:
+        sim = self.sim
+        entry = self.shotgun.lookup_unconditional(record.branch_pc)
+        if entry is None:
+            # U-BTB miss: reactive prefill.  Pre-decode recreates the
+            # entry (sans footprints) for encoded-target branches only.
+            self.block_on_fill(record.branch_pc, sim.cycle)
+            self._predecode_prefill(block_base(record.branch_pc),
+                                    mark_prefilled=True)
+            if record.branch_kind is BranchKind.INDIRECT:
+                # Even pre-decode cannot reveal an indirect target.
+                self.resync(index)
+            return False
+
+        if record.branch_kind is BranchKind.INDIRECT \
+                and entry.target != record.branch_target:
+            # The U-BTB's stale indirect target sends the runahead down
+            # the wrong path.
+            self.resync(index)
+            return False
+        if entry.call_footprint:
+            self._prefetch_footprint(entry.call_footprint)
+        if record.branch_kind in (BranchKind.CALL, BranchKind.INDIRECT):
+            self._call_stack.append(entry)
+            if len(self._call_stack) > 64:
+                self._call_stack.pop(0)
+        return True
+
+    def _return_branch(self) -> None:
+        if self._call_stack:
+            entry = self._call_stack.pop()
+            if entry.return_footprint:
+                self._prefetch_footprint(entry.return_footprint)
+
+    # ------------------------------------------------------------------
+
+    def _prefetch_footprint(self, footprint) -> None:
+        sim = self.sim
+        for block in footprint.blocks():
+            addr = block * CACHE_BLOCK_SIZE
+            if sim.issue_prefetch(addr):
+                self.footprint_prefetches += 1
+            # Proactive prefill: pre-decode the footprint block into the
+            # BTB prefetch buffer so C-BTB misses inside the region are
+            # rescued without stalling.  A block can only be pre-decoded
+            # once its bytes are actually here.
+            if sim.l1i.contains(addr) or (
+                    sim.l1_prefetch_buffer is not None
+                    and sim.l1_prefetch_buffer.contains(addr)):
+                self._predecode_prefill(addr)
+            else:
+                self._pending_prefill.add(block_base(addr))
+                if len(self._pending_prefill) > 128:
+                    self._pending_prefill.pop()
+
+    def on_fill(self, line_addr, was_prefetch, cycle) -> None:
+        if line_addr in self._pending_prefill:
+            self._pending_prefill.discard(line_addr)
+            self._predecode_prefill(line_addr)
+
+    def _predecode_prefill(self, block_addr: int,
+                           mark_prefilled: bool = False) -> None:
+        result = self.sim.predecoder().decode_block(block_addr)
+        if not result.branches:
+            return
+        self.sim.btb_prefetch_buffer.fill(block_addr, result.branches)
+        self.proactive_prefills += 1
+        if mark_prefilled:
+            for instr in result.branches:
+                if instr.kind in _UNCONDITIONAL and instr.target is not None:
+                    self.shotgun.insert_branch(instr.pc, instr.kind,
+                                               instr.target, prefilled=True)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_miss_ratio(self) -> float:
+        return self.shotgun.footprint_miss_ratio
+
+    def storage_bytes(self) -> int:
+        """Extra storage over a conventional 2 K-entry BTB (paper: ~6 KB).
+
+        The split BTB replaces the baseline BTB, so only the additional
+        segments (footprints, basic-block metadata) plus the two prefetch
+        buffers count.
+        """
+        conventional = 2048 * 50 // 8
+        extra_btb = max(0, self.shotgun.storage_bytes() - conventional)
+        buffers = 0
+        if self.sim is not None:
+            if self.sim.l1_prefetch_buffer is not None:
+                buffers += self.sim.l1_prefetch_buffer.storage_bytes()
+            if self.sim.btb_prefetch_buffer is not None:
+                buffers += self.sim.btb_prefetch_buffer.storage_bytes()
+        return extra_btb + buffers

@@ -1,0 +1,113 @@
+"""Temporal instruction prefetchers: TIFS and PIF (paper Section II-A).
+
+* **TIFS** (Ferdman et al., MICRO'08) records and replays the L1i *miss*
+  stream: on a miss, the positions following that miss's last occurrence
+  in the miss history are prefetched.
+* **PIF** (Ferdman et al., MICRO'11) records the *access* (retire-order)
+  stream instead, which captures misses before they happen at the cost of
+  a far longer history (~200 KB per core) — the storage burden that
+  motivated SHIFT/Confluence and ultimately this paper.
+
+Both reuse the circular history + index machinery of
+:class:`~repro.prefetchers.confluence.ShiftHistory`; what differs is the
+recorded stream, the storage budget, and where the metadata lives
+(private here, so no LLC-round-trip issue delay, unlike Confluence).
+"""
+
+from __future__ import annotations
+
+from .base import Prefetcher
+from .confluence import ShiftHistory
+
+
+class _StreamReplayPrefetcher(Prefetcher):
+    """Shared record/replay core for the temporal schemes."""
+
+    def __init__(self, history_entries: int, degree: int, lookahead: int):
+        super().__init__()
+        self.history = ShiftHistory(history_entries)
+        self.degree = degree
+        self.lookahead = lookahead
+        self._stream_pos = None
+        self._stream_ahead = 0
+        self.stream_starts = 0
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def records_stream(self, record, outcome) -> bool:
+        """Should this access be appended to the history?"""
+        raise NotImplementedError
+
+    # -- replay -------------------------------------------------------------
+
+    def _replay_window(self) -> None:
+        want = min(self.degree, self.lookahead - self._stream_ahead)
+        if want <= 0 or self._stream_pos is None:
+            return
+        pos = self._stream_pos + self._stream_ahead
+        for _ in range(want):
+            pos += 1
+            line = self.history.read(pos)
+            if line is None:
+                return
+            self.sim.issue_prefetch(line)
+            self._stream_ahead += 1
+
+    def on_demand(self, index, record, outcome, cycle) -> None:
+        line = record.line
+
+        if self._stream_pos is not None:
+            nxt = self.history.read(self._stream_pos + 1)
+            if nxt == line:
+                self._stream_pos += 1
+                self._stream_ahead = max(0, self._stream_ahead - 1)
+                self._replay_window()
+            elif outcome != "hit":
+                self._stream_pos = None
+
+        if outcome != "hit" and self._stream_pos is None:
+            pos = self.history.position_of(line)
+            if pos is not None:
+                self._stream_pos = pos
+                self._stream_ahead = 0
+                self.stream_starts += 1
+                self._replay_window()
+
+        if self.records_stream(record, outcome):
+            self.history.record(line)
+
+
+class TifsPrefetcher(_StreamReplayPrefetcher):
+    """Temporal Instruction Fetch Streaming: replay the miss stream."""
+
+    name = "tifs"
+
+    def __init__(self, history_entries: int = 8 * 1024, degree: int = 4,
+                 lookahead: int = 8):
+        super().__init__(history_entries, degree, lookahead)
+
+    def records_stream(self, record, outcome) -> bool:
+        return outcome != "hit"
+
+    def storage_bytes(self) -> int:
+        return self.history.storage_bytes()
+
+
+class PifPrefetcher(_StreamReplayPrefetcher):
+    """Proactive Instruction Fetch: replay the full access stream.
+
+    The longer, denser history buys higher coverage; the paper quotes
+    ~200 KB per core for the original design.
+    """
+
+    name = "pif"
+
+    def __init__(self, history_entries: int = 48 * 1024, degree: int = 6,
+                 lookahead: int = 12):
+        super().__init__(history_entries, degree, lookahead)
+
+    def records_stream(self, record, outcome) -> bool:
+        return True
+
+    def storage_bytes(self) -> int:
+        return self.history.storage_bytes()

@@ -1,0 +1,82 @@
+"""Trace serialization: save/load fetch traces as compact ``.npz`` files.
+
+Generating a full-length trace costs a few seconds; storing it lets
+experiment scripts and external tools (or other simulators) reuse the
+exact same dynamic stream.  The format is a plain numpy archive with one
+int64 column per FetchRecord field plus a metadata header.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..isa import BranchKind
+from .trace import FetchRecord, Trace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (``.npz``, compressed)."""
+    n = len(trace)
+    line = np.empty(n, dtype=np.int64)
+    first_pc = np.empty(n, dtype=np.int64)
+    n_instr = np.empty(n, dtype=np.int32)
+    branch_pc = np.empty(n, dtype=np.int64)
+    branch_kind = np.empty(n, dtype=np.int8)
+    branch_target = np.empty(n, dtype=np.int64)
+    branch_size = np.empty(n, dtype=np.int16)
+    flags = np.empty(n, dtype=np.uint8)   # bit0 seq, bit1 taken, bit2 ctx
+    for i, r in enumerate(trace):
+        line[i] = r.line
+        first_pc[i] = r.first_pc
+        n_instr[i] = r.n_instr
+        branch_pc[i] = r.branch_pc
+        branch_kind[i] = int(r.branch_kind)
+        branch_target[i] = r.branch_target
+        branch_size[i] = r.branch_size
+        flags[i] = (int(r.seq) | (int(r.taken) << 1) |
+                    (int(r.ctx_switch) << 2))
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(FORMAT_VERSION),
+        name=np.str_(trace.name),
+        line=line, first_pc=first_pc, n_instr=n_instr,
+        branch_pc=branch_pc, branch_kind=branch_kind,
+        branch_target=branch_target, branch_size=branch_size,
+        flags=flags)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(expected {FORMAT_VERSION})")
+        name = str(data["name"])
+        line = data["line"]
+        first_pc = data["first_pc"]
+        n_instr = data["n_instr"]
+        branch_pc = data["branch_pc"]
+        branch_kind = data["branch_kind"]
+        branch_target = data["branch_target"]
+        branch_size = data["branch_size"]
+        flags = data["flags"]
+        records = [
+            FetchRecord(
+                line=int(line[i]), first_pc=int(first_pc[i]),
+                n_instr=int(n_instr[i]), seq=bool(flags[i] & 1),
+                branch_pc=int(branch_pc[i]),
+                branch_kind=BranchKind(int(branch_kind[i])),
+                branch_target=int(branch_target[i]),
+                branch_size=int(branch_size[i]),
+                taken=bool(flags[i] & 2),
+                ctx_switch=bool(flags[i] & 4))
+            for i in range(len(line))
+        ]
+    return Trace(records, name=name)

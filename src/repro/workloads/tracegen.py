@@ -1,0 +1,237 @@
+"""Trace generation: walk a synthetic program like a server request loop.
+
+The walker repeatedly picks a request-handler function (Zipf-popular),
+executes it to completion with a call stack, and emits one
+:class:`~repro.workloads.trace.FetchRecord` per cache-line span the fetch
+stream touches.  Branch outcomes are sampled from the per-edge
+probabilities fixed at CFG-generation time, which is what makes block
+successor patterns *stable* — the property SN4L's predictor (Fig. 6) and
+Dis's single-dominant-branch observation (Fig. 7) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cfg import BasicBlock, ControlFlowGraph, Program, generate_cfg, layout_program
+from ..isa import BranchKind
+from .profiles import WorkloadProfile, get_profile
+from .trace import NO_ADDR, FetchRecord, Trace
+
+
+class TraceGenerator:
+    """Builds the program for a profile and walks it into traces."""
+
+    def __init__(self, profile: WorkloadProfile, scale: float = 1.0,
+                 variable_length: bool = False):
+        self.profile = profile.scaled(scale) if scale != 1.0 else profile
+        self.cfg: ControlFlowGraph = generate_cfg(self.profile.cfg,
+                                                  seed=self.profile.seed)
+        self.program: Program = layout_program(self.cfg,
+                                               variable_length=variable_length,
+                                               seed=self.profile.seed)
+        walk = self.profile.walk
+        n_handlers = min(walk.n_handlers, len(self.cfg.functions))
+        ranks = np.arange(1, n_handlers + 1, dtype=float)
+        weights = ranks ** (-walk.zipf_s)
+        self._handler_weights = weights / weights.sum()
+        self._handlers = list(range(n_handlers))
+        # Fallthrough-block cache: bid -> next BasicBlock (or None).
+        self._fallthrough: Dict[int, Optional[BasicBlock]] = {}
+
+    def _fall(self, blk: BasicBlock) -> Optional[BasicBlock]:
+        nxt = self._fallthrough.get(blk.bid, _MISSING)
+        if nxt is _MISSING:
+            nxt = self.cfg.fallthrough_of(blk)
+            self._fallthrough[blk.bid] = nxt
+        return nxt
+
+    def _pick_handler(self, rng: np.random.Generator,
+                      phase: int = 0) -> BasicBlock:
+        if phase:
+            # Rotate the popularity ranking: yesterday's hot handlers
+            # cool down, colder ones heat up.
+            handlers = np.roll(self._handlers, phase)
+        else:
+            handlers = self._handlers
+        fid = int(rng.choice(handlers, p=self._handler_weights))
+        return self.cfg.function(fid).entry
+
+    def _resolve(self, blk: BasicBlock, stack: List[BasicBlock],
+                 rng: np.random.Generator, budget_spent: bool = False
+                 ) -> Tuple[bool, int, Optional[BasicBlock]]:
+        """Dynamic outcome of a block's terminator.
+
+        Returns ``(taken, dynamic_target_pc, next_block)``; ``next_block``
+        is ``None`` when the request ended (handler returned with an empty
+        stack) — the caller then starts a new request.
+        """
+        term = blk.terminator
+        max_depth = self.profile.walk.max_call_depth
+        if term is None:
+            nxt = self._fall(blk)
+            assert nxt is not None, "CFG validation guarantees a fallthrough"
+            return False, NO_ADDR, nxt
+
+        kind = term.kind
+        if kind is BranchKind.COND:
+            taken = bool(rng.random() < term.taken_prob)
+            target = self.cfg.block(term.taken_succ)
+            if taken:
+                return True, target.addr, target
+            nxt = self._fall(blk)
+            assert nxt is not None
+            # Static target is reported even when not taken so the
+            # frontend can model wrong-path fetch after a misprediction.
+            return False, target.addr, nxt
+
+        if kind is BranchKind.JUMP:
+            target = self.cfg.block(term.taken_succ)
+            return True, target.addr, target
+
+        if kind in (BranchKind.CALL, BranchKind.INDIRECT):
+            if kind is BranchKind.CALL:
+                callee_fid = term.callee
+            else:
+                fids = [c for c, _ in term.indirect_callees]
+                probs = np.array([p for _, p in term.indirect_callees])
+                probs = probs / probs.sum()
+                callee_fid = int(rng.choice(fids, p=probs))
+            ret_to = self._fall(blk)
+            assert ret_to is not None, "calls always have a return site"
+            if len(stack) >= max_depth or budget_spent:
+                # Depth/budget guard: skip the call, fall through.
+                return False, NO_ADDR, ret_to
+            stack.append(ret_to)
+            entry = self.cfg.function(callee_fid).entry
+            return True, entry.addr, entry
+
+        assert kind is BranchKind.RETURN
+        if stack:
+            ret_to = stack.pop()
+            return True, ret_to.addr, ret_to
+        return True, NO_ADDR, None  # request finished
+
+    def generate(self, n_records: int, sample: int = 0) -> Trace:
+        """Walk the program until ``n_records`` fetch records are emitted.
+
+        ``n_contexts`` concurrent requests are interleaved, switching
+        after a geometric number of records — the connection-multiplexed
+        instruction stream a server core actually fetches.  The first
+        record after a switch carries ``ctx_switch=True``.
+        """
+        if n_records <= 0:
+            raise ValueError("n_records must be positive")
+        walk = self.profile.walk
+        rng = np.random.default_rng(self.profile.seed * 7919 + 13 * sample + 1)
+        records: List[FetchRecord] = []
+        prev_line = None
+        line_size = 64
+        budget = walk.request_max_records
+
+        n_ctx = max(1, walk.n_contexts)
+        contexts = [_RequestContext(self._pick_handler(rng))
+                    for _ in range(n_ctx)]
+        active = 0
+        switch_p = 1.0 / max(1, walk.switch_mean_records)
+        switch_left = int(rng.geometric(switch_p))
+        pending_switch = False
+
+        while len(records) < n_records:
+            ctx = contexts[active]
+            blk = ctx.cur
+            taken, target_pc, nxt = self._resolve(
+                blk, ctx.stack, rng,
+                budget_spent=ctx.request_records >= budget)
+            if nxt is None:
+                # Request done; the handler's return "targets" the next one.
+                phase = (len(records) // walk.phase_shift_records
+                         if walk.phase_shift_records else 0)
+                ctx.cur = self._pick_handler(rng, phase=phase)
+                target_pc = ctx.cur.addr
+                ctx.request_records = 0
+            else:
+                ctx.cur = nxt
+            term = blk.terminator
+            branch = blk.branch
+            spans = self.program.spans_of(blk.bid)
+            for i, span in enumerate(spans):
+                rec = FetchRecord(
+                    line=span.line_base,
+                    first_pc=span.first_pc,
+                    n_instr=span.n_instr,
+                    seq=(prev_line is not None
+                         and span.line_base == prev_line + line_size),
+                    ctx_switch=pending_switch and i == 0,
+                )
+                pending_switch = pending_switch and i != 0
+                if i == len(spans) - 1 and term is not None and branch is not None:
+                    rec.branch_pc = branch.pc
+                    rec.branch_kind = term.kind
+                    rec.branch_size = branch.size
+                    rec.taken = taken
+                    rec.branch_target = target_pc
+                records.append(rec)
+                prev_line = span.line_base
+            ctx.request_records += len(spans)
+            switch_left -= len(spans)
+            if switch_left <= 0 and n_ctx > 1:
+                nxt_active = int(rng.integers(0, n_ctx - 1))
+                if nxt_active >= active:
+                    nxt_active += 1
+                active = nxt_active
+                switch_left = int(rng.geometric(switch_p))
+                pending_switch = True
+        return Trace(records[:n_records], name=self.profile.name)
+
+
+class _RequestContext:
+    """One in-flight request: its current block and call stack."""
+
+    __slots__ = ("cur", "stack", "request_records")
+
+    def __init__(self, entry: BasicBlock):
+        self.cur = entry
+        self.stack: List[BasicBlock] = []
+        self.request_records = 0
+
+
+_MISSING = object()
+
+# ----------------------------------------------------------------------
+# Workload cache: experiments across figures share programs and traces.
+
+_GENERATORS: Dict[Tuple[str, float, bool], TraceGenerator] = {}
+_TRACES: Dict[Tuple[str, float, bool, int, int], Trace] = {}
+
+
+def get_generator(name: str, scale: float = 1.0,
+                  variable_length: bool = False) -> TraceGenerator:
+    """Memoised :class:`TraceGenerator` for a named workload."""
+    key = (name, scale, variable_length)
+    gen = _GENERATORS.get(key)
+    if gen is None:
+        gen = TraceGenerator(get_profile(name), scale=scale,
+                             variable_length=variable_length)
+        _GENERATORS[key] = gen
+    return gen
+
+
+def get_trace(name: str, n_records: int = 200_000, scale: float = 1.0,
+              variable_length: bool = False, sample: int = 0) -> Trace:
+    """Memoised trace for a named workload."""
+    key = (name, scale, variable_length, n_records, sample)
+    trace = _TRACES.get(key)
+    if trace is None:
+        trace = get_generator(name, scale, variable_length).generate(
+            n_records, sample=sample)
+        _TRACES[key] = trace
+    return trace
+
+
+def clear_cache() -> None:
+    """Drop memoised generators and traces (tests use this)."""
+    _GENERATORS.clear()
+    _TRACES.clear()

@@ -1,0 +1,131 @@
+"""Dynamic workload validation.
+
+The synthetic workloads stand in for the paper's commercial server
+workloads, so their *dynamic* behaviour must stay inside server-like
+envelopes: large active instruction footprints, high L1i MPKI under a
+32 KB cache, mostly-sequential misses, realistic branch rates.  This
+module measures a trace (plus a functional L1i) against those envelopes;
+the test suite runs it over every profile so a profile regression is
+caught immediately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List
+
+from ..isa import CACHE_BLOCK_SIZE
+from .trace import Trace
+
+
+@dataclass
+class WorkloadEnvelope:
+    """Acceptable ranges for one workload's dynamic behaviour."""
+
+    min_footprint_kb: float = 48.0
+    min_mpki: float = 3.0
+    max_mpki: float = 120.0
+    seq_fraction_range: tuple = (0.5, 0.95)
+    branch_rate_range: tuple = (0.05, 0.40)
+    taken_fraction_range: tuple = (0.3, 0.9)
+
+
+@dataclass
+class WorkloadReport:
+    """Measured dynamic characteristics plus envelope violations."""
+
+    name: str
+    footprint_kb: float
+    mpki: float
+    seq_fraction: float
+    branch_rate: float
+    taken_fraction: float
+    ctx_switch_rate: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "VIOLATIONS: " + "; ".join(
+            self.violations)
+        return (f"{self.name}: footprint {self.footprint_kb:.0f} KB, "
+                f"MPKI {self.mpki:.1f}, seq {self.seq_fraction:.0%}, "
+                f"branches {self.branch_rate:.0%}, "
+                f"taken {self.taken_fraction:.0%} — {status}")
+
+
+def measure_workload(trace: Trace, l1i_size: int = 32 * 1024,
+                     l1i_assoc: int = 8,
+                     skip: int = 0) -> WorkloadReport:
+    """Replay ``trace`` through a functional L1i and measure it.
+
+    ``skip`` warm records are excluded from miss statistics (cold-start
+    suppression), mirroring how the timing runs measure.
+    """
+    n_sets = l1i_size // CACHE_BLOCK_SIZE // l1i_assoc
+    sets: List[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
+    misses = 0
+    seq_misses = 0
+    instructions = 0
+    branches = 0
+    taken = 0
+    switches = 0
+    for i, rec in enumerate(trace):
+        counted = i >= skip
+        if counted:
+            instructions += rec.n_instr
+            if rec.has_branch:
+                branches += 1
+                taken += int(rec.taken)
+            switches += int(rec.ctx_switch)
+        block = rec.line // CACHE_BLOCK_SIZE
+        cset = sets[block % n_sets]
+        if block in cset:
+            cset.move_to_end(block)
+        else:
+            if counted:
+                misses += 1
+                seq_misses += int(rec.seq)
+            if len(cset) >= l1i_assoc:
+                cset.popitem(last=False)
+            cset[block] = True
+
+    n_counted = max(1, len(trace) - skip)
+    return WorkloadReport(
+        name=trace.name,
+        footprint_kb=trace.footprint_bytes() / 1024,
+        mpki=misses / max(1, instructions) * 1000,
+        seq_fraction=seq_misses / misses if misses else 0.0,
+        branch_rate=branches / max(1, instructions),
+        taken_fraction=taken / branches if branches else 0.0,
+        ctx_switch_rate=switches / n_counted,
+    )
+
+
+def validate_workload(trace: Trace,
+                      envelope: WorkloadEnvelope = WorkloadEnvelope(),
+                      skip: int = 0) -> WorkloadReport:
+    """Measure and check a workload trace against an envelope."""
+    report = measure_workload(trace, skip=skip)
+    v = report.violations
+    if report.footprint_kb < envelope.min_footprint_kb:
+        v.append(f"footprint {report.footprint_kb:.0f} KB "
+                 f"< {envelope.min_footprint_kb:.0f} KB")
+    if not envelope.min_mpki <= report.mpki <= envelope.max_mpki:
+        v.append(f"MPKI {report.mpki:.1f} outside "
+                 f"[{envelope.min_mpki}, {envelope.max_mpki}]")
+    lo, hi = envelope.seq_fraction_range
+    if report.mpki > 0 and not lo <= report.seq_fraction <= hi:
+        v.append(f"sequential fraction {report.seq_fraction:.2f} "
+                 f"outside [{lo}, {hi}]")
+    lo, hi = envelope.branch_rate_range
+    if not lo <= report.branch_rate <= hi:
+        v.append(f"branch rate {report.branch_rate:.2f} outside [{lo}, {hi}]")
+    lo, hi = envelope.taken_fraction_range
+    if not lo <= report.taken_fraction <= hi:
+        v.append(f"taken fraction {report.taken_fraction:.2f} "
+                 f"outside [{lo}, {hi}]")
+    return report

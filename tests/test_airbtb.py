@@ -1,0 +1,102 @@
+"""Tests for AirBTB and the Confluence-with-AirBTB variant."""
+
+import pytest
+
+from repro.btb import AirBtb
+from repro.frontend import FrontendSimulator
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE, Instruction
+from repro.prefetchers import ConfluencePrefetcher
+from repro.workloads import get_generator, get_trace
+
+B = CACHE_BLOCK_SIZE
+SCALE = 0.3
+RECORDS = 20_000
+
+
+def branches(base):
+    return [Instruction(pc=base + 8, size=4, kind=BranchKind.CALL,
+                        target=0x9000),
+            Instruction(pc=base + 32, size=4, kind=BranchKind.COND,
+                        target=base)]
+
+
+class TestAirBtb:
+    def test_bulk_fill_and_lookup(self):
+        btb = AirBtb(64, 4)
+        btb.fill_block(0x1000, branches(0x1000))
+        assert btb.lookup(0x1008).target == 0x9000
+        assert btb.lookup(0x1020).kind is BranchKind.COND
+        assert btb.lookup(0x1004) is None
+        assert btb.bulk_fills == 1
+
+    def test_block_granular_eviction(self):
+        btb = AirBtb(4, 4)  # one set
+        for i in range(5):
+            base = (i + 1) * 4 * B * 16  # distinct lines, same set? no:
+        # Use lines mapping to set 0: line % n_sets == 0, n_sets = 1.
+        for i in range(5):
+            btb.fill_block(i * B, branches(i * B))
+        # 4-way set: the first block's bundle was evicted wholesale.
+        assert btb.peek(0 * B + 8) is None
+        assert btb.peek(4 * B + 8) is not None
+
+    def test_single_insert_path(self):
+        btb = AirBtb(64, 4)
+        btb.insert(0x2008, 0x40, BranchKind.JUMP)
+        assert btb.peek(0x2008).target == 0x40
+        btb.insert(0x2008, 0x80, BranchKind.JUMP)
+        assert btb.peek(0x2008).target == 0x80
+
+    def test_bundle_capacity(self):
+        btb = AirBtb(64, 4)
+        many = [Instruction(pc=0x1000 + 4 * i, size=4,
+                            kind=BranchKind.JUMP, target=0x40)
+                for i in range(8)]
+        btb.fill_block(0x1000, many)
+        found = sum(btb.peek(0x1000 + 4 * i) is not None for i in range(8))
+        assert found == AirBtb.BRANCHES_PER_ENTRY
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            AirBtb(10, 4)
+
+    def test_storage_small(self):
+        assert AirBtb(512).storage_bytes() < 16 * 1024
+
+
+class TestConfluenceAirBtb:
+    def run(self, use_airbtb):
+        gen = get_generator("web_apache", scale=SCALE)
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+        pf = ConfluencePrefetcher(use_airbtb=use_airbtb)
+        sim = FrontendSimulator(trace, prefetcher=pf, program=gen.program)
+        return sim.run(warmup=RECORDS // 3), sim
+
+    def test_airbtb_installed(self):
+        _stats, sim = self.run(use_airbtb=True)
+        assert isinstance(sim.btb, AirBtb)
+        assert sim.btb.bulk_fills > 0
+
+    def test_airbtb_tracks_upper_bound(self):
+        """The real design performs like the paper's 16 K upper bound.
+
+        Interestingly it can show *fewer* BTB misses here: AirBTB is
+        prefilled by pre-decode as blocks arrive, covering branches
+        before their first execution, while the conventional BTB learns
+        reactively.  End-to-end the two are within a couple of percent.
+        """
+        upper, _ = self.run(use_airbtb=False)
+        real, _ = self.run(use_airbtb=True)
+        ratio = real.total_cycles / upper.total_cycles
+        assert 0.97 <= ratio <= 1.03
+        # Both keep BTB misses to a small fraction of branches.
+        assert real.btb_misses < 0.05 * real.branches
+        assert upper.btb_misses < 0.05 * upper.branches
+
+    def test_airbtb_still_beats_cold_2k_baseline(self):
+        gen = get_generator("web_apache", scale=SCALE)
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+        base = FrontendSimulator(trace, program=gen.program).run(
+            warmup=RECORDS // 3)
+        real, _ = self.run(use_airbtb=True)
+        assert real.speedup_over(base) > 1.03

@@ -1,0 +1,155 @@
+"""Tests for the analysis package (metrics, predictability, storage)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    arithmetic_mean,
+    comparison_table,
+    confluence_budget,
+    discontinuity_branch_predictability,
+    fscr,
+    geometric_mean,
+    miss_coverage,
+    next4_pattern_predictability,
+    normalize,
+    per_kilo_instruction,
+    shotgun_budget,
+    sn4l_dis_btb_budget,
+    speedup,
+    uncovered_branches_by_footprint_size,
+    uncovered_footprints_by_slots,
+)
+from repro.isa import CACHE_BLOCK_SIZE
+from repro.workloads import FetchRecord, Trace, get_generator, get_trace
+
+B = CACHE_BLOCK_SIZE
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+    def test_geometric(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(0.5, 2.0), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_geomean_bounded_by_extremes(self, vals):
+        g = geometric_mean(vals)
+        assert min(vals) - 1e-9 <= g <= max(vals) + 1e-9
+
+
+class TestRatios:
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+
+    def test_miss_coverage(self):
+        assert miss_coverage(100, 30) == pytest.approx(0.7)
+        assert miss_coverage(100, 150) == 0.0  # floored
+        assert miss_coverage(0, 10) == 0.0
+
+    def test_fscr(self):
+        assert fscr(100, 39) == pytest.approx(0.61)
+        assert fscr(0, 10) == 0.0
+
+    def test_normalize(self):
+        out = normalize({"a": 10.0, "b": 20.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_zero_base(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")
+
+    def test_pki(self):
+        assert per_kilo_instruction(5, 1000) == 5.0
+
+
+def _loop_trace(pattern, repeats):
+    """Fetch trace visiting the given line numbers repeatedly."""
+    records = []
+    prev = None
+    for _ in range(repeats):
+        for ln in pattern:
+            records.append(FetchRecord(
+                line=ln * B, first_pc=ln * B, n_instr=4,
+                seq=prev is not None and ln * B == prev + B))
+            prev = ln * B
+    return Trace(records)
+
+
+class TestPredictability:
+    def test_stable_pattern_fully_predictable(self):
+        # Small footprint: blocks never evicted -> no comparisons; force
+        # evictions with a large rotating footprint of stable behaviour.
+        pattern = [i for i in range(0, 2000, 64)]  # one set, forces evicts
+        trace = _loop_trace(pattern, repeats=8)
+        acc = next4_pattern_predictability(trace, l1i_size=8 * B,
+                                           l1i_assoc=2, block_size=B)
+        assert acc == pytest.approx(1.0)
+
+    def test_discontinuity_same_branch_stable(self):
+        records = []
+        for _ in range(10):
+            records.append(FetchRecord(line=0, first_pc=0, n_instr=4,
+                                       seq=False, branch_pc=8,
+                                       branch_kind=2, branch_target=640,
+                                       branch_size=4, taken=True))
+            records.append(FetchRecord(line=640, first_pc=640, n_instr=4,
+                                       seq=False))
+        acc = discontinuity_branch_predictability(Trace(records))
+        assert acc == pytest.approx(1.0)
+
+    def test_real_workload_predictability_high(self):
+        trace = get_trace("web_apache", n_records=20_000, scale=0.3)
+        assert next4_pattern_predictability(trace) > 0.75
+        assert discontinuity_branch_predictability(trace) > 0.6
+
+    def test_uncovered_branches_monotone(self):
+        program = get_generator("web_apache", scale=0.3).program
+        out = uncovered_branches_by_footprint_size(program)
+        values = [out[k] for k in sorted(out)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert out[4] < 0.1  # four branches cover almost everything
+
+    def test_uncovered_footprints_monotone(self):
+        gen = get_generator("web_apache", scale=0.3)
+        trace = get_trace("web_apache", n_records=10_000, scale=0.3)
+        out = uncovered_footprints_by_slots(trace, gen.program,
+                                            slots=(1, 2, 4))
+        assert out[1] >= out[2] >= out[4]
+
+
+class TestStorage:
+    def test_ours_matches_paper(self):
+        _items, total = sn4l_dis_btb_budget()
+        assert 7.0 <= total / 1024 <= 8.2  # paper: 7.6 KB
+
+    def test_shotgun_order_of_magnitude(self):
+        _items, total = shotgun_budget()
+        assert 5.0 <= total / 1024 <= 10.0  # paper: ~6 KB
+
+    def test_confluence_is_hundreds_of_kb(self):
+        _items, total = confluence_budget()
+        assert total / 1024 >= 100  # paper: > 200 KB class
+
+    def test_comparison_table_shape(self):
+        table = comparison_table()
+        assert set(table) == {"sn4l_dis_btb", "shotgun", "confluence"}
+        ours = table["sn4l_dis_btb"]
+        assert ours["btb_modification"] is False
+        assert ours["modular"] is True
+        assert table["shotgun"]["btb_modification"] is True
+        assert table["sn4l_dis_btb"]["storage_bytes"] < \
+            table["confluence"]["storage_bytes"]

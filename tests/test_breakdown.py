@@ -1,0 +1,98 @@
+"""Tests for the cycle-stack breakdown analysis."""
+
+import pytest
+
+from repro.analysis import (
+    CATEGORIES,
+    cycle_stack,
+    frontend_bound_fraction,
+    render_cycle_stack,
+    render_stack_comparison,
+    stall_reduction,
+)
+from repro.frontend import FrontendStats
+
+
+def make(**kw):
+    st = FrontendStats()
+    for key, value in kw.items():
+        setattr(st, key, value)
+    return st
+
+
+@pytest.fixture()
+def stats():
+    return make(delivery_cycles=100, icache_stall_cycles=150,
+                btb_stall_cycles=50, mispredict_stall_cycles=100,
+                backend_cycles=600)
+
+
+class TestCycleStack:
+    def test_fractions_sum_to_one(self, stats):
+        stack = cycle_stack(stats)
+        assert sum(stack.values()) == pytest.approx(1.0)
+        assert set(stack) == set(CATEGORIES)
+
+    def test_values(self, stats):
+        stack = cycle_stack(stats)
+        assert stack["delivery"] == pytest.approx(0.1)
+        assert stack["icache"] == pytest.approx(0.15)
+        assert stack["backend"] == pytest.approx(0.6)
+
+    def test_empty_stats(self):
+        stack = cycle_stack(FrontendStats())
+        assert all(v == 0.0 for v in stack.values())
+
+    def test_frontend_bound(self, stats):
+        assert frontend_bound_fraction(stats) == pytest.approx(0.2)
+
+
+class TestRendering:
+    def test_render_single(self, stats):
+        text = render_cycle_stack(stats, label="baseline")
+        assert "baseline" in text
+        for cat in CATEGORIES:
+            assert cat in text
+
+    def test_render_comparison(self, stats):
+        other = make(delivery_cycles=100, backend_cycles=600)
+        text = render_stack_comparison({"base": stats, "fast": other})
+        assert "base" in text and "fast" in text
+        assert "icache" in text
+
+    def test_bar_widths_scale(self, stats):
+        text = render_cycle_stack(stats, width=10)
+        backend_line = [l for l in text.splitlines() if "backend" in l][0]
+        assert backend_line.count("#") == 6  # 60% of width 10
+
+
+class TestStallReduction:
+    def test_reduction(self, stats):
+        improved = make(icache_stall_cycles=75, btb_stall_cycles=50,
+                        mispredict_stall_cycles=100)
+        red = stall_reduction(stats, improved)
+        assert red["icache"] == pytest.approx(0.5)
+        assert red["btb"] == 0.0
+
+    def test_negative_when_worse(self, stats):
+        worse = make(icache_stall_cycles=300)
+        assert stall_reduction(stats, worse)["icache"] == pytest.approx(-1.0)
+
+    def test_zero_baseline(self):
+        red = stall_reduction(FrontendStats(), FrontendStats())
+        assert all(v == 0.0 for v in red.values())
+
+
+class TestOnRealRun:
+    def test_prefetcher_attacks_icache_slice(self):
+        from repro.core import sn4l_dis_btb
+        from repro.frontend import FrontendSimulator
+        from repro.workloads import get_generator, get_trace
+        gen = get_generator("web_apache", scale=0.3)
+        trace = get_trace("web_apache", n_records=20_000, scale=0.3)
+        base = FrontendSimulator(trace, program=gen.program).run(warmup=6000)
+        ours = FrontendSimulator(trace, prefetcher=sn4l_dis_btb(),
+                                 program=gen.program).run(warmup=6000)
+        assert frontend_bound_fraction(ours) < frontend_bound_fraction(base)
+        red = stall_reduction(base, ours)
+        assert red["icache"] > 0.3

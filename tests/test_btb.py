@@ -1,0 +1,197 @@
+"""Tests for BTB organisations (repro.btb)."""
+
+import pytest
+
+from repro.btb import (
+    BasicBlockBtb,
+    BasicBlockEntry,
+    BtbPrefetchBuffer,
+    ConventionalBtb,
+    RegionFootprint,
+    ReturnAddressStack,
+    ShotgunBtb,
+)
+from repro.isa import BranchKind, Instruction
+
+
+class TestConventionalBtb:
+    def test_miss_then_hit(self):
+        btb = ConventionalBtb(64, 4)
+        assert btb.lookup(0x100) is None
+        btb.insert(0x100, 0x200, BranchKind.JUMP)
+        entry = btb.lookup(0x100)
+        assert entry.target == 0x200
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_peek_no_stats(self):
+        btb = ConventionalBtb(64, 4)
+        btb.peek(0x100)
+        assert btb.misses == 0
+
+    def test_update_existing(self):
+        btb = ConventionalBtb(64, 4)
+        btb.insert(0x100, 0x200, BranchKind.INDIRECT)
+        btb.insert(0x100, 0x300, BranchKind.INDIRECT)
+        assert btb.peek(0x100).target == 0x300
+        assert btb.occupancy() == 1
+
+    def test_capacity_eviction(self):
+        btb = ConventionalBtb(4, 4)  # one set
+        for i in range(5):
+            btb.insert(0x100 + 4 * i, 0, BranchKind.JUMP)
+        assert btb.occupancy() == 4
+        assert btb.peek(0x100) is None  # LRU evicted
+
+    def test_miss_ratio(self):
+        btb = ConventionalBtb(64, 4)
+        btb.lookup(0)
+        btb.insert(0, 4, BranchKind.JUMP)
+        btb.lookup(0)
+        assert btb.miss_ratio == 0.5
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ConventionalBtb(10, 4)
+
+    def test_storage(self):
+        assert ConventionalBtb(2048, 4).storage_bytes() > 10_000
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+
+    def test_underflow(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        for v in (1, 2, 3):
+            ras.push(v)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+class TestBasicBlockBtb:
+    def test_entry_fallthrough(self):
+        e = BasicBlockEntry(start=0x100, size=0x20, branch_pc=0x11C,
+                            kind=BranchKind.COND, target=0x200)
+        assert e.fallthrough == 0x120
+
+    def test_lookup_insert(self):
+        btb = BasicBlockBtb(64, 4)
+        btb.insert(BasicBlockEntry(0x100, 0x20, 0x11C,
+                                   BranchKind.JUMP, 0x300))
+        assert btb.lookup(0x100).target == 0x300
+        assert btb.lookup(0x104) is None  # keyed by block start
+
+
+class TestBtbPrefetchBuffer:
+    def branches(self, base):
+        return [Instruction(pc=base + 8, size=4, kind=BranchKind.CALL,
+                            target=0x4000),
+                Instruction(pc=base + 24, size=4, kind=BranchKind.RETURN)]
+
+    def test_fill_and_lookup(self):
+        buf = BtbPrefetchBuffer(32, 2)
+        buf.fill(0x1000, self.branches(0x1000))
+        hit = buf.lookup(0x1008)
+        assert hit is not None and hit.target == 0x4000
+        assert buf.lookup(0x1018).kind is BranchKind.RETURN
+
+    def test_miss_other_block(self):
+        buf = BtbPrefetchBuffer(32, 2)
+        buf.fill(0x1000, self.branches(0x1000))
+        assert buf.lookup(0x2008) is None
+
+    def test_miss_wrong_pc_same_block(self):
+        buf = BtbPrefetchBuffer(32, 2)
+        buf.fill(0x1000, self.branches(0x1000))
+        assert buf.lookup(0x1004) is None
+
+    def test_bounded_branches_per_entry(self):
+        buf = BtbPrefetchBuffer(32, 2)
+        many = [Instruction(pc=0x1000 + 4 * i, size=4, kind=BranchKind.JUMP,
+                            target=0x40) for i in range(8)]
+        buf.fill(0x1000, many)
+        found = sum(buf.lookup(0x1000 + 4 * i) is not None for i in range(8))
+        assert found == buf.BRANCHES_PER_ENTRY
+
+    def test_set_eviction(self):
+        buf = BtbPrefetchBuffer(2, 2)  # one set, two ways
+        for base in (0x1000, 0x2000, 0x3000):
+            buf.fill(base, self.branches(base))
+        assert buf.lookup(0x1008) is None
+        assert buf.lookup(0x3008) is not None
+
+
+class TestRegionFootprint:
+    def test_record_and_blocks(self):
+        fp = RegionFootprint(anchor_block=100)
+        assert fp.record(100)
+        assert fp.record(101)
+        assert fp.record(98)
+        assert not fp.record(200)  # outside span
+        assert set(fp.blocks()) == {98, 100, 101}
+
+    def test_empty_is_falsy(self):
+        assert not RegionFootprint(anchor_block=5)
+
+
+class TestShotgunBtb:
+    def test_routing_by_kind(self):
+        s = ShotgunBtb(u_entries=64, c_entries=32, rib_entries=32)
+        s.insert_branch(0x10, BranchKind.COND, 0x100)
+        s.insert_branch(0x20, BranchKind.CALL, 0x200)
+        s.insert_branch(0x30, BranchKind.RETURN, None)
+        assert s.c_btb.peek(0x10).target == 0x100
+        assert s.u_btb.peek(0x20).target == 0x200
+        assert s.rib.peek(0x30)
+
+    def test_footprint_miss_on_absent_entry(self):
+        s = ShotgunBtb(u_entries=64)
+        assert s.lookup_unconditional(0x999) is None
+        assert s.footprint_miss_ratio == 1.0
+
+    def test_prefilled_entry_has_no_footprint(self):
+        s = ShotgunBtb(u_entries=64)
+        s.insert_branch(0x20, BranchKind.CALL, 0x200, prefilled=True)
+        entry = s.lookup_unconditional(0x20)
+        assert entry is not None and entry.prefilled
+        assert s.footprint_miss_ratio == 1.0  # entry hit, footprint miss
+
+    def test_retire_learns_footprints(self):
+        s = ShotgunBtb(u_entries=64)
+        s.retire_unconditional(0x20, 0x2000, BranchKind.CALL,
+                               return_site=0x24)
+        s.retire_block_access(0x2000)
+        s.retire_block_access(0x2040)
+        # Closing event: next unconditional retires.
+        s.retire_unconditional(0x2080, 0x4000, BranchKind.JUMP)
+        entry = s.u_btb.peek(0x20)
+        assert entry.call_footprint
+        assert set(entry.call_footprint.blocks()) == {0x2000 // 64,
+                                                      0x2040 // 64}
+
+    def test_footprint_hit_after_learning(self):
+        s = ShotgunBtb(u_entries=64)
+        s.retire_unconditional(0x20, 0x2000, BranchKind.CALL,
+                               return_site=0x24)
+        s.retire_block_access(0x2000)
+        s.retire_unconditional(0x2080, 0x4000, BranchKind.JUMP)
+        s.footprint_accesses = s.footprint_misses = 0
+        assert s.lookup_unconditional(0x20) is not None
+        assert s.footprint_miss_ratio == 0.0
+
+    def test_storage_about_right(self):
+        s = ShotgunBtb()
+        kb = s.storage_bytes() / 1024
+        assert 15 < kb < 25  # the 1.5K U-BTB dominates

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "nope"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "oltp_db_a" in out and "Web (Apache)" not in out.split()[0]
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "sn4l_dis_btb" in out and "shotgun" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "--workload", "web_frontend", "--scheme", "sn4l",
+                   "--records", "8000", "--scale", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "MPKI" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workload", "web_frontend",
+                   "--schemes", "nl,sn4l", "--records", "8000",
+                   "--scale", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nl" in out and "sn4l" in out
+
+    def test_compare_unknown_scheme(self, capsys):
+        rc = main(["compare", "--workload", "web_frontend",
+                   "--schemes", "bogus", "--records", "8000",
+                   "--scale", "0.3"])
+        assert rc == 2
+
+    def test_figure_tab2(self, capsys):
+        assert main(["figure", "tab2"]) == 0
+        assert "shotgun" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_sample(self, capsys):
+        rc = main(["sample", "--workload", "web_frontend",
+                   "--scheme", "sn4l", "--samples", "2",
+                   "--records", "6000", "--scale", "0.3"])
+        assert rc == 0
+        assert "±" in capsys.readouterr().out
+
+    def test_multicore(self, capsys):
+        rc = main(["multicore", "--mix", "webfarm4", "--scheme", "sn4l",
+                   "--records", "4000", "--scale", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregate IPC" in out and "core0" in out
+
+    def test_multicore_unknown_mix(self, capsys):
+        rc = main(["multicore", "--mix", "nope"])
+        assert rc == 2
+
+    def test_figure_export_csv(self, capsys, tmp_path):
+        out_csv = str(tmp_path / "tab2.csv")
+        # tab2 has no tabular exporter registered -> graceful error.
+        rc = main(["figure", "tab2", "--csv", out_csv])
+        assert rc == 2
+
+    def test_figure_export_fig8(self, capsys, tmp_path):
+        out_csv = tmp_path / "fig8.csv"
+        rc = main(["figure", "fig8", "--csv", str(out_csv)])
+        assert rc == 0
+        assert out_csv.exists()

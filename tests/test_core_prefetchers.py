@@ -1,0 +1,192 @@
+"""Behavioural tests for SN4L, Dis, and the proactive SN4L+Dis+BTB engine."""
+
+import pytest
+
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE
+from repro.core import (
+    ProactivePrefetcher,
+    Sn4lPrefetcher,
+    dis_only,
+    sn4l_dis,
+    sn4l_dis_btb,
+)
+from repro.workloads import FetchRecord, Trace, get_generator, get_trace
+
+B = CACHE_BLOCK_SIZE
+SCALE = 0.3
+RECORDS = 20_000
+
+
+def rec(line_no, n=6, seq=False, **kw):
+    addr = line_no * B
+    return FetchRecord(line=addr, first_pc=addr, n_instr=n, seq=seq, **kw)
+
+
+def run_small(prefetcher, workload="web_apache"):
+    gen = get_generator(workload, scale=SCALE)
+    trace = get_trace(workload, n_records=RECORDS, scale=SCALE)
+    sim = FrontendSimulator(trace, prefetcher=prefetcher,
+                            program=gen.program)
+    stats = sim.run(warmup=RECORDS // 3)
+    return stats, sim
+
+
+def run_baseline(workload="web_apache"):
+    gen = get_generator(workload, scale=SCALE)
+    trace = get_trace(workload, n_records=RECORDS, scale=SCALE)
+    sim = FrontendSimulator(trace, program=gen.program)
+    return sim.run(warmup=RECORDS // 3)
+
+
+class TestSn4lUnit:
+    def test_prefetches_only_marked_blocks(self):
+        pf = Sn4lPrefetcher()
+        sim = FrontendSimulator(Trace([rec(1)]), prefetcher=pf)
+        pf.seqtable.reset(2 * B)   # next-1 marked useless
+        pf.seqtable.reset(4 * B)   # next-3 marked useless
+        sim.run()
+        assert not sim.in_flight(2 * B) and not sim.l1i.contains(2 * B)
+        assert sim.in_flight(3 * B) or sim.l1i.contains(3 * B)
+        assert not sim.in_flight(4 * B) and not sim.l1i.contains(4 * B)
+        assert sim.in_flight(5 * B) or sim.l1i.contains(5 * B)
+
+    def test_local_status_cached_on_fill(self):
+        pf = Sn4lPrefetcher()
+        sim = FrontendSimulator(Trace([rec(1)]), prefetcher=pf)
+        pf.seqtable.reset(3 * B)
+        sim.run()
+        line = sim.l1i.lookup(1 * B, touch=False)
+        assert line.local_status == 0b1101
+
+    def test_useless_prefetch_resets_bit(self):
+        pf = Sn4lPrefetcher()
+        sim = FrontendSimulator(Trace([rec(1)]), prefetcher=pf)
+        sim.run()
+        victim = sim.l1i.invalidate(2 * B)
+        if victim is None:
+            sim.mshr.pop_ready(10 ** 9)
+            pytest.skip("prefetch still in flight in this configuration")
+        pf.on_evict(victim, sim.cycle)
+        assert not pf.seqtable.get(2 * B)
+
+    def test_demand_hit_sets_bit(self):
+        pf = Sn4lPrefetcher()
+        pf.seqtable.reset(7 * B)
+        records = [rec(6)] + [rec(6, n=24)] * 30 + [rec(7, seq=True)]
+        sim = FrontendSimulator(Trace(records), prefetcher=pf)
+        sim.run()
+        # 7 was a miss (not prefetched, bit was 0) -> bit set again.
+        assert pf.seqtable.get(7 * B)
+
+    def test_depth_bounds(self):
+        with pytest.raises(ValueError):
+            Sn4lPrefetcher(depth=5)
+        with pytest.raises(ValueError):
+            Sn4lPrefetcher(depth=0)
+
+    def test_storage_close_to_paper(self):
+        pf = Sn4lPrefetcher()
+        sim = FrontendSimulator(Trace([rec(1)]), prefetcher=pf)
+        kb = pf.storage_bytes() / 1024
+        assert 2.0 <= kb <= 2.6  # 2 KB SeqTable + per-line bits
+
+
+class TestSn4lIntegration:
+    def test_covers_sequential_misses(self):
+        base = run_baseline()
+        stats, _ = run_small(Sn4lPrefetcher())
+        assert stats.seq_coverage_over(base) > 0.5
+        assert stats.speedup_over(base) > 1.02
+
+    def test_more_accurate_than_n4l(self):
+        from repro.prefetchers import NextXLinePrefetcher
+        sn4l, _ = run_small(Sn4lPrefetcher())
+        n4l, _ = run_small(NextXLinePrefetcher(4))
+        assert sn4l.prefetch_accuracy > n4l.prefetch_accuracy
+        assert sn4l.prefetches_issued < n4l.prefetches_issued
+
+
+class TestDisUnit:
+    def test_records_discontinuity_branch(self):
+        pf = dis_only()
+        gen = get_generator("web_apache", scale=SCALE)
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+        sim = FrontendSimulator(trace, prefetcher=pf, program=gen.program)
+        sim.run()
+        assert pf.distable.lookups > 0
+        assert pf.dis_prefetch_candidates > 0
+
+    def test_returns_not_recorded(self):
+        pf = dis_only()
+        ret = rec(1, branch_pc=1 * B + 8, branch_kind=BranchKind.RETURN,
+                  branch_target=9 * B, branch_size=4, taken=True)
+        miss = rec(9)
+        gen = get_generator("web_apache", scale=SCALE)
+        sim = FrontendSimulator(Trace([ret, miss]), prefetcher=pf,
+                                program=gen.program)
+        sim.run()
+        assert pf.distable.lookup(1 * B) is None
+
+    def test_vl_mode_requires_dvllc(self):
+        pf = ProactivePrefetcher(variable_length=True)
+        gen = get_generator("web_apache", scale=SCALE)
+        with pytest.raises(RuntimeError):
+            FrontendSimulator(Trace([rec(1)]), prefetcher=pf,
+                              program=gen.program)
+
+
+class TestProactiveIntegration:
+    def test_sn4l_dis_beats_sn4l(self):
+        base = run_baseline()
+        sn4l, _ = run_small(Sn4lPrefetcher())
+        combo, _ = run_small(sn4l_dis())
+        assert combo.coverage_over(base) > sn4l.coverage_over(base)
+
+    def test_btb_prefilling_cuts_btb_misses(self):
+        plain, _ = run_small(sn4l_dis())
+        full, _ = run_small(sn4l_dis_btb())
+        assert full.btb_misses < plain.btb_misses * 0.7
+        assert full.btb_buffer_fills > 0
+
+    def test_rlu_reduces_lookups(self):
+        from repro.prefetchers import NextXLinePrefetcher
+        combo, _ = run_small(sn4l_dis())
+        n4l, _ = run_small(NextXLinePrefetcher(4))
+        assert combo.cache_lookups < n4l.cache_lookups
+
+    def test_full_scheme_storage_budget(self):
+        pf = sn4l_dis_btb()
+        _, sim = run_small(pf)
+        kb = pf.storage_bytes() / 1024
+        assert 7.0 <= kb <= 8.2  # paper: 7.6 KB
+
+    def test_depth_limit_respected(self):
+        pf = sn4l_dis_btb(max_depth=1)
+        stats1, _ = run_small(pf)
+        pf4 = sn4l_dis_btb(max_depth=4)
+        stats4, _ = run_small(pf4)
+        assert stats4.prefetches_issued >= stats1.prefetches_issued
+
+    def test_vl_mode_end_to_end(self):
+        gen = get_generator("web_apache", scale=SCALE,
+                            variable_length=True)
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE,
+                          variable_length=True)
+        pf = sn4l_dis_btb(variable_length=True)
+        sim = FrontendSimulator(trace,
+                                config=FrontendConfig(dv_llc=True),
+                                prefetcher=pf, program=gen.program)
+        stats = sim.run(warmup=RECORDS // 3)
+        base = FrontendSimulator(
+            get_trace("web_apache", n_records=RECORDS, scale=SCALE,
+                      variable_length=True),
+            config=FrontendConfig(dv_llc=False),
+            program=gen.program).run(warmup=RECORDS // 3)
+        assert stats.prefetches_issued > 0
+        assert stats.speedup_over(base) > 1.0
+        assert sim.llc.footprint_hits > 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ProactivePrefetcher(max_depth=0)

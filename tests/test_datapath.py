@@ -1,0 +1,93 @@
+"""Tests for the optional data-side model (repro.frontend.datapath)."""
+
+import pytest
+
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.frontend.datapath import DATA_BASE, DataPathModel
+from repro.memory import DynamicallyVirtualizedLlc
+from repro.workloads import FetchRecord, Trace, get_generator, get_trace
+
+SCALE = 0.3
+RECORDS = 15_000
+
+
+def rec(line_no, n=6):
+    addr = line_no * 64
+    return FetchRecord(line=addr, first_pc=addr, n_instr=n, seq=False)
+
+
+def run(model_data, prefetcher=None, **cfg):
+    gen = get_generator("web_apache", scale=SCALE)
+    trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+    sim = FrontendSimulator(
+        trace, config=FrontendConfig(model_data=model_data, **cfg),
+        prefetcher=prefetcher, program=gen.program)
+    return sim.run(warmup=RECORDS // 3), sim
+
+
+class TestDataPathModel:
+    def test_accesses_scale_with_instructions(self):
+        stats, sim = run(model_data=True)
+        dp = sim.datapath
+        assert dp.accesses == pytest.approx(
+            stats.instructions * dp.accesses_per_instruction, rel=0.15)
+
+    def test_data_misses_create_stalls(self):
+        stats, sim = run(model_data=True)
+        assert sim.datapath.misses > 0
+        assert sim.datapath.stall_cycles > 0
+        assert 0.0 < sim.datapath.miss_ratio < 1.0
+
+    def test_data_blocks_enter_llc(self):
+        _stats, sim = run(model_data=True)
+        assert sim.llc.data_misses > 0
+        assert sim.llc.data_hits > 0
+
+    def test_disabled_by_default(self):
+        _stats, sim = run(model_data=False)
+        assert sim.datapath is None
+        assert sim.llc.data_hits == 0
+
+    def test_data_traffic_adds_contention(self):
+        off, sim_off = run(model_data=False)
+        on, sim_on = run(model_data=True)
+        assert sim_on.latency.requests > sim_off.latency.requests
+
+    def test_stack_accesses_hit_hot(self):
+        # Stack blocks are tiny and hot: the L1d should absorb them, so
+        # the overall miss ratio stays moderate.
+        _stats, sim = run(model_data=True)
+        assert sim.datapath.miss_ratio < 0.5
+
+    def test_addresses_above_text(self):
+        gen = get_generator("web_apache", scale=SCALE)
+        assert DATA_BASE > gen.program.segment.end
+
+    def test_invalid_config(self):
+        sim_stub = object()
+        with pytest.raises(ValueError):
+            DataPathModel(sim_stub, heap_blocks=0)
+        with pytest.raises(ValueError):
+            DataPathModel(sim_stub, data_stall_fraction=1.5)
+
+    def test_prefetching_still_helps_with_data_side(self):
+        from repro.core import sn4l_dis_btb
+        base, _ = run(model_data=True)
+        ours, _ = run(model_data=True, prefetcher=sn4l_dis_btb())
+        assert ours.speedup_over(base) > 1.03
+
+    def test_dvllc_with_data_traffic(self):
+        """The DV-LLC's BF way coexists with modeled data blocks."""
+        gen = get_generator("web_apache", scale=SCALE,
+                            variable_length=True)
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE,
+                          variable_length=True)
+        from repro.core import sn4l_dis_btb
+        sim = FrontendSimulator(
+            trace, config=FrontendConfig(model_data=True, dv_llc=True),
+            prefetcher=sn4l_dis_btb(variable_length=True),
+            program=gen.program)
+        sim.run(warmup=RECORDS // 3)
+        assert isinstance(sim.llc, DynamicallyVirtualizedLlc)
+        assert sim.llc.footprint_hits > 0
+        assert sim.llc.data_hits > 0

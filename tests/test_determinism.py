@@ -1,0 +1,67 @@
+"""Determinism guarantees: identical inputs must give identical results.
+
+The whole experiment methodology (cached runs shared across figures,
+paper-shape assertions in benchmarks) rests on bit-exact repeatability.
+"""
+
+import pytest
+
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.workloads import TraceGenerator, get_generator, get_profile
+
+SCALE = 0.25
+RECORDS = 10_000
+
+SCHEMES = ["baseline", "n4l", "sn4l_dis_btb", "shotgun", "confluence",
+           "rdip", "tifs"]
+
+
+def fresh_run(scheme):
+    """Build everything from scratch (no caches) and simulate."""
+    from repro.experiments import build_scheme
+    gen = TraceGenerator(get_profile("web_apache"), scale=SCALE)
+    trace = gen.generate(RECORDS)
+    prefetcher, overrides = build_scheme(scheme)
+    sim = FrontendSimulator(trace, config=FrontendConfig(**overrides),
+                            prefetcher=prefetcher, program=gen.program)
+    return sim.run(warmup=RECORDS // 3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_bit_exact_repeatability(self, scheme):
+        a = fresh_run(scheme)
+        b = fresh_run(scheme)
+        assert a.total_cycles == b.total_cycles
+        assert a.demand_misses == b.demand_misses
+        assert a.prefetches_issued == b.prefetches_issued
+        assert a.btb_misses == b.btb_misses
+        assert a.covered_latency == b.covered_latency
+
+    def test_program_generation_deterministic(self):
+        a = TraceGenerator(get_profile("oltp_db_b"), scale=SCALE)
+        b = TraceGenerator(get_profile("oltp_db_b"), scale=SCALE)
+        assert a.program.text_bytes == b.program.text_bytes
+        assert a.program.segment.read(a.program.segment.base, 4096) == \
+            b.program.segment.read(b.program.segment.base, 4096)
+
+    def test_datapath_deterministic(self):
+        def run():
+            gen = TraceGenerator(get_profile("web_apache"), scale=SCALE)
+            trace = gen.generate(RECORDS)
+            sim = FrontendSimulator(
+                trace, config=FrontendConfig(model_data=True),
+                program=gen.program)
+            return sim.run()
+        assert run().total_cycles == run().total_cycles
+
+    def test_multicore_deterministic(self):
+        from repro.multicore import MulticoreSimulator
+
+        def run():
+            gen = get_generator("web_frontend", scale=SCALE)
+            traces = [gen.generate(4000, sample=i) for i in range(2)]
+            sim = MulticoreSimulator(traces, programs=[gen.program] * 2)
+            res = sim.run()
+            return [c.stats.total_cycles for c in res.cores]
+        assert run() == run()

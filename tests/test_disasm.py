@@ -1,0 +1,81 @@
+"""Tests for the synthetic-ISA disassembler."""
+
+from repro.isa import (
+    BranchKind,
+    Instruction,
+    TextSegment,
+    disassemble_block,
+    disassemble_range,
+    format_instruction,
+)
+
+
+def fixed_segment():
+    seg = TextSegment(base=0, size=128)
+    for i in range(32):
+        pc = 4 * i
+        if i == 3:
+            seg.write_instruction(Instruction(pc=pc, size=4,
+                                              kind=BranchKind.CALL,
+                                              target=0x40))
+        elif i == 5:
+            seg.write_instruction(Instruction(pc=pc, size=4,
+                                              kind=BranchKind.RETURN))
+        else:
+            seg.write_instruction(Instruction(pc=pc, size=4))
+    return seg
+
+
+class TestFormat:
+    def test_plain(self):
+        text = format_instruction(Instruction(pc=0x100, size=4))
+        assert "op" in text and "0x00000100" in text
+
+    def test_call_with_target(self):
+        text = format_instruction(Instruction(
+            pc=0x100, size=4, kind=BranchKind.CALL, target=0x4000))
+        assert "call" in text and "0x4000" in text
+
+    def test_return_dynamic(self):
+        text = format_instruction(Instruction(
+            pc=0x100, size=4, kind=BranchKind.RETURN))
+        assert "<dynamic>" in text
+
+
+class TestRange:
+    def test_disassembles_all(self):
+        lines = disassemble_range(fixed_segment(), 0, 32)
+        assert len(lines) == 8
+        assert any("call" in l for l in lines)
+
+
+class TestBlock:
+    def test_fixed_block(self):
+        text = disassemble_block(fixed_segment(), 0)
+        assert text.startswith("block 0x0..0x3f")
+        assert "call" in text and "ret" in text
+
+    def test_outside_segment(self):
+        assert "outside" in disassemble_block(fixed_segment(), 0x4000)
+
+    def test_vl_requires_footprint(self):
+        seg = TextSegment(base=0, size=64, variable_length=True)
+        seg.write_instruction(Instruction(pc=0, size=3))
+        seg.write_instruction(Instruction(pc=3, size=6,
+                                          kind=BranchKind.JUMP, target=32))
+        blind = disassemble_block(seg, 0)
+        assert "no known boundaries" in blind
+        sighted = disassemble_block(seg, 0, footprint_offsets=(3,))
+        assert "jmp" in sighted
+
+    def test_vl_undecodable_offset(self):
+        seg = TextSegment(base=0, size=64, variable_length=True)
+        text = disassemble_block(seg, 0, footprint_offsets=(7,))
+        assert "<undecodable>" in text
+
+    def test_real_program_block(self):
+        from repro.workloads import get_generator
+        gen = get_generator("web_frontend", scale=0.15)
+        line = gen.program.lines()[0]
+        text = disassemble_block(gen.program.segment, line)
+        assert text.count("\n") >= 4

@@ -1,0 +1,83 @@
+"""Tests for the structured event log."""
+
+import pytest
+
+from repro.frontend import FrontendSimulator
+from repro.frontend.eventlog import Event, EventLog
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE
+from repro.prefetchers import NextXLinePrefetcher
+from repro.workloads import FetchRecord, Trace
+
+B = CACHE_BLOCK_SIZE
+
+
+def rec(line_no, n=6, seq=False, **kw):
+    addr = line_no * B
+    return FetchRecord(line=addr, first_pc=addr, n_instr=n, seq=seq, **kw)
+
+
+class TestEventLog:
+    def test_emit_and_iterate(self):
+        log = EventLog(8)
+        log.emit(10, "demand_miss", 0x1000)
+        log.emit(20, "fill", 0x1000, "demand")
+        assert len(log) == 2
+        assert [e.kind for e in log] == ["demand_miss", "fill"]
+        assert log.counts["fill"] == 1
+
+    def test_ring_buffer_bounds(self):
+        log = EventLog(4)
+        for i in range(10):
+            log.emit(i, "demand_hit", i * B)
+        assert len(log) == 4
+        assert log.last(1)[0].cycle == 9
+        assert log.counts["demand_hit"] == 10  # counts are cumulative
+
+    def test_of_kind_and_for_addr(self):
+        log = EventLog(16)
+        log.emit(1, "demand_miss", 0x1000)
+        log.emit(2, "fill", 0x1008)       # same line as 0x1000
+        log.emit(3, "demand_hit", 0x2000)
+        assert len(log.of_kind("fill")) == 1
+        assert len(log.for_addr(0x1000)) == 2
+
+    def test_dump_renders(self):
+        log = EventLog(4)
+        log.emit(1, "prefetch", 0x1000, "lat=30")
+        text = log.dump()
+        assert "prefetch" in text and "lat=30" in text
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(0)
+
+
+class TestEngineEmission:
+    def test_miss_fill_hit_sequence(self):
+        sim = FrontendSimulator(Trace([rec(1), rec(1)]))
+        sim.event_log = EventLog()
+        sim.run()
+        kinds = [e.kind for e in sim.event_log.for_addr(1 * B)]
+        assert kinds == ["demand_miss", "fill", "demand_hit"]
+
+    def test_prefetch_events(self):
+        sim = FrontendSimulator(Trace([rec(1)]),
+                                prefetcher=NextXLinePrefetcher(1))
+        sim.event_log = EventLog()
+        sim.run()
+        assert sim.event_log.counts["prefetch"] == 1
+        assert sim.event_log.of_kind("prefetch")[0].addr == 2 * B
+
+    def test_btb_miss_event(self):
+        jump = rec(1, branch_pc=1 * B + 8, branch_kind=BranchKind.JUMP,
+                   branch_target=9 * B, branch_size=4, taken=True)
+        sim = FrontendSimulator(Trace([jump]))
+        sim.event_log = EventLog()
+        sim.run()
+        assert sim.event_log.counts["btb_miss"] == 1
+
+    def test_no_log_no_overhead(self):
+        sim = FrontendSimulator(Trace([rec(1)]))
+        stats = sim.run()
+        assert sim.event_log is None
+        assert stats.demand_misses == 1

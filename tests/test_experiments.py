@@ -1,0 +1,122 @@
+"""Tests for the experiment harness (runner, figures, report)."""
+
+import pytest
+
+from repro.experiments import (
+    RunResult,
+    SCHEMES,
+    build_scheme,
+    figures,
+    render_matrix,
+    render_per_scheme,
+    render_per_workload,
+    render_storage,
+    render_sweep,
+    run_scheme,
+    scheme_names,
+)
+
+# Small, fast experiment configuration shared by all tests here.
+FAST = dict(n_records=15_000, warmup=5_000, scale=0.3)
+WL = ["web_apache", "web_frontend"]
+
+
+class TestRunner:
+    def test_all_schemes_buildable(self):
+        for name in scheme_names():
+            prefetcher, overrides = build_scheme(name)
+            assert prefetcher is None or hasattr(prefetcher, "on_demand")
+            assert isinstance(overrides, dict)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            build_scheme("bogus")
+
+    def test_run_returns_result(self):
+        res = run_scheme("web_apache", "baseline", **FAST)
+        assert isinstance(res, RunResult)
+        assert res.stats.instructions > 0
+        assert res.extra["external_requests"] > 0
+
+    def test_cache_hits(self):
+        a = run_scheme("web_apache", "baseline", **FAST)
+        b = run_scheme("web_apache", "baseline", **FAST)
+        assert a is b
+
+    def test_cache_key_extra_distinguishes(self):
+        from repro.core import Sn4lPrefetcher
+        a = run_scheme("web_apache", "sn4l", **FAST,
+                       prefetcher_factory=lambda: Sn4lPrefetcher(
+                           seqtable_entries=1024),
+                       cache_key_extra="small")
+        b = run_scheme("web_apache", "sn4l", **FAST)
+        assert a is not b
+
+    def test_perfect_schemes(self):
+        res = run_scheme("web_apache", "perfect_l1i", **FAST)
+        assert res.stats.icache_stall_cycles == 0
+
+    def test_every_scheme_runs(self):
+        base = run_scheme("web_apache", "baseline", **FAST)
+        for name in scheme_names():
+            res = run_scheme("web_apache", name, **FAST)
+            assert res.stats.total_cycles > 0
+            if name not in ("baseline",):
+                # No scheme should be pathologically slower than baseline.
+                assert res.stats.speedup_over(base.stats) > 0.8
+
+
+class TestFigures:
+    def test_fig02_range(self):
+        out = figures.fig02_sequential_fraction(WL, n_records=FAST["n_records"])
+        for v in out.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_fig04_ordering(self):
+        out = figures.fig04_cmal_nxl(["web_apache"],
+                                     n_records=FAST["n_records"])
+        assert out["n2l"] > out["nl"]
+        assert out["n4l"] > out["n2l"]
+
+    def test_fig12_tagging_ordering(self):
+        out = figures.fig12_tagging(["web_apache"],
+                                    n_records=FAST["n_records"])
+        assert out["tagless"] >= out["partial_4bit"] >= out["full_tag"]
+
+    def test_fig08_shape(self):
+        out = figures.fig08_bf_branches(WL)
+        assert out[4] <= out[1]
+
+    def test_tab2_storage(self):
+        table = figures.tab2_storage()
+        assert "sn4l_dis_btb" in table
+
+    def test_dvllc_experiment_small(self):
+        out = figures.dvllc_experiment("web_frontend", n_records=4_000,
+                                       data_blocks=4096,
+                                       data_accesses_per_record=1)
+        assert 0.0 <= out["dvllc_data_hit"] <= 1.0
+        assert abs(out["instruction_hit_drop"]) < 0.05
+
+
+class TestReport:
+    def test_render_per_workload(self):
+        text = render_per_workload("T", {"web_apache": 0.5})
+        assert "Web (Apache)" in text and "50.0%" in text
+
+    def test_render_per_scheme(self):
+        text = render_per_scheme("T", {"sn4l": 1.25})
+        assert "1.250" in text
+
+    def test_render_matrix(self):
+        text = render_matrix("T", {"r1": {"a": 1.0, "b": 2.0},
+                                   "r2": {"a": 3.0}})
+        assert "r1" in text and "b" in text
+
+    def test_render_sweep(self):
+        text = render_sweep("T", {256: 1.1}, x_name="btb")
+        assert "btb=" in text
+
+    def test_render_storage(self):
+        text = render_storage(figures.tab2_storage())
+        assert "shotgun" in text

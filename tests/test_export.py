@@ -1,0 +1,86 @@
+"""Tests for the figure-data export module."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    ascii_bar_chart,
+    flatten,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+
+class TestFlatten:
+    def test_simple_mapping(self):
+        rows = flatten({"a": 1.0, "b": 2.0})
+        assert rows == [{"key": "a", "value": 1.0},
+                        {"key": "b", "value": 2.0}]
+
+    def test_nested_mapping(self):
+        rows = flatten({"w": {"x": 1.0, "y": 2.0}})
+        assert {"key": "w", "series": "x", "value": 1.0} in rows
+        assert len(rows) == 2
+
+    def test_custom_value_name(self):
+        rows = flatten({"a": 1.0}, value_name="speedup")
+        assert rows[0]["speedup"] == 1.0
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv({"a": 1.5, "b": 2.5}, tmp_path / "out.csv")
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["key"] == "a"
+        assert float(rows[1]["value"]) == 2.5
+
+    def test_nested(self, tmp_path):
+        path = write_csv({"w1": {"s1": 1.0, "s2": 2.0}},
+                         tmp_path / "out.csv")
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["series"] for r in rows} == {"s1", "s2"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv({}, tmp_path / "out.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = write_json({"a": {"x": 1.0}}, tmp_path / "out.json",
+                          title="Fig X")
+        loaded = read_json(path)
+        assert loaded["title"] == "Fig X"
+        assert loaded["data"]["a"]["x"] == 1.0
+
+    def test_valid_json(self, tmp_path):
+        path = write_json({"a": 1}, tmp_path / "out.json")
+        json.loads(path.read_text())
+
+
+class TestAsciiChart:
+    def test_bars_scale(self):
+        text = ascii_bar_chart({"big": 4.0, "small": 1.0}, width=8)
+        big_line = [l for l in text.splitlines() if "big" in l][0]
+        small_line = [l for l in text.splitlines() if "small" in l][0]
+        assert big_line.count("#") == 8
+        assert small_line.count("#") == 2
+
+    def test_title(self):
+        assert ascii_bar_chart({"a": 1.0}, title="T").startswith("T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_figure_data_charts(self):
+        from repro.experiments import figures
+        data = figures.tab2_storage()
+        sizes = {k: v["storage_bytes"] / 1024 for k, v in data.items()}
+        text = ascii_bar_chart(sizes, title="Table II storage (KB)")
+        assert "confluence" in text

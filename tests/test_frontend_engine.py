@@ -1,0 +1,239 @@
+"""Behavioural tests for the frontend simulator (repro.frontend.engine)."""
+
+import pytest
+
+from repro.btb import BtbPrefetchBuffer, BufferedBranch
+from repro.frontend import (
+    HIT,
+    LATE,
+    MISS,
+    FrontendConfig,
+    FrontendSimulator,
+)
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE
+from repro.prefetchers import Prefetcher
+from repro.workloads import FetchRecord, Trace
+
+
+def rec(line_no, n=6, seq=False, **kw):
+    addr = line_no * CACHE_BLOCK_SIZE
+    return FetchRecord(line=addr, first_pc=addr, n_instr=n, seq=seq, **kw)
+
+
+def branch_rec(line_no, kind, target_line, taken=True, n=6):
+    addr = line_no * CACHE_BLOCK_SIZE
+    return FetchRecord(
+        line=addr, first_pc=addr, n_instr=n, seq=False,
+        branch_pc=addr + 4 * (n - 1), branch_kind=kind,
+        branch_target=target_line * CACHE_BLOCK_SIZE,
+        branch_size=4, taken=taken)
+
+
+def sim_for(records, prefetcher=None, **cfg):
+    return FrontendSimulator(Trace(list(records)),
+                             config=FrontendConfig(**cfg),
+                             prefetcher=prefetcher)
+
+
+class RecordingPrefetcher(Prefetcher):
+    """Captures events; optionally issues scripted prefetches."""
+
+    name = "recording"
+
+    def __init__(self, issue_next=0):
+        super().__init__()
+        self.events = []
+        self.issue_next = issue_next
+
+    def on_demand(self, index, record, outcome, cycle):
+        self.events.append(("demand", index, outcome, cycle))
+        for i in range(1, self.issue_next + 1):
+            self.sim.issue_prefetch(record.line + i * CACHE_BLOCK_SIZE)
+
+    def on_fill(self, line_addr, was_prefetch, cycle):
+        self.events.append(("fill", line_addr, was_prefetch, cycle))
+
+    def on_prefetch_hit(self, line_addr, cycle):
+        self.events.append(("pf_hit", line_addr, cycle))
+
+    def on_evict(self, line, cycle):
+        self.events.append(("evict", line.addr, cycle))
+
+
+class TestDemandPath:
+    def test_miss_then_hit(self):
+        sim = sim_for([rec(1), rec(1)])
+        stats = sim.run()
+        assert stats.demand_misses == 1
+        assert stats.demand_hits == 1
+        assert stats.icache_stall_cycles > 0
+
+    def test_sequential_classification(self):
+        sim = sim_for([rec(1), rec(2, seq=True), rec(9)])
+        stats = sim.run()
+        assert stats.seq_misses == 1
+        assert stats.disc_misses == 2
+
+    def test_delivery_cycles(self):
+        sim = sim_for([rec(1, n=6)])  # ceil(6/3) = 2
+        stats = sim.run()
+        assert stats.delivery_cycles == 2
+        assert stats.instructions == 6
+
+    def test_backend_cycles_scale_with_instructions(self):
+        stats = sim_for([rec(1, n=9)], backend_cpi_extra=2.0).run()
+        assert stats.backend_cycles == 18
+
+    def test_perfect_l1i_never_stalls(self):
+        stats = sim_for([rec(i) for i in range(20)], perfect_l1i=True).run()
+        assert stats.icache_stall_cycles == 0
+        assert stats.demand_misses == 0
+
+
+class TestPrefetchPath:
+    def test_timely_prefetch_covers_miss(self):
+        pf = RecordingPrefetcher(issue_next=1)
+        # Enough same-line work between line 1 and line 2 for the
+        # prefetch to complete.
+        records = [rec(1)] + [rec(1, n=24)] * 30 + [rec(2, seq=True)]
+        sim = sim_for(records, prefetcher=pf)
+        stats = sim.run()
+        assert stats.prefetches_issued >= 1
+        assert stats.demand_late_prefetch == 0
+        assert stats.seq_misses == 0
+        assert stats.prefetches_useful >= 1
+        assert stats.cmal == pytest.approx(1.0)
+        assert any(e[0] == "pf_hit" for e in pf.events)
+
+    def test_late_prefetch_partial_coverage(self):
+        pf = RecordingPrefetcher(issue_next=1)
+        # Immediate back-to-back: the prefetch cannot complete in time.
+        # Line 1 is LLC-resident (short demand stall) while line 2 comes
+        # from memory, so the prefetch is still in flight when demanded.
+        sim = sim_for([rec(1, n=3), rec(2, n=3, seq=True)], prefetcher=pf)
+        sim.llc.fill(1 * CACHE_BLOCK_SIZE)
+        stats = sim.run()
+        assert stats.demand_late_prefetch == 1
+        assert 0 < stats.cmal < 1.0
+        assert stats.seq_misses == 1  # late counts as uncovered miss
+
+    def test_useless_prefetch_counted_on_eviction(self):
+        pf = RecordingPrefetcher(issue_next=1)
+        # Touch many distinct lines mapping over the cache so prefetched
+        # lines get evicted without use.  64-set, 8-way L1i: reuse one set.
+        hot = [rec(1 + 64 * i) for i in range(12)]
+        sim = sim_for(hot * 2, prefetcher=pf)
+        stats = sim.run()
+        assert stats.prefetches_useless > 0
+
+    def test_prefetch_flag_cleared_on_demand(self):
+        pf = RecordingPrefetcher(issue_next=1)
+        records = [rec(1)] + [rec(1, n=24)] * 30 + [rec(2, seq=True)]
+        sim = sim_for(records, prefetcher=pf)
+        sim.run()
+        line = sim.l1i.lookup(2 * CACHE_BLOCK_SIZE, touch=False)
+        assert line is not None and not line.is_prefetch
+
+    def test_issue_prefetch_dedups(self):
+        sim = sim_for([rec(1)])
+        sim.run()
+        assert sim.issue_prefetch(5 * CACHE_BLOCK_SIZE) is True
+        assert sim.issue_prefetch(5 * CACHE_BLOCK_SIZE) is False  # in MSHR
+        assert sim.issue_prefetch(1 * CACHE_BLOCK_SIZE) is False  # resident
+
+
+class TestBranchPath:
+    def test_btb_miss_penalty_once(self):
+        records = [branch_rec(1, BranchKind.JUMP, 9),
+                   rec(9), branch_rec(1, BranchKind.JUMP, 9), rec(9)]
+        stats = sim_for(records).run()
+        assert stats.btb_misses == 1
+        assert stats.btb_stall_cycles == FrontendConfig().btb_miss_penalty
+
+    def test_perfect_btb_no_penalty(self):
+        records = [branch_rec(1, BranchKind.JUMP, 9), rec(9)]
+        stats = sim_for(records, perfect_btb=True).run()
+        assert stats.btb_stall_cycles == 0
+
+    def test_not_taken_cond_needs_no_btb(self):
+        records = [branch_rec(1, BranchKind.COND, 9, taken=False), rec(2)]
+        stats = sim_for(records).run()
+        assert stats.btb_misses == 0
+
+    def test_cond_mispredict_penalty(self):
+        # Predictor initialises weakly-taken: a not-taken outcome is a
+        # mispredict; branch_target is the static target (wrong path).
+        records = [branch_rec(1, BranchKind.COND, 9, taken=False)]
+        stats = sim_for(records).run()
+        assert stats.mispredicts == 1
+        assert stats.mispredict_stall_cycles == \
+            FrontendConfig().mispredict_penalty
+
+    def test_call_return_ras(self):
+        records = [branch_rec(1, BranchKind.CALL, 5)]
+        call = records[0]
+        ret = FetchRecord(
+            line=5 * CACHE_BLOCK_SIZE, first_pc=5 * CACHE_BLOCK_SIZE,
+            n_instr=4, seq=False,
+            branch_pc=5 * CACHE_BLOCK_SIZE + 12,
+            branch_kind=BranchKind.RETURN,
+            branch_target=call.branch_pc + call.branch_size,
+            branch_size=4, taken=True)
+        stats = sim_for([call, ret]).run()
+        # Correct RAS prediction: the return adds no mispredict.
+        assert stats.mispredicts == 0
+
+    def test_return_without_call_mispredicts(self):
+        ret = branch_rec(5, BranchKind.RETURN, 1)
+        stats = sim_for([ret]).run()
+        assert stats.mispredicts == 1
+
+    def test_indirect_target_change_mispredicts(self):
+        a = branch_rec(1, BranchKind.INDIRECT, 9)
+        b = branch_rec(1, BranchKind.INDIRECT, 13)
+        stats = sim_for([a, rec(9), b, rec(13)]).run()
+        # First indirect: BTB miss; second: stale target -> mispredict.
+        assert stats.btb_misses == 1
+        assert stats.mispredicts == 1
+
+    def test_btb_prefetch_buffer_rescue(self):
+        records = [branch_rec(1, BranchKind.JUMP, 9), rec(9)]
+        sim = sim_for(records)
+        sim.btb_prefetch_buffer = BtbPrefetchBuffer(32, 2)
+        sim.btb_prefetch_buffer.fill(
+            records[0].line,
+            [])
+        # Manually buffer the branch the demand path will miss on.
+        from repro.isa import Instruction
+        sim.btb_prefetch_buffer.fill(records[0].line, [Instruction(
+            pc=records[0].branch_pc, size=4, kind=BranchKind.JUMP,
+            target=records[0].branch_target)])
+        stats = sim.run()
+        assert stats.btb_misses == 0
+        assert stats.btb_buffer_fills == 1
+        assert stats.btb_stall_cycles == 0
+
+
+class TestWarmup:
+    def test_warmup_excludes_cold_misses(self):
+        records = [rec(i % 5) for i in range(50)]
+        cold = sim_for(records).run()
+        warm = sim_for(records).run(warmup=25)
+        assert warm.demand_misses == 0
+        assert cold.demand_misses == 5
+        assert warm.instructions < cold.instructions
+
+    def test_warmup_keeps_cache_state(self):
+        records = [rec(1), rec(2), rec(1), rec(2)]
+        stats = sim_for(records).run(warmup=2)
+        assert stats.demand_hits == 2
+
+
+class TestEmptyFtqAttribution:
+    def test_stalls_during_blocked_runahead_counted(self):
+        records = [rec(1), rec(9)]
+        sim = sim_for(records)
+        sim.runahead_blocked_until = 10 ** 9
+        stats = sim.run()
+        assert stats.empty_ftq_stall_cycles == stats.icache_stall_cycles \
+            + stats.mispredict_stall_cycles + stats.btb_stall_cycles

@@ -1,0 +1,95 @@
+"""Tests for the direction predictor and L1 prefetch buffer."""
+
+import pytest
+
+from repro.frontend import BimodalTable, DirectionPredictor, L1PrefetchBuffer
+
+
+class TestBimodal:
+    def test_initial_weakly_taken(self):
+        t = BimodalTable(16)
+        assert t.predict(0)  # init counter 2 -> taken
+
+    def test_training(self):
+        t = BimodalTable(16)
+        for _ in range(3):
+            t.update(4, False)
+        assert not t.predict(4)
+        for _ in range(3):
+            t.update(4, True)
+        assert t.predict(4)
+
+    def test_saturation(self):
+        t = BimodalTable(16)
+        for _ in range(10):
+            t.update(0, True)
+        t.update(0, False)
+        assert t.predict(0)  # one not-taken doesn't flip a saturated counter
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalTable(12)
+
+
+class TestDirectionPredictor:
+    def test_learns_biased_branch(self):
+        p = DirectionPredictor(1024)
+        for _ in range(50):
+            p.update(0x400, True)
+        assert p.predict(0x400)
+        assert p.accuracy > 0.9
+
+    def test_learns_alternating_with_history(self):
+        p = DirectionPredictor(1024, history_bits=8)
+        correct = 0
+        for i in range(400):
+            taken = i % 2 == 0
+            if p.predict(0x800) == taken:
+                correct += 1
+            p.update(0x800, taken)
+        # gshare should lock onto the alternation eventually.
+        assert correct / 400 > 0.7
+
+    def test_update_returns_correctness(self):
+        p = DirectionPredictor(1024)
+        for _ in range(10):
+            p.update(0x40, True)
+        assert p.update(0x40, True) is True
+
+    def test_counts(self):
+        p = DirectionPredictor(1024)
+        p.update(0, True)
+        p.update(0, True)
+        assert p.predictions == 2
+
+
+class TestL1PrefetchBuffer:
+    def test_fill_take(self):
+        buf = L1PrefetchBuffer(4)
+        buf.fill(0x1000, fill_latency=30)
+        assert buf.contains(0x1000)
+        assert buf.take(0x1000) == 30
+        assert not buf.contains(0x1000)
+
+    def test_take_miss(self):
+        buf = L1PrefetchBuffer(4)
+        assert buf.take(0x1000) is None
+        assert buf.misses == 1
+
+    def test_fifo_eviction_reports_victim(self):
+        buf = L1PrefetchBuffer(2)
+        buf.fill(0, 1)
+        buf.fill(64, 2)
+        victim = buf.fill(128, 3)
+        assert victim == 0
+        assert not buf.contains(0)
+
+    def test_refill_same_line_no_eviction(self):
+        buf = L1PrefetchBuffer(2)
+        buf.fill(0, 1)
+        assert buf.fill(0, 5) is None
+        assert buf.take(0) == 5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            L1PrefetchBuffer(0)

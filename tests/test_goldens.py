@@ -1,0 +1,44 @@
+"""Golden-number regression tests: the calibration must stay intact."""
+
+import pytest
+
+from repro.experiments.goldens import (
+    GOLDEN_BANDS,
+    GoldenBand,
+    check_goldens,
+    measure_goldens,
+)
+
+# Smaller than the canonical 45 K check to keep the suite quick; the
+# bands are wide enough to hold at this size too.
+RECORDS = 30_000
+
+
+class TestGoldenBand:
+    def test_inside(self):
+        assert GoldenBand("x", 1.0, 2.0).check(1.5) == ""
+
+    def test_outside(self):
+        msg = GoldenBand("x", 1.0, 2.0).check(2.5)
+        assert "x" in msg and "2.5" in msg
+
+    def test_bands_are_sane(self):
+        for band in GOLDEN_BANDS:
+            assert band.lo < band.hi
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return measure_goldens(n_records=RECORDS)
+
+    def test_all_metrics_measured(self, measured):
+        assert {b.name for b in GOLDEN_BANDS} <= set(measured)
+
+    def test_calibration_intact(self, measured):
+        violations = [b.check(measured[b.name]) for b in GOLDEN_BANDS]
+        violations = [v for v in violations if v]
+        assert not violations, "\n".join(violations)
+
+    def test_check_goldens_wrapper(self):
+        assert check_goldens(n_records=RECORDS) == []

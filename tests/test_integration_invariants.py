@@ -1,0 +1,85 @@
+"""Cross-module integration invariants.
+
+Runs every registered scheme on one workload and checks the accounting
+identities that must hold regardless of scheme behaviour.
+"""
+
+import pytest
+
+from repro.experiments import run_scheme, scheme_names
+
+FAST = dict(n_records=15_000, warmup=5_000, scale=0.3)
+
+
+@pytest.fixture(scope="module", params=sorted(scheme_names()))
+def result(request):
+    return run_scheme("web_apache", request.param, **FAST)
+
+
+class TestAccountingInvariants:
+    def test_demand_accesses_partition(self, result):
+        st = result.stats
+        assert st.demand_accesses == (st.demand_hits + st.demand_misses +
+                                      st.demand_late_prefetch)
+
+    def test_miss_classification_partition(self, result):
+        st = result.stats
+        assert st.seq_misses + st.disc_misses == \
+            st.demand_misses + st.demand_late_prefetch
+
+    def test_covered_latency_bounded(self, result):
+        st = result.stats
+        assert 0.0 <= st.covered_latency <= st.prefetched_latency + 1e-9
+        assert 0.0 <= st.cmal <= 1.0
+
+    def test_useful_prefetches_bounded_by_issued(self, result):
+        # Strict accounting only holds without a warmup boundary
+        # (prefetches issued during warmup resolve after the stats reset).
+        res = run_scheme(result.workload, result.scheme,
+                         n_records=FAST["n_records"], warmup=0,
+                         scale=FAST["scale"])
+        st = res.stats
+        assert st.prefetches_useful + st.prefetches_useless <= \
+            st.prefetches_issued
+
+    def test_lookups_at_least_demand(self, result):
+        st = result.stats
+        assert st.cache_lookups >= st.demand_accesses
+
+    def test_cycle_buckets_nonnegative(self, result):
+        st = result.stats
+        for bucket in ("delivery_cycles", "icache_stall_cycles",
+                       "btb_stall_cycles", "mispredict_stall_cycles",
+                       "backend_cycles", "empty_ftq_stall_cycles"):
+            assert getattr(st, bucket) >= 0, bucket
+
+    def test_empty_ftq_bounded_by_stalls(self, result):
+        st = result.stats
+        assert st.empty_ftq_stall_cycles <= (
+            st.icache_stall_cycles + st.btb_stall_cycles +
+            st.mispredict_stall_cycles)
+
+    def test_instructions_match_trace_tail(self, result):
+        # All schemes measure the same post-warmup instruction stream.
+        base = run_scheme("web_apache", "baseline", **FAST)
+        assert result.stats.instructions == base.stats.instructions
+
+    def test_branches_match_baseline(self, result):
+        base = run_scheme("web_apache", "baseline", **FAST)
+        assert result.stats.branches == base.stats.branches
+
+
+class TestSchemeSanity:
+    def test_prefetching_schemes_issue(self, result):
+        if result.scheme in ("baseline", "perfect_l1i", "perfect_l1i_btb"):
+            pytest.skip("non-prefetching scheme")
+        assert result.stats.prefetches_issued > 0
+
+    def test_prefetching_schemes_reduce_misses(self, result):
+        if result.scheme in ("baseline", "perfect_l1i", "perfect_l1i_btb",
+                             "discontinuity", "dis"):
+            pytest.skip("baseline or single-category scheme")
+        base = run_scheme("web_apache", "baseline", **FAST)
+        mine = result.stats.demand_misses + result.stats.demand_late_prefetch
+        theirs = base.stats.demand_misses + base.stats.demand_late_prefetch
+        assert mine < theirs

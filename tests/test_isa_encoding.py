@@ -1,0 +1,175 @@
+"""Unit and property tests for the ISA codecs (repro.isa.encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    EncodingError,
+    BranchKind,
+    Instruction,
+    TextSegment,
+    VL_BRANCH_MIN_SIZE,
+    decode_fixed,
+    decode_variable,
+    displacement_fits_fixed,
+    encode_fixed,
+    encode_variable,
+    split_sizes_variable,
+)
+
+BRANCH_KINDS_ENCODED = [BranchKind.COND, BranchKind.JUMP, BranchKind.CALL]
+BRANCH_KINDS_UNENCODED = [BranchKind.RETURN, BranchKind.INDIRECT]
+
+
+def fixed_instr(pc=0x1000, kind=BranchKind.NOT_BRANCH, target=None):
+    return Instruction(pc=pc, size=4, kind=kind, target=target)
+
+
+class TestFixedCodec:
+    def test_roundtrip_plain(self):
+        instr = fixed_instr()
+        assert decode_fixed(encode_fixed(instr), instr.pc) == instr
+
+    @pytest.mark.parametrize("kind", BRANCH_KINDS_ENCODED)
+    def test_roundtrip_encoded_branches(self, kind):
+        instr = fixed_instr(kind=kind, target=0x2040)
+        assert decode_fixed(encode_fixed(instr), instr.pc) == instr
+
+    @pytest.mark.parametrize("kind", BRANCH_KINDS_UNENCODED)
+    def test_roundtrip_unencoded_branches(self, kind):
+        instr = fixed_instr(kind=kind)
+        assert decode_fixed(encode_fixed(instr), instr.pc) == instr
+
+    def test_negative_displacement(self):
+        instr = fixed_instr(pc=0x8000, kind=BranchKind.JUMP, target=0x100)
+        assert decode_fixed(encode_fixed(instr), 0x8000).target == 0x100
+
+    def test_displacement_out_of_range(self):
+        instr = fixed_instr(pc=0, kind=BranchKind.JUMP, target=1 << 24)
+        with pytest.raises(EncodingError):
+            encode_fixed(instr)
+
+    def test_truncated_decode(self):
+        with pytest.raises(EncodingError):
+            decode_fixed(b"\x00\x00", 0)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode_fixed(b"\xff\x00\x00\x00", 0)
+
+    def test_wrong_size_rejected(self):
+        instr = Instruction(pc=0, size=8)
+        with pytest.raises(EncodingError):
+            encode_fixed(instr)
+
+    @given(pc=st.integers(0, 1 << 30),
+           disp=st.integers(-(1 << 23), (1 << 23) - 1))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, pc, disp):
+        instr = Instruction(pc=pc, size=4, kind=BranchKind.CALL,
+                            target=pc + disp)
+        assert decode_fixed(encode_fixed(instr), pc) == instr
+
+
+class TestVariableCodec:
+    @pytest.mark.parametrize("size", range(2, 11))
+    def test_roundtrip_plain_all_sizes(self, size):
+        instr = Instruction(pc=0x1000, size=size)
+        assert decode_variable(encode_variable(instr), 0x1000) == instr
+
+    @pytest.mark.parametrize("kind", BRANCH_KINDS_ENCODED)
+    def test_roundtrip_encoded_branches(self, kind):
+        instr = Instruction(pc=0x1000, size=6, kind=kind, target=0x40)
+        assert decode_variable(encode_variable(instr), 0x1000) == instr
+
+    def test_branch_too_small(self):
+        instr = Instruction(pc=0, size=4, kind=BranchKind.JUMP, target=8)
+        with pytest.raises(EncodingError):
+            encode_variable(instr)
+
+    def test_size_out_of_bounds(self):
+        with pytest.raises(EncodingError):
+            encode_variable(Instruction(pc=0, size=11))
+
+    def test_length_is_self_describing(self):
+        instr = Instruction(pc=0, size=7)
+        data = encode_variable(instr) + b"\xAA" * 16
+        assert decode_variable(data, 0).size == 7
+
+    @given(pc=st.integers(0, 1 << 30), size=st.integers(6, 10),
+           disp=st.integers(-(1 << 20), 1 << 20))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, pc, size, disp):
+        instr = Instruction(pc=pc, size=size, kind=BranchKind.COND,
+                            target=pc + disp)
+        assert decode_variable(encode_variable(instr), pc) == instr
+
+
+class TestTextSegment:
+    def test_write_and_decode(self):
+        seg = TextSegment(base=0x1000, size=256)
+        instr = fixed_instr(pc=0x1010, kind=BranchKind.JUMP, target=0x1000)
+        seg.write_instruction(instr)
+        assert seg.decode_at(0x1010) == instr
+
+    def test_decode_range(self):
+        seg = TextSegment(base=0, size=64)
+        for i in range(4):
+            seg.write_instruction(Instruction(pc=4 * i, size=4))
+        assert len(seg.decode_range(0, 16)) == 4
+
+    def test_out_of_bounds_write(self):
+        seg = TextSegment(base=0, size=8)
+        with pytest.raises(EncodingError):
+            seg.write_instruction(fixed_instr(pc=8))
+
+    def test_read_below_base(self):
+        seg = TextSegment(base=0x100, size=8)
+        with pytest.raises(EncodingError):
+            seg.read(0x80, 4)
+
+    def test_variable_segment_uses_vl_codec(self):
+        seg = TextSegment(base=0, size=64, variable_length=True)
+        instr = Instruction(pc=0, size=3)
+        seg.write_instruction(instr)
+        assert seg.decode_at(0) == instr
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            TextSegment(base=-1, size=64)
+        with pytest.raises(ValueError):
+            TextSegment(base=0, size=0)
+
+
+class TestHelpers:
+    def test_displacement_fits_fixed(self):
+        assert displacement_fits_fixed(0, 100)
+        assert not displacement_fits_fixed(0, 1 << 24)
+
+    def test_split_sizes_basic(self):
+        rng = np.random.default_rng(0)
+        sizes = split_sizes_variable(30, 5, 1, rng)
+        assert sizes is not None
+        assert sum(sizes) == 30
+        assert sizes[0] >= VL_BRANCH_MIN_SIZE
+        assert all(2 <= s <= 10 for s in sizes)
+
+    def test_split_sizes_impossible(self):
+        rng = np.random.default_rng(0)
+        assert split_sizes_variable(100, 2, 0, rng) is None  # > 2*10
+        assert split_sizes_variable(3, 2, 0, rng) is None    # < 2*2
+        assert split_sizes_variable(10, 0, 0, rng) is None
+
+    @given(total=st.integers(4, 120), n=st.integers(1, 12),
+           nb=st.integers(0, 3))
+    @settings(max_examples=200)
+    def test_split_sizes_property(self, total, n, nb):
+        nb = min(nb, n)
+        rng = np.random.default_rng(1)
+        sizes = split_sizes_variable(total, n, nb, rng)
+        if sizes is not None:
+            assert sum(sizes) == total
+            assert len(sizes) == n
+            assert all(s >= VL_BRANCH_MIN_SIZE for s in sizes[:nb])

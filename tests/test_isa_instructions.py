@@ -1,0 +1,91 @@
+"""Unit tests for the instruction model (repro.isa.instructions)."""
+
+import pytest
+
+from repro.isa import (
+    CACHE_BLOCK_SIZE,
+    BranchKind,
+    Instruction,
+    block_base,
+    block_of,
+    block_offset,
+)
+
+
+class TestBranchKind:
+    def test_not_branch_is_not_a_branch(self):
+        assert not BranchKind.NOT_BRANCH.is_branch
+
+    @pytest.mark.parametrize("kind", [
+        BranchKind.COND, BranchKind.JUMP, BranchKind.CALL,
+        BranchKind.RETURN, BranchKind.INDIRECT,
+    ])
+    def test_branch_kinds_are_branches(self, kind):
+        assert kind.is_branch
+
+    @pytest.mark.parametrize("kind,encoded", [
+        (BranchKind.COND, True),
+        (BranchKind.JUMP, True),
+        (BranchKind.CALL, True),
+        (BranchKind.RETURN, False),
+        (BranchKind.INDIRECT, False),
+        (BranchKind.NOT_BRANCH, False),
+    ])
+    def test_target_encoded(self, kind, encoded):
+        assert kind.target_encoded is encoded
+
+    def test_unconditional_classification(self):
+        assert BranchKind.JUMP.is_unconditional
+        assert BranchKind.CALL.is_unconditional
+        assert BranchKind.RETURN.is_unconditional
+        assert BranchKind.INDIRECT.is_unconditional
+        assert not BranchKind.COND.is_unconditional
+
+
+class TestInstruction:
+    def test_plain_instruction(self):
+        instr = Instruction(pc=0x1000, size=4)
+        assert not instr.is_branch
+        assert instr.end == 0x1004
+
+    def test_branch_with_target(self):
+        instr = Instruction(pc=0x1000, size=4, kind=BranchKind.JUMP,
+                            target=0x2000)
+        assert instr.is_branch
+        assert instr.target == 0x2000
+
+    def test_encoded_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, size=4, kind=BranchKind.CALL)
+
+    def test_return_needs_no_target(self):
+        instr = Instruction(pc=0x1000, size=4, kind=BranchKind.RETURN)
+        assert instr.target is None
+
+    def test_non_branch_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, size=4, target=0x2000)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, size=0)
+
+
+class TestBlockHelpers:
+    def test_block_of(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(0x1000) == 0x1000 // CACHE_BLOCK_SIZE
+
+    def test_block_base(self):
+        assert block_base(0x1234) == 0x1200
+        assert block_base(0x1200) == 0x1200
+
+    def test_block_offset(self):
+        assert block_offset(0x1234) == 0x34
+        assert block_offset(0x1240) == 0
+
+    def test_base_plus_offset_identity(self):
+        for addr in (0, 1, 63, 64, 0x12345):
+            assert block_base(addr) + block_offset(addr) == addr

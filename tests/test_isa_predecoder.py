@@ -1,0 +1,134 @@
+"""Tests for the block pre-decoder (repro.isa.predecoder)."""
+
+import pytest
+
+from repro.isa import (
+    BranchKind,
+    EncodingError,
+    Instruction,
+    Predecoder,
+    TextSegment,
+    target_of,
+)
+
+
+def build_fixed_segment():
+    """A 2-block segment: branches at instruction offsets 2 and 9."""
+    seg = TextSegment(base=0, size=128)
+    for i in range(32):
+        pc = 4 * i
+        if i == 2:
+            seg.write_instruction(Instruction(pc=pc, size=4,
+                                              kind=BranchKind.CALL,
+                                              target=64))
+        elif i == 9:
+            seg.write_instruction(Instruction(pc=pc, size=4,
+                                              kind=BranchKind.COND,
+                                              target=0))
+        else:
+            seg.write_instruction(Instruction(pc=pc, size=4))
+    return seg
+
+
+class TestFixedPredecode:
+    def test_finds_all_branches(self):
+        pre = Predecoder(build_fixed_segment())
+        result = pre.decode_block(0)
+        assert [b.pc for b in result.branches] == [8, 36]
+        assert [b.kind for b in result.branches] == [BranchKind.CALL,
+                                                     BranchKind.COND]
+
+    def test_offset_branch_hit(self):
+        pre = Predecoder(build_fixed_segment())
+        result = pre.decode_block(0, dis_offset=2)
+        assert result.offset_branch is not None
+        assert result.offset_branch.pc == 8
+
+    def test_offset_branch_miss_on_non_branch(self):
+        pre = Predecoder(build_fixed_segment())
+        result = pre.decode_block(0, dis_offset=3)
+        assert result.offset_branch is None
+
+    def test_second_block_empty(self):
+        pre = Predecoder(build_fixed_segment())
+        assert pre.decode_block(64).branches == []
+
+    def test_block_outside_segment(self):
+        pre = Predecoder(build_fixed_segment())
+        assert pre.decode_block(4096).branches == []
+
+    def test_counts_passes(self):
+        pre = Predecoder(build_fixed_segment())
+        pre.decode_block(0)
+        pre.decode_block(0)
+        assert pre.blocks_decoded == 2
+
+    def test_memoised_results_are_fresh_copies(self):
+        pre = Predecoder(build_fixed_segment())
+        first = pre.decode_block(0)
+        first.branches.clear()
+        assert len(pre.decode_block(0).branches) == 2
+
+    def test_branch_offsets(self):
+        pre = Predecoder(build_fixed_segment())
+        assert pre.branch_offsets(0) == [8, 36]
+
+
+class TestVariablePredecode:
+    def build(self):
+        seg = TextSegment(base=0, size=64, variable_length=True)
+        seg.write_instruction(Instruction(pc=0, size=5))
+        seg.write_instruction(Instruction(pc=5, size=6,
+                                          kind=BranchKind.JUMP, target=40))
+        seg.write_instruction(Instruction(pc=11, size=3))
+        seg.write_instruction(Instruction(pc=14, size=7,
+                                          kind=BranchKind.RETURN))
+        return seg
+
+    def test_requires_footprint(self):
+        pre = Predecoder(self.build())
+        # Without boundaries nothing is decodable.
+        assert pre.decode_block(0).branches == []
+
+    def test_footprint_reveals_branches(self):
+        pre = Predecoder(self.build())
+        result = pre.decode_block(0, footprint_offsets=(5, 14))
+        assert [b.pc for b in result.branches] == [5, 14]
+
+    def test_footprint_with_non_branch_offset(self):
+        pre = Predecoder(self.build())
+        result = pre.decode_block(0, footprint_offsets=(0, 5))
+        assert [b.pc for b in result.branches] == [5]
+
+    def test_dis_offset_byte_granular(self):
+        pre = Predecoder(self.build())
+        result = pre.decode_block(0, dis_offset=5)
+        assert result.offset_branch is not None
+        assert result.offset_branch.target == 40
+
+    def test_vl_latency_higher(self):
+        fixed = Predecoder(build_fixed_segment())
+        vl = Predecoder(self.build())
+        assert vl.latency > fixed.latency
+
+    def test_branch_offsets_raises_for_vl(self):
+        pre = Predecoder(self.build())
+        with pytest.raises(EncodingError):
+            pre.branch_offsets(0)
+
+
+class TestTargetOf:
+    def test_encoded_target(self):
+        instr = Instruction(pc=0, size=4, kind=BranchKind.JUMP, target=64)
+        assert target_of(instr) == 64
+
+    def test_unencoded_uses_btb(self):
+        instr = Instruction(pc=0, size=4, kind=BranchKind.INDIRECT)
+        assert target_of(instr, btb_lookup=lambda pc: 0x40) == 0x40
+
+    def test_unencoded_without_btb(self):
+        instr = Instruction(pc=0, size=4, kind=BranchKind.RETURN)
+        assert target_of(instr) is None
+
+    def test_non_branch(self):
+        assert target_of(Instruction(pc=0, size=4)) is None

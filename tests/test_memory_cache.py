@@ -1,0 +1,106 @@
+"""Tests for the set-associative cache (repro.memory.cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import CacheLine, SetAssociativeCache
+
+
+def small_cache(assoc=2, sets=4):
+    return SetAssociativeCache(size_bytes=64 * assoc * sets, assoc=assoc)
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        c = SetAssociativeCache(32 * 1024, 8)
+        assert c.n_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 8)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 3)  # not divisible
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(0x1000) is None
+        c.insert(0x1000)
+        assert c.lookup(0x1000) is not None
+
+    def test_sub_line_addresses_alias(self):
+        c = small_cache()
+        c.insert(0x1000)
+        assert c.lookup(0x103F) is not None
+
+    def test_lru_eviction(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0 * 64)
+        c.insert(1 * 64)
+        c.lookup(0)              # 0 becomes MRU
+        victim = c.insert(2 * 64)
+        assert victim is not None
+        assert victim.addr == 64  # line 1 was LRU
+
+    def test_touch_false_preserves_lru(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0)
+        c.insert(64)
+        c.lookup(0, touch=False)  # should NOT promote 0
+        victim = c.insert(128)
+        assert victim.addr == 0
+
+    def test_reinsert_refreshes(self):
+        c = small_cache(assoc=2, sets=1)
+        c.insert(0, is_prefetch=True)
+        assert c.insert(0, is_prefetch=False) is None
+        assert not c.lookup(0).is_prefetch
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.insert(0x40)
+        assert c.invalidate(0x40) is not None
+        assert c.lookup(0x40) is None
+        assert c.invalidate(0x40) is None
+
+    def test_metadata_defaults(self):
+        c = small_cache()
+        c.insert(0, is_prefetch=True, is_instruction=True)
+        line = c.lookup(0)
+        assert line.is_prefetch and line.is_instruction
+        assert line.local_status == 0
+        assert line.fill_latency == 0
+
+    def test_occupancy_and_flush(self):
+        c = small_cache()
+        for i in range(5):
+            c.insert(i * 64)
+        assert c.occupancy() == 5
+        c.flush()
+        assert c.occupancy() == 0
+
+    def test_set_mapping(self):
+        c = small_cache(assoc=2, sets=4)
+        # Lines 0 and 4 map to the same set (4 sets).
+        assert c.set_of(0 * 64) == c.set_of(4 * 64)
+        assert c.set_of(0 * 64) != c.set_of(1 * 64)
+
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        c = small_cache(assoc=2, sets=4)
+        for a in addrs:
+            c.insert(a)
+        assert c.occupancy() <= 8
+        for s in range(c.n_sets):
+            assert len(c.lines_in_set(s)) <= c.assoc
+
+    @given(addrs=st.lists(st.integers(0, 255), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_insert_always_resident(self, addrs):
+        c = small_cache(assoc=2, sets=4)
+        for a in addrs:
+            c.insert(a * 64)
+            assert c.contains(a * 64)

@@ -1,0 +1,133 @@
+"""Tests for MSHRs, latency/contention, and the NoC model."""
+
+import pytest
+
+from repro.memory import (
+    ContentionTracker,
+    InFlight,
+    LatencyConfig,
+    LatencyModel,
+    MeshNoc,
+    MshrFile,
+)
+
+
+class TestMshr:
+    def test_issue_and_ready(self):
+        m = MshrFile(capacity=4)
+        m.issue(1, issue_cycle=0, ready_cycle=10, is_prefetch=True)
+        assert 1 in m
+        assert m.pop_ready(5) == []
+        ready = m.pop_ready(10)
+        assert [e.line for e in ready] == [1]
+        assert 1 not in m
+
+    def test_remaining(self):
+        e = InFlight(line=1, issue_cycle=0, ready_cycle=30, is_prefetch=True)
+        assert e.full_latency == 30
+        assert e.remaining(10) == 20
+        assert e.remaining(40) == 0
+
+    def test_full_drops_prefetch(self):
+        m = MshrFile(capacity=1)
+        m.issue(1, 0, 10, is_prefetch=True)
+        assert m.issue(2, 0, 10, is_prefetch=True) is None
+        assert m.prefetches_dropped_full == 1
+
+    def test_full_allows_demand(self):
+        m = MshrFile(capacity=1)
+        m.issue(1, 0, 10, is_prefetch=True)
+        assert m.issue(2, 0, 10, is_prefetch=False) is not None
+
+    def test_demand_promotes_prefetch(self):
+        m = MshrFile(capacity=2)
+        m.issue(1, 0, 10, is_prefetch=True)
+        entry = m.issue(1, 5, 15, is_prefetch=False)
+        assert entry.is_prefetch is False
+        assert entry.ready_cycle == 10  # original fill timing kept
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestNoc:
+    def test_hops_xy(self):
+        noc = MeshNoc(4)
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 15) == 6   # corner to corner of 4x4
+        assert noc.latency(0, 15) == 18
+
+    def test_average_round_trip_positive(self):
+        noc = MeshNoc(4)
+        assert noc.average_round_trip(5) > 0
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            MeshNoc(4).coords(16)
+
+    def test_single_tile_mesh(self):
+        noc = MeshNoc(1)
+        assert noc.average_round_trip(0) == 0.0
+
+
+class TestContention:
+    def test_no_load_no_inflation(self):
+        t = ContentionTracker(LatencyConfig())
+        assert t.inflation(0) == 1.0
+
+    def test_load_inflates(self):
+        cfg = LatencyConfig()
+        t = ContentionTracker(cfg)
+        for c in range(0, 200):
+            t.record(c)
+        assert t.inflation(200) > 1.2
+
+    def test_load_saturates(self):
+        cfg = LatencyConfig()
+        t = ContentionTracker(cfg)
+        for c in range(512):
+            for _ in range(4):
+                t.record(c)
+        assert t.inflation(511) == pytest.approx(1.0 + cfg.contention_gain)
+
+    def test_old_requests_expire(self):
+        cfg = LatencyConfig()
+        t = ContentionTracker(cfg)
+        for c in range(50):
+            t.record(c)
+        assert t.load(50) > 0
+        assert t.load(50 + 10 * cfg.window) == 0.0
+
+
+class TestLatencyModel:
+    def test_memory_slower_than_llc(self):
+        m = LatencyModel()
+        llc = m.request(0, llc_hit=True)
+        mem = LatencyModel().request(0, llc_hit=False)
+        assert mem > llc
+
+    def test_requests_counted(self):
+        m = LatencyModel()
+        for i in range(5):
+            m.request(i * 1000)
+        assert m.requests == 5
+
+    def test_average_latency(self):
+        m = LatencyModel()
+        lat = m.request(0)
+        assert m.average_latency == pytest.approx(lat)
+
+    def test_traffic_raises_latency(self):
+        quiet = LatencyModel()
+        lat_quiet = quiet.request(10_000)
+        busy = LatencyModel()
+        for c in range(0, 200):
+            busy.request(c)
+        lat_busy = busy.request(200)
+        assert lat_busy > lat_quiet
+
+    def test_round_trips_include_noc(self):
+        cfg = LatencyConfig()
+        assert cfg.llc_round_trip > cfg.llc_access
+        assert cfg.memory_round_trip == cfg.llc_round_trip + cfg.memory_access

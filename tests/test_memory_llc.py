@@ -1,0 +1,127 @@
+"""Tests for the LLC and the DV-LLC (repro.memory.llc)."""
+
+import pytest
+
+from repro.memory import (
+    BF_BRANCHES,
+    DynamicallyVirtualizedLlc,
+    LastLevelCache,
+)
+
+
+def small_llc(**kw):
+    return LastLevelCache(size_bytes=64 * 4 * 4, assoc=4, **kw)
+
+
+def small_dvllc(bf_slots=2):
+    return DynamicallyVirtualizedLlc(size_bytes=64 * 4 * 4, assoc=4,
+                                     bf_slots=bf_slots)
+
+
+class TestLastLevelCache:
+    def test_access_fills(self):
+        llc = small_llc()
+        assert llc.access(0x1000) is False
+        assert llc.access(0x1000) is True
+
+    def test_hit_ratio_split_by_type(self):
+        llc = small_llc()
+        llc.access(0, is_instruction=True)
+        llc.access(0, is_instruction=True)
+        llc.access(1 << 20, is_instruction=False)
+        assert llc.hit_ratio(instruction=True) == 0.5
+        assert llc.hit_ratio(instruction=False) == 0.0
+
+    def test_empty_ratio(self):
+        assert small_llc().hit_ratio(instruction=True) == 0.0
+
+
+class TestDvLlcModeSwitch:
+    def test_data_only_set_keeps_full_assoc(self):
+        llc = small_dvllc()
+        # Fill one set with 4 data blocks (set stride = n_sets lines).
+        stride = llc.n_sets * 64
+        for i in range(4):
+            llc.fill(i * stride, is_instruction=False)
+        assert len(llc.lines_in_set(0)) == 4
+
+    def test_instruction_block_activates_bf_way(self):
+        llc = small_dvllc()
+        stride = llc.n_sets * 64
+        for i in range(4):
+            llc.fill(i * stride, is_instruction=False)
+        llc.fill(4 * stride, is_instruction=True)
+        # One way is now the BF holder: only 3 block-holders remain.
+        assert len(llc.lines_in_set(0)) == 3
+        assert llc.bf_ways_active() == 1
+
+    def test_reverts_when_instructions_leave(self):
+        llc = small_dvllc()
+        stride = llc.n_sets * 64
+        llc.fill(0, is_instruction=True)
+        assert llc.set_capacity(0) == 3
+        llc.invalidate(0)
+        assert llc.set_capacity(0) == 4
+        assert llc.bf_ways_active() == 0
+
+    def test_storage_overhead_tiny(self):
+        llc = DynamicallyVirtualizedLlc()
+        assert llc.storage_overhead_fraction() < 0.002  # paper: < 0.2%
+
+
+class TestFootprints:
+    def test_store_and_get(self):
+        llc = small_dvllc()
+        llc.fill(0, is_instruction=True)
+        assert llc.store_footprint(0, (4, 12, 40))
+        assert llc.get_footprint(0) == (4, 12, 40)
+
+    def test_capped_at_four_branches(self):
+        llc = small_dvllc()
+        llc.fill(0, is_instruction=True)
+        llc.store_footprint(0, tuple(range(10)))
+        assert len(llc.get_footprint(0)) == BF_BRANCHES
+
+    def test_store_requires_bf_mode(self):
+        llc = small_dvllc()
+        # No instruction blocks in set 0: no BF way available.
+        assert not llc.store_footprint(0, (4,))
+
+    def test_miss_counted(self):
+        llc = small_dvllc()
+        llc.fill(0, is_instruction=True)
+        assert llc.get_footprint(64 * llc.n_sets) is None
+        assert llc.footprint_misses == 1
+
+    def test_slot_capacity_evicts_lru_footprint(self):
+        llc = small_dvllc(bf_slots=2)
+        stride = llc.n_sets * 64
+        for i in range(3):
+            llc.fill(i * stride, is_instruction=True)
+            llc.store_footprint(i * stride, (i,))
+        assert llc.get_footprint(0) is None          # oldest dropped
+        assert llc.get_footprint(stride) == (1,)
+        assert llc.get_footprint(2 * stride) == (2,)
+
+    def test_block_eviction_drops_footprint(self):
+        llc = small_dvllc()
+        stride = llc.n_sets * 64
+        llc.fill(0, is_instruction=True)
+        llc.store_footprint(0, (5,))
+        # Force eviction of line 0 from its 3-block-holder set.
+        for i in range(1, 5):
+            llc.fill(i * stride, is_instruction=True)
+        assert not llc.contains(0)
+        assert llc.get_footprint(0) is None
+
+    def test_footprint_lru_refresh(self):
+        llc = small_dvllc(bf_slots=2)
+        stride = llc.n_sets * 64
+        llc.fill(0, is_instruction=True)
+        llc.fill(stride, is_instruction=True)
+        llc.store_footprint(0, (1,))
+        llc.store_footprint(stride, (2,))
+        llc.get_footprint(0)  # refresh 0
+        llc.fill(2 * stride, is_instruction=True)
+        llc.store_footprint(2 * stride, (3,))
+        assert llc.get_footprint(0) == (1,)

@@ -1,0 +1,68 @@
+"""Tests for the remaining analysis helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    average_over_workloads,
+    fscr,
+    geometric_mean,
+    miss_coverage,
+    normalize,
+    speedup,
+)
+
+
+class TestAverageOverWorkloads:
+    DATA = {
+        "w1": {"speedup": 1.2, "coverage": 0.6},
+        "w2": {"speedup": 1.1, "coverage": 0.4},
+    }
+
+    def test_arithmetic(self):
+        out = average_over_workloads(self.DATA, ["coverage"])
+        assert out["coverage"] == pytest.approx(0.5)
+
+    def test_geometric(self):
+        out = average_over_workloads(self.DATA, ["speedup"], geo=True)
+        assert out["speedup"] == pytest.approx((1.2 * 1.1) ** 0.5)
+
+    def test_multiple_metrics(self):
+        out = average_over_workloads(self.DATA, ["speedup", "coverage"])
+        assert set(out) == {"speedup", "coverage"}
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            average_over_workloads(self.DATA, ["nope"])
+
+
+class TestHelperEdgeCases:
+    def test_speedup_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_fscr_full_reduction(self):
+        assert fscr(100, 0) == 1.0
+
+    def test_fscr_regression_negative(self):
+        assert fscr(100, 150) == pytest.approx(-0.5)
+
+    @given(base=st.floats(1, 1e6), mine=st.floats(0, 1e6))
+    @settings(max_examples=100)
+    def test_coverage_bounds(self, base, mine):
+        assert 0.0 <= miss_coverage(base, mine) <= 1.0
+
+    @given(vals=st.dictionaries(st.text(min_size=1, max_size=4),
+                                st.floats(0.1, 100), min_size=1,
+                                max_size=8))
+    @settings(max_examples=50)
+    def test_normalize_base_is_one(self, vals):
+        key = next(iter(vals))
+        out = normalize(vals, key)
+        assert out[key] == pytest.approx(1.0)
+
+    @given(a=st.floats(0.5, 2.0), b=st.floats(0.5, 2.0))
+    @settings(max_examples=50)
+    def test_geomean_symmetry(self, a, b):
+        assert geometric_mean([a, b]) == pytest.approx(geometric_mean([b, a]))

@@ -1,0 +1,66 @@
+"""Tests for multicore workload mixes."""
+
+import pytest
+
+from repro.core import sn4l_dis_btb
+from repro.multicore import (
+    STANDARD_MIXES,
+    MulticoreSimulator,
+    WorkloadMix,
+    build_mix,
+    heterogeneous_mix,
+    homogeneous_mix,
+)
+
+
+class TestMixConstruction:
+    def test_homogeneous(self):
+        mix = homogeneous_mix("web_apache", 4)
+        assert mix.n_cores == 4
+        assert mix.homogeneous
+
+    def test_heterogeneous(self):
+        mix = heterogeneous_mix(("web_apache", "web_search"))
+        assert not mix.homogeneous
+        assert mix.n_cores == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_mix(("bogus",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_mix(())
+        with pytest.raises(ValueError):
+            homogeneous_mix("web_apache", 0)
+
+    def test_standard_mixes_valid(self):
+        for name, mix in STANDARD_MIXES.items():
+            assert isinstance(mix, WorkloadMix)
+            assert mix.n_cores >= 2
+
+
+class TestBuildMix:
+    def test_homogeneous_cores_get_distinct_samples(self):
+        mix = homogeneous_mix("web_frontend", 2)
+        traces, programs = build_mix(mix, n_records=2000, scale=0.15)
+        assert len(traces) == 2
+        assert programs[0] is programs[1]  # shared binary
+        assert [r.line for r in traces[0]] != [r.line for r in traces[1]]
+
+    def test_heterogeneous_programs_differ(self):
+        mix = heterogeneous_mix(("web_frontend", "web_apache"))
+        traces, programs = build_mix(mix, n_records=2000, scale=0.15)
+        assert programs[0] is not programs[1]
+        assert traces[0].name == "web_frontend"
+        assert traces[1].name == "web_apache"
+
+    def test_end_to_end_with_simulator(self):
+        mix = STANDARD_MIXES["webfarm4"]
+        traces, programs = build_mix(mix, n_records=3000, scale=0.15)
+        sim = MulticoreSimulator(traces, prefetcher_factory=sn4l_dis_btb,
+                                 programs=programs)
+        result = sim.run(warmup=1000)
+        assert len(result.cores) == 4
+        assert {c.workload for c in result.cores} == \
+            {"web_apache", "web_zeus", "web_frontend"}

@@ -1,0 +1,112 @@
+"""Tests for the multi-core co-simulator and SimFlex-style sampling."""
+
+import pytest
+
+from repro.core import sn4l_dis_btb
+from repro.experiments import SampledMetric, render_sampled, run_sampled
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.multicore import MulticoreSimulator
+from repro.workloads import get_generator
+
+SCALE = 0.3
+RECORDS = 8_000
+
+
+def make_traces(n, workload="web_apache"):
+    gen = get_generator(workload, scale=SCALE)
+    return gen, [gen.generate(RECORDS, sample=i) for i in range(n)]
+
+
+class TestMulticore:
+    def test_runs_all_cores_to_completion(self):
+        gen, traces = make_traces(4)
+        sim = MulticoreSimulator(traces, programs=[gen.program] * 4)
+        result = sim.run(warmup=2_000)
+        assert len(result.cores) == 4
+        for core in result.cores:
+            assert core.stats.instructions > 0
+
+    def test_shared_llc_sees_all_cores(self):
+        gen, traces = make_traces(2)
+        sim = MulticoreSimulator(traces, programs=[gen.program] * 2)
+        sim.run()
+        # Homogeneous cores share instruction blocks in the LLC.
+        assert sim.llc.instruction_hits > 0
+
+    def test_contention_shared(self):
+        """More cores -> more shared-bandwidth load -> higher latency."""
+        gen, traces1 = make_traces(1)
+        solo = MulticoreSimulator(traces1, programs=[gen.program])
+        solo.run()
+        gen, traces4 = make_traces(4)
+        quad = MulticoreSimulator(traces4, programs=[gen.program] * 4)
+        quad.run()
+        assert quad.latency.requests > solo.latency.requests
+
+    def test_homogeneous_sharing_beats_private_cold_llc(self):
+        """Core 1 benefits from core 0's LLC insertions."""
+        gen, traces = make_traces(2)
+        shared = MulticoreSimulator(traces, programs=[gen.program] * 2)
+        res = shared.run()
+        # Both cores see LLC hits early because they co-warm it.
+        total = (shared.llc.instruction_hits +
+                 shared.llc.instruction_misses)
+        assert shared.llc.instruction_hits / total > 0.5
+
+    def test_with_prefetchers(self):
+        gen, traces = make_traces(2)
+        sim = MulticoreSimulator(traces, prefetcher_factory=sn4l_dis_btb,
+                                 programs=[gen.program] * 2)
+        result = sim.run(warmup=2_000)
+        for core in result.cores:
+            assert core.stats.prefetches_issued > 0
+
+    def test_heterogeneous_workloads(self):
+        gen_a = get_generator("web_apache", scale=SCALE)
+        gen_b = get_generator("web_frontend", scale=SCALE)
+        traces = [gen_a.generate(RECORDS), gen_b.generate(RECORDS)]
+        sim = MulticoreSimulator(traces,
+                                 programs=[gen_a.program, gen_b.program])
+        result = sim.run()
+        assert result.cores[0].workload == "web_apache"
+        assert result.cores[1].workload == "web_frontend"
+        assert result.total_instructions > 0
+        assert result.aggregate_ipc > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MulticoreSimulator([])
+
+
+class TestSampling:
+    def test_metric_statistics(self):
+        m = SampledMetric("x", [1.0, 1.1, 0.9, 1.0, 1.0])
+        assert m.mean == pytest.approx(1.0)
+        assert m.ci_half_width > 0
+        assert m.relative_ci < 0.2
+
+    def test_single_sample_no_interval(self):
+        m = SampledMetric("x", [2.0])
+        assert m.ci_half_width == 0.0
+
+    def test_run_sampled(self):
+        run = run_sampled("web_frontend", "sn4l", n_samples=3,
+                          n_records=RECORDS, scale=SCALE)
+        assert set(run.metrics) == {"speedup", "ipc", "coverage",
+                                    "cmal", "fscr"}
+        speedup = run["speedup"]
+        assert speedup.n == 3
+        assert speedup.mean > 0.95
+        # Samples genuinely differ (different request arrival orders).
+        assert len(set(run["ipc"].samples)) > 1
+
+    def test_render(self):
+        run = run_sampled("web_frontend", "sn4l", n_samples=2,
+                          n_records=RECORDS, scale=SCALE)
+        text = render_sampled(run)
+        assert "speedup" in text and "±" in text
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            run_sampled("web_frontend", "sn4l", n_samples=1,
+                        n_records=RECORDS, scale=SCALE)

@@ -1,0 +1,106 @@
+"""The paper's Section V-E worked example (Fig. 10), reproduced exactly.
+
+Setup: block A misses.  Its four subsequent blocks' SeqTable status bits
+are 0, 1, 0, 1 (A+1 no, A+2 yes, A+3 no, A+4 yes).  The RLU already holds
+A+2 (it was just looked up), so SN4L sends a prefetch only for A+4.  When
+A arrives, it is pre-decoded; DisTable holds a partial-tag match for A
+with offset 9, the ninth instruction is a branch to block C, C misses the
+RLU and the cache, so a prefetch for C is sent too.
+"""
+
+import pytest
+
+from repro.core import ProactivePrefetcher
+from repro.frontend import FrontendSimulator
+from repro.isa import (
+    CACHE_BLOCK_SIZE,
+    BranchKind,
+    Instruction,
+    TextSegment,
+)
+from repro.cfg.layout import Program
+from repro.cfg import ControlFlowGraph, Function, BasicBlock, Terminator
+from repro.workloads import FetchRecord, Trace
+
+B = CACHE_BLOCK_SIZE
+A = 16 * B          # block A's address
+C = 64 * B          # the discontinuity target block
+
+
+def build_program():
+    """A hand-built text segment: block A holds a branch to C at
+    instruction offset 9; everything else is straight-line code."""
+    seg = TextSegment(base=A, size=6 * B)
+    for i in range(6 * B // 4):
+        pc = A + 4 * i
+        if i == 9:
+            seg.write_instruction(Instruction(
+                pc=pc, size=4, kind=BranchKind.JUMP, target=C))
+        else:
+            seg.write_instruction(Instruction(pc=pc, size=4))
+    # A minimal valid CFG so Program's bookkeeping is satisfied.
+    blk = BasicBlock(bid=0, func=0, n_instr=1,
+                     terminator=Terminator(BranchKind.RETURN))
+    blk.addr, blk.size = A, 4
+    blk.instructions = [Instruction(pc=A, size=4, kind=BranchKind.RETURN)]
+    cfg = ControlFlowGraph([Function(0, [blk])])
+    return Program(cfg, seg)
+
+
+@pytest.fixture()
+def example():
+    program = build_program()
+    prefetcher = ProactivePrefetcher()   # SN4L+Dis+BTB
+    record = FetchRecord(line=A, first_pc=A, n_instr=16, seq=False)
+    sim = FrontendSimulator(Trace([record]), prefetcher=prefetcher,
+                            program=program)
+    # SeqTable status of A+1..A+4 = 0, 1, 0, 1.
+    prefetcher.seqtable.reset(A + 1 * B)
+    prefetcher.seqtable.set(A + 2 * B)
+    prefetcher.seqtable.reset(A + 3 * B)
+    prefetcher.seqtable.set(A + 4 * B)
+    # A+2 was just looked up: it is in the RLU.
+    prefetcher.rlu.touch(A + 2 * B)
+    # DisTable: partial-tag match for A with offset 9.
+    prefetcher.distable.record(A, offset=9)
+    return sim, prefetcher
+
+
+class TestSectionVEExample:
+    def present(self, sim, addr):
+        return sim.l1i.contains(addr) or sim.in_flight(addr)
+
+    def test_a_plus_4_prefetched(self, example):
+        sim, _ = example
+        sim.run()
+        assert self.present(sim, A + 4 * B)
+
+    def test_a_plus_1_and_3_filtered_by_status(self, example):
+        sim, _ = example
+        sim.run()
+        assert not self.present(sim, A + 1 * B)
+        assert not self.present(sim, A + 3 * B)
+
+    def test_a_plus_2_filtered_by_rlu(self, example):
+        sim, _ = example
+        sim.run()
+        assert not self.present(sim, A + 2 * B)
+
+    def test_discontinuity_target_c_prefetched(self, example):
+        sim, pf = example
+        sim.run()
+        assert pf.dis_prefetch_candidates >= 1
+        assert self.present(sim, C)
+
+    def test_pre_decode_fills_btb_buffer(self, example):
+        sim, _ = example
+        sim.run()
+        # The branch at offset 9 was parked next to the BTB.
+        assert sim.btb_prefetch_buffer.lookup(A + 9 * 4) is not None
+
+    def test_local_status_cached_when_a_arrives(self, example):
+        sim, _ = example
+        sim.run()
+        line = sim.l1i.lookup(A, touch=False)
+        assert line is not None
+        assert line.local_status == 0b1010  # A+1..A+4 = 0,1,0,1

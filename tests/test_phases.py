@@ -1,0 +1,77 @@
+"""Tests for workload phase behaviour (hot-set drift)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import sn4l_dis_btb
+from repro.frontend import FrontendSimulator
+from repro.workloads import TraceGenerator, get_profile
+from repro.workloads.profiles import WalkParams
+
+SCALE = 0.3
+RECORDS = 20_000
+
+
+def generator(phase_shift):
+    prof = get_profile("web_apache").scaled(SCALE)
+    prof = replace(prof, walk=replace(prof.walk,
+                                      phase_shift_records=phase_shift))
+    return TraceGenerator(prof)
+
+
+class TestPhases:
+    def test_disabled_by_default(self):
+        assert get_profile("web_apache").walk.phase_shift_records == 0
+
+    def test_phases_change_the_trace(self):
+        steady = generator(0).generate(RECORDS)
+        phased = generator(RECORDS // 4).generate(RECORDS)
+        # Early trace identical (phase 0), later trace diverges.
+        k = RECORDS // 8
+        assert [r.line for r in steady[:k]] == [r.line for r in phased[:k]]
+        tail_s = [r.line for r in steady[-k:]]
+        tail_p = [r.line for r in phased[-k:]]
+        assert tail_s != tail_p
+
+    def test_phases_shift_the_hot_set(self):
+        """The originally-hottest handler's code cools down after the
+        shift (measured as fetches inside that function's address range,
+        second half of the trace vs the first)."""
+        n = 60_000
+        gen = generator(n // 3)
+        func = gen.cfg.function(gen._handlers[0])
+        lo = func.entry.addr
+        hi = func.blocks[-1].end
+        phased = gen.generate(n)
+        half = n // 2
+
+        def hits(trace, sl):
+            return sum(1 for r in trace.records[sl]
+                       if lo <= r.first_pc < hi)
+
+        first = hits(phased, slice(0, half))
+        second = hits(phased, slice(half, None))
+        assert second < first * 0.6
+
+    def test_phases_age_metadata(self):
+        """Phase drift costs the metadata-driven prefetcher coverage."""
+        gen_s = generator(0)
+        gen_p = generator(RECORDS // 5)
+        cov = {}
+        for tag, gen in (("steady", gen_s), ("phased", gen_p)):
+            trace = gen.generate(RECORDS)
+            base = FrontendSimulator(trace, program=gen.program).run(
+                warmup=RECORDS // 3)
+            st = FrontendSimulator(trace, prefetcher=sn4l_dis_btb(),
+                                   program=gen.program).run(
+                warmup=RECORDS // 3)
+            cov[tag] = st.coverage_over(base)
+        # Still effective, but phase churn costs something.
+        assert cov["phased"] > 0.2
+        assert cov["phased"] <= cov["steady"] + 0.05
+
+    def test_deterministic_with_phases(self):
+        a = generator(3000).generate(8000)
+        b = generator(3000).generate(8000)
+        assert [r.line for r in a] == [r.line for r in b]

@@ -1,0 +1,101 @@
+"""Property-based tests: the simulator must survive and account
+correctly for *any* well-formed fetch stream."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sn4l_dis_btb
+from repro.frontend import FrontendSimulator
+from repro.isa import CACHE_BLOCK_SIZE, BranchKind
+from repro.prefetchers import NextXLinePrefetcher, TifsPrefetcher
+from repro.workloads import FetchRecord, Trace, get_generator, mark_sequential
+
+B = CACHE_BLOCK_SIZE
+
+# A small real program so pre-decoding prefetchers have bytes to parse.
+_GEN = get_generator("web_frontend", scale=0.15)
+_LINES = _GEN.program.lines()
+
+
+@st.composite
+def fetch_traces(draw):
+    n = draw(st.integers(5, 120))
+    records = []
+    for _ in range(n):
+        line = draw(st.sampled_from(_LINES))
+        n_instr = draw(st.integers(1, 16))
+        rec = FetchRecord(line=line, first_pc=line, n_instr=n_instr,
+                          seq=False)
+        if draw(st.booleans()):
+            kind = draw(st.sampled_from([
+                BranchKind.COND, BranchKind.JUMP, BranchKind.CALL,
+                BranchKind.RETURN, BranchKind.INDIRECT]))
+            rec.branch_pc = line + 4 * draw(st.integers(0, 15))
+            rec.branch_kind = kind
+            rec.branch_size = 4
+            rec.taken = draw(st.booleans()) or kind in (
+                BranchKind.JUMP, BranchKind.CALL)
+            rec.branch_target = draw(st.sampled_from(_LINES))
+        records.append(rec)
+    mark_sequential(records)
+    return Trace(records)
+
+
+def check_invariants(stats):
+    assert stats.demand_accesses == (stats.demand_hits +
+                                     stats.demand_misses +
+                                     stats.demand_late_prefetch)
+    assert stats.seq_misses + stats.disc_misses == \
+        stats.demand_misses + stats.demand_late_prefetch
+    assert 0.0 <= stats.covered_latency <= stats.prefetched_latency + 1e-9
+    assert stats.total_cycles >= stats.delivery_cycles
+    assert stats.cache_lookups >= stats.demand_accesses
+
+
+class TestEngineProperties:
+    @given(trace=fetch_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_baseline_invariants(self, trace):
+        stats = FrontendSimulator(trace, program=_GEN.program).run()
+        check_invariants(stats)
+        assert stats.instructions == trace.n_instructions
+
+    @given(trace=fetch_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_nxl_invariants(self, trace):
+        stats = FrontendSimulator(trace, program=_GEN.program,
+                                  prefetcher=NextXLinePrefetcher(4)).run()
+        check_invariants(stats)
+
+    @given(trace=fetch_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_full_scheme_invariants(self, trace):
+        stats = FrontendSimulator(trace, program=_GEN.program,
+                                  prefetcher=sn4l_dis_btb()).run()
+        check_invariants(stats)
+        assert stats.prefetches_useful + stats.prefetches_useless <= \
+            stats.prefetches_issued
+
+    @given(trace=fetch_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_temporal_invariants(self, trace):
+        stats = FrontendSimulator(trace, program=_GEN.program,
+                                  prefetcher=TifsPrefetcher()).run()
+        check_invariants(stats)
+
+    @given(trace=fetch_traces(), warmup=st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_warmup_never_breaks_accounting(self, trace, warmup):
+        stats = FrontendSimulator(trace, program=_GEN.program).run(
+            warmup=min(warmup, len(trace) - 1))
+        check_invariants(stats)
+
+    @given(trace=fetch_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_prefetcher_never_slows_by_much(self, trace):
+        """A prefetcher may waste bandwidth but the demand path must
+        remain correct: cycles within 2x of baseline on any input."""
+        base = FrontendSimulator(trace, program=_GEN.program).run()
+        st_ = FrontendSimulator(trace, program=_GEN.program,
+                                prefetcher=sn4l_dis_btb()).run()
+        assert st_.total_cycles <= 2 * base.total_cycles + 100

@@ -1,0 +1,74 @@
+"""Tests for trace serialization (save/load round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Trace,
+    get_generator,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture()
+def trace():
+    return get_generator("web_frontend", scale=0.15).generate(3000)
+
+
+def records_equal(a, b):
+    fields = ("line", "first_pc", "n_instr", "seq", "branch_pc",
+              "branch_kind", "branch_target", "branch_size", "taken",
+              "ctx_switch")
+    return all(getattr(a, f) == getattr(b, f) for f in fields)
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert records_equal(a, b)
+
+    def test_aggregates_preserved(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.n_instructions == trace.n_instructions
+        assert loaded.n_branches == trace.n_branches
+        assert loaded.unique_lines() == trace.unique_lines()
+
+    def test_loaded_trace_simulates_identically(self, trace, tmp_path):
+        from repro.frontend import FrontendSimulator
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = FrontendSimulator(trace).run()
+        b = FrontendSimulator(loaded).run()
+        assert a.total_cycles == b.total_cycles
+        assert a.demand_misses == b.demand_misses
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace([], name="empty"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0 and loaded.name == "empty"
+
+    def test_version_check(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_compression_is_compact(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        # Well under the naive 8 fields x 8 bytes x records.
+        assert path.stat().st_size < len(trace) * 30

