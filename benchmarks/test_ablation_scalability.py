@@ -15,18 +15,22 @@ WORKLOAD = "oltp_db_a"
 
 
 def run_variants():
+    # keep_simulator: the storage accounting below reads the live
+    # prefetchers, which slim (default) results no longer carry.
     base = run_scheme(WORKLOAD, "baseline", n_records=BENCH_RECORDS)
-    ours = run_scheme(WORKLOAD, "sn4l_dis_btb", n_records=BENCH_RECORDS)
+    ours = run_scheme(WORKLOAD, "sn4l_dis_btb", n_records=BENCH_RECORDS,
+                      keep_simulator=True)
     ours2x = run_scheme(
         WORKLOAD, "sn4l_dis_btb", n_records=BENCH_RECORDS,
         prefetcher_factory=lambda: sn4l_dis_btb(
             seqtable_entries=32 * 1024, distable_entries=8192),
-        cache_key_extra="2x")
-    shotgun = run_scheme(WORKLOAD, "shotgun", n_records=BENCH_RECORDS)
+        cache_key_extra="2x", keep_simulator=True)
+    shotgun = run_scheme(WORKLOAD, "shotgun", n_records=BENCH_RECORDS,
+                         keep_simulator=True)
     shotgun2x = run_scheme(
         WORKLOAD, "shotgun", n_records=BENCH_RECORDS,
         prefetcher_factory=lambda: ShotgunPrefetcher(u_entries=3072),
-        cache_key_extra="2x")
+        cache_key_extra="2x", keep_simulator=True)
     return base, ours, ours2x, shotgun, shotgun2x
 
 

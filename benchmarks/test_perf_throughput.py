@@ -1,0 +1,92 @@
+"""Engine throughput microbenchmark: records simulated per second.
+
+Times the frontend engine's hot path before and after this round of
+optimisation, on the same trace:
+
+* **legacy** — the pre-optimisation engine: generic per-record stepping
+  (``run(fast=False)``) over a latency config that recomputes the NoC
+  mesh average on every fill request, exactly as the code did before the
+  round-trip memoisation landed;
+* **current** — the default path: memoised round trips plus the batched
+  no-prefetcher fast loop (for schemes where it is eligible).
+
+Both must produce bit-identical statistics; the test asserts that, then
+writes ``BENCH_throughput.json`` at the repo root with the measured
+records/sec and speedups.  The gate is a conservative 1.5x on the
+no-prefetcher baseline (typical measurements are well above it).
+"""
+
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from conftest import BENCH_RECORDS
+
+from repro.experiments.runner import build_scheme
+from repro.frontend import FrontendConfig, FrontendSimulator
+from repro.memory.latency import LatencyConfig, LatencyModel
+from repro.workloads import get_generator, get_trace
+
+WORKLOAD = "web_apache"
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+class _UncachedLatencyConfig(LatencyConfig):
+    """Pre-optimisation latency config: round trips recomputed per call."""
+
+    @property
+    def llc_round_trip(self) -> int:
+        return int(round(self.noc.average_round_trip(self.core_tile))) \
+            + self.llc_access
+
+    @property
+    def memory_round_trip(self) -> int:
+        return self.llc_round_trip + self.memory_access
+
+
+def _simulate(scheme: str, legacy: bool):
+    gen = get_generator(WORKLOAD)
+    trace = get_trace(WORKLOAD, n_records=BENCH_RECORDS)
+    prefetcher, overrides = build_scheme(scheme)
+    latency = LatencyModel(_UncachedLatencyConfig()) if legacy else None
+    sim = FrontendSimulator(trace, config=FrontendConfig(**overrides),
+                            prefetcher=prefetcher, program=gen.program,
+                            latency=latency)
+    start = time.perf_counter()
+    stats = sim.run(warmup=BENCH_RECORDS // 3,
+                    fast=False if legacy else None)
+    elapsed = time.perf_counter() - start
+    return stats, BENCH_RECORDS / elapsed
+
+
+def _measure(scheme: str, legacy: bool, reps: int = 3):
+    """Best-of-``reps`` records/sec (first rep's stats; all identical)."""
+    stats, best = _simulate(scheme, legacy)
+    for _ in range(reps - 1):
+        _, rps = _simulate(scheme, legacy)
+        best = max(best, rps)
+    return stats, best
+
+
+def test_throughput_and_report():
+    report = {"workload": WORKLOAD, "records": BENCH_RECORDS,
+              "schemes": {}}
+    # baseline exercises the batched fast path (the hard gate); the
+    # prefetcher scheme only gains the latency memoisation, so its floor
+    # just guards against regressions beyond measurement noise.
+    for scheme, min_speedup in (("baseline", 1.5), ("sn4l_dis_btb", 0.8)):
+        legacy_stats, legacy_rps = _measure(scheme, legacy=True)
+        current_stats, current_rps = _measure(scheme, legacy=False)
+        # The optimised path must not change a single counter.
+        assert asdict(current_stats) == asdict(legacy_stats), scheme
+        speedup = current_rps / legacy_rps
+        report["schemes"][scheme] = {
+            "legacy_records_per_sec": round(legacy_rps, 1),
+            "current_records_per_sec": round(current_rps, 1),
+            "speedup": round(speedup, 3),
+        }
+        print(f"{scheme}: {legacy_rps:,.0f} -> {current_rps:,.0f} rec/s "
+              f"({speedup:.2f}x)")
+        assert speedup >= min_speedup, (scheme, speedup)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")

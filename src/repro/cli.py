@@ -19,6 +19,8 @@ from typing import List, Optional
 from .analysis import arithmetic_mean
 from .experiments import (
     figures,
+    run_many,
+    set_default_jobs,
     render_matrix,
     render_per_scheme,
     render_per_workload,
@@ -99,6 +101,10 @@ def _cmd_schemes(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.jobs and args.jobs > 1:
+        run_many([(args.workload, "baseline"), (args.workload, args.scheme)],
+                 jobs=args.jobs, n_records=args.records, scale=args.scale,
+                 variable_length=args.vl)
     base = run_scheme(args.workload, "baseline", n_records=args.records,
                       scale=args.scale, variable_length=args.vl)
     res = run_scheme(args.workload, args.scheme, n_records=args.records,
@@ -124,6 +130,9 @@ def _cmd_compare(args) -> int:
     if unknown:
         print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.jobs and args.jobs > 1:
+        run_many([(args.workload, s) for s in ["baseline"] + schemes],
+                 jobs=args.jobs, n_records=args.records, scale=args.scale)
     base = run_scheme(args.workload, "baseline", n_records=args.records,
                       scale=args.scale)
     print(f"{'scheme':16s} {'speedup':>8s} {'coverage':>9s} "
@@ -183,7 +192,8 @@ def _cmd_figure(args) -> int:
 
 def _cmd_sample(args) -> int:
     run = run_sampled(args.workload, args.scheme, n_samples=args.samples,
-                      n_records=args.records, scale=args.scale)
+                      n_records=args.records, scale=args.scale,
+                      jobs=args.jobs)
     print(render_sampled(run))
     return 0
 
@@ -199,7 +209,7 @@ def _cmd_multicore(args) -> int:
               f"{', '.join(sorted(STANDARD_MIXES))}", file=sys.stderr)
         return 2
     traces, programs = build_mix(mix, n_records=args.records,
-                                 scale=args.scale)
+                                 scale=args.scale, jobs=args.jobs)
 
     def factory():
         prefetcher, _overrides = build_scheme(args.scheme)
@@ -234,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--records", type=int, default=90_000)
         p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for independent simulations "
+                            "(default: serial, or $REPRO_JOBS)")
 
     p_run = sub.add_parser("run", help="simulate one workload/scheme pair")
     p_run.add_argument("--workload", default="web_apache",
@@ -269,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument("--samples", type=int, default=5)
     p_sample.add_argument("--records", type=int, default=60_000)
     p_sample.add_argument("--scale", type=float, default=1.0)
+    p_sample.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes, one sample each")
     p_sample.set_defaults(func=_cmd_sample)
 
     p_mc = sub.add_parser("multicore",
@@ -279,6 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=sorted(scheme_names()))
     p_mc.add_argument("--records", type=int, default=40_000)
     p_mc.add_argument("--scale", type=float, default=0.5)
+    p_mc.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes for per-core trace generation")
     p_mc.set_defaults(func=_cmd_multicore)
 
     return parser
@@ -286,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Make --jobs reach figure drivers (and anything else that consults
+    # the parallel runner) without threading it through every lambda.
+    set_default_jobs(getattr(args, "jobs", None))
     return args.func(args)
 
 

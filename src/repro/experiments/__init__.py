@@ -1,7 +1,9 @@
 """Experiment harness: scheme registry, cached runner, figure drivers."""
 
-from . import export, figures
+from . import export, figures, store
+from .parallel import map_parallel, resolve_jobs, run_many, set_default_jobs
 from .sampling import SampledMetric, SampledRun, render_sampled, run_sampled
+from .store import ResultStore, caching_enabled, get_store, reset_store
 from .report import (
     render_matrix,
     render_per_scheme,
@@ -23,6 +25,15 @@ from .runner import (
 __all__ = [
     "figures",
     "export",
+    "store",
+    "run_many",
+    "map_parallel",
+    "resolve_jobs",
+    "set_default_jobs",
+    "ResultStore",
+    "get_store",
+    "reset_store",
+    "caching_enabled",
     "run_scheme",
     "build_scheme",
     "scheme_names",

@@ -34,15 +34,26 @@ def _workloads(workloads: WorkloadList) -> List[str]:
     return list(workloads) if workloads is not None else workload_names()
 
 
+def _prewarm(specs, n_records: int, jobs: Optional[int] = None) -> None:
+    """Fan a figure's runs out to worker processes ahead of the serial
+    loop below it; with an effective job count of 1 this is a no-op and
+    the driver behaves exactly as before."""
+    from .parallel import resolve_jobs, run_many
+    if resolve_jobs(jobs) > 1:
+        run_many(specs, jobs=jobs, n_records=n_records)
+
+
 # ----------------------------------------------------------------------
 # Section III — why not Shotgun
 
 
 def fig01_footprint_miss_ratio(workloads: WorkloadList = None,
-                               n_records: int = DEFAULT_RECORDS
+                               n_records: int = DEFAULT_RECORDS,
+                               jobs: Optional[int] = None
                                ) -> Dict[str, float]:
     """Fig. 1: Shotgun's U-BTB footprint miss ratio per workload."""
     out = {}
+    _prewarm([(w, "shotgun") for w in _workloads(workloads)], n_records, jobs)
     for w in _workloads(workloads):
         res = run_scheme(w, "shotgun", n_records=n_records)
         out[w] = res.extra["footprint_miss_ratio"]
@@ -50,9 +61,11 @@ def fig01_footprint_miss_ratio(workloads: WorkloadList = None,
 
 
 def tab1_empty_ftq(workloads: WorkloadList = None,
-                   n_records: int = DEFAULT_RECORDS) -> Dict[str, float]:
+                   n_records: int = DEFAULT_RECORDS,
+                   jobs: Optional[int] = None) -> Dict[str, float]:
     """Table I: fraction of cycles stalled on an empty FTQ under Shotgun."""
     out = {}
+    _prewarm([(w, "shotgun") for w in _workloads(workloads)], n_records, jobs)
     for w in _workloads(workloads):
         res = run_scheme(w, "shotgun", n_records=n_records)
         st = res.stats
@@ -65,10 +78,12 @@ def tab1_empty_ftq(workloads: WorkloadList = None,
 
 
 def fig02_sequential_fraction(workloads: WorkloadList = None,
-                              n_records: int = DEFAULT_RECORDS
+                              n_records: int = DEFAULT_RECORDS,
+                              jobs: Optional[int] = None
                               ) -> Dict[str, float]:
     """Fig. 2: fraction of baseline L1i misses that are sequential."""
     out = {}
+    _prewarm([(w, "baseline") for w in _workloads(workloads)], n_records, jobs)
     for w in _workloads(workloads):
         st = run_scheme(w, "baseline", n_records=n_records).stats
         misses = st.demand_misses + st.demand_late_prefetch
@@ -77,10 +92,13 @@ def fig02_sequential_fraction(workloads: WorkloadList = None,
 
 
 def fig03_nl_seq_coverage(workloads: WorkloadList = None,
-                          n_records: int = DEFAULT_RECORDS
+                          n_records: int = DEFAULT_RECORDS,
+                          jobs: Optional[int] = None
                           ) -> Dict[str, float]:
     """Fig. 3: NL prefetcher's *sequential* miss coverage."""
     out = {}
+    _prewarm([(w, s) for w in _workloads(workloads)
+              for s in ("baseline", "nl")], n_records, jobs)
     for w in _workloads(workloads):
         base = run_scheme(w, "baseline", n_records=n_records).stats
         nl = run_scheme(w, "nl", n_records=n_records).stats
@@ -89,9 +107,12 @@ def fig03_nl_seq_coverage(workloads: WorkloadList = None,
 
 
 def fig04_cmal_nxl(workloads: WorkloadList = None,
-                   n_records: int = DEFAULT_RECORDS) -> Dict[str, float]:
+                   n_records: int = DEFAULT_RECORDS,
+                   jobs: Optional[int] = None) -> Dict[str, float]:
     """Fig. 4: average CMAL of NL / N2L / N4L / N8L."""
     out = {}
+    _prewarm([(w, s) for w in _workloads(workloads)
+              for s in ("nl", "n2l", "n4l", "n8l")], n_records, jobs)
     for scheme in ("nl", "n2l", "n4l", "n8l"):
         vals = [run_scheme(w, scheme, n_records=n_records).stats.cmal
                 for w in _workloads(workloads)]
@@ -100,12 +121,16 @@ def fig04_cmal_nxl(workloads: WorkloadList = None,
 
 
 def fig05_side_effects(workloads: WorkloadList = None,
-                       n_records: int = DEFAULT_RECORDS
+                       n_records: int = DEFAULT_RECORDS,
+                       jobs: Optional[int] = None
                        ) -> Dict[str, Dict[str, float]]:
     """Fig. 5: LLC latency and L1i external bandwidth of buffered NXL
     prefetchers, normalised to the no-prefetcher baseline."""
     out: Dict[str, Dict[str, float]] = {}
     names = _workloads(workloads)
+    _prewarm([(w, s) for w in names
+              for s in ("baseline", "nl_buf", "n2l_buf", "n4l_buf",
+                        "n8l_buf")], n_records, jobs)
     base_lat = {}
     base_bw = {}
     for w in names:
@@ -183,11 +208,15 @@ def fig11_table_sizes(workloads: WorkloadList = None,
                           2048, 4096, 8192, 16 * 1024, 32 * 1024, None),
                       dis_sizes: Sequence[Optional[int]] = (
                           512, 1024, 2048, 4096, 8192, None),
+                      jobs: Optional[int] = None,
                       ) -> Dict[str, Dict[str, float]]:
     """Fig. 11: miss coverage vs SeqTable size (SN4L) and DisTable size
     (SN4L+Dis).  ``None`` is the unlimited reference table."""
     names = _workloads(workloads)
     out: Dict[str, Dict[str, float]] = {"seqtable": {}, "distable": {}}
+    # Factory-built sweep points cannot cross a process boundary; only
+    # the shared baselines can be prewarmed.
+    _prewarm([(w, "baseline") for w in names], n_records, jobs)
 
     for size in seq_sizes:
         covs = []
@@ -246,9 +275,13 @@ def fig12_tagging(workloads: WorkloadList = None,
 
 
 def fig13_timeliness(workloads: WorkloadList = None,
-                     n_records: int = DEFAULT_RECORDS) -> Dict[str, float]:
+                     n_records: int = DEFAULT_RECORDS,
+                     jobs: Optional[int] = None) -> Dict[str, float]:
     """Fig. 13: CMAL of N4L, SN4L, Dis and SN4L+Dis+BTB."""
     out = {}
+    _prewarm([(w, s) for w in _workloads(workloads)
+              for s in ("n4l", "sn4l", "dis", "sn4l_dis_btb")],
+             n_records, jobs)
     for scheme in ("n4l", "sn4l", "dis", "sn4l_dis_btb"):
         vals = [run_scheme(w, scheme, n_records=n_records).stats.cmal
                 for w in _workloads(workloads)]
@@ -257,10 +290,14 @@ def fig13_timeliness(workloads: WorkloadList = None,
 
 
 def fig14_lookups(workloads: WorkloadList = None,
-                  n_records: int = DEFAULT_RECORDS) -> Dict[str, float]:
+                  n_records: int = DEFAULT_RECORDS,
+                  jobs: Optional[int] = None) -> Dict[str, float]:
     """Fig. 14: L1i lookups normalised to the no-prefetcher baseline."""
     names = _workloads(workloads)
     out = {}
+    _prewarm([(w, s) for w in names
+              for s in ("baseline", "confluence", "shotgun",
+                        "sn4l_dis_btb")], n_records, jobs)
     base = {w: run_scheme(w, "baseline", n_records=n_records
                           ).stats.cache_lookups for w in names}
     for scheme in ("confluence", "shotgun", "sn4l_dis_btb"):
@@ -274,10 +311,13 @@ def fig15_fscr(workloads: WorkloadList = None,
                n_records: int = DEFAULT_RECORDS,
                schemes: Sequence[str] = ("confluence", "shotgun",
                                          "sn4l_dis_btb"),
+               jobs: Optional[int] = None,
                ) -> Dict[str, Dict[str, float]]:
     """Fig. 15: Frontend Stall Cycle Reduction per workload and scheme."""
     names = _workloads(workloads)
     out: Dict[str, Dict[str, float]] = {w: {} for w in names}
+    _prewarm([(w, s) for w in names
+              for s in ("baseline",) + tuple(schemes)], n_records, jobs)
     for w in names:
         base = run_scheme(w, "baseline", n_records=n_records).stats
         for scheme in schemes:
@@ -292,10 +332,13 @@ def fig16_speedup(workloads: WorkloadList = None,
                   n_records: int = DEFAULT_RECORDS,
                   schemes: Sequence[str] = ("confluence", "boomerang",
                                             "shotgun", "sn4l_dis_btb"),
+                  jobs: Optional[int] = None,
                   ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: speedup over the no-prefetcher baseline."""
     names = _workloads(workloads)
     out: Dict[str, Dict[str, float]] = {w: {} for w in names}
+    _prewarm([(w, s) for w in names
+              for s in ("baseline",) + tuple(schemes)], n_records, jobs)
     for w in names:
         base = run_scheme(w, "baseline", n_records=n_records).stats
         for scheme in schemes:
@@ -307,13 +350,16 @@ def fig16_speedup(workloads: WorkloadList = None,
 
 
 def fig17_breakdown(workloads: WorkloadList = None,
-                    n_records: int = DEFAULT_RECORDS) -> Dict[str, float]:
+                    n_records: int = DEFAULT_RECORDS,
+                    jobs: Optional[int] = None) -> Dict[str, float]:
     """Fig. 17: average speedup of N4L, SN4L, SN4L+Dis, SN4L+Dis+BTB and
     the perfect-frontend reference points."""
     names = _workloads(workloads)
     schemes = ("n4l", "sn4l", "sn4l_dis", "sn4l_dis_btb",
                "perfect_l1i", "perfect_l1i_btb")
     out = {}
+    _prewarm([(w, s) for w in names
+              for s in ("baseline",) + schemes], n_records, jobs)
     for scheme in schemes:
         vals = []
         for w in names:
@@ -326,7 +372,8 @@ def fig17_breakdown(workloads: WorkloadList = None,
 
 def fig18_btb_sweep(workloads: WorkloadList = None,
                     n_records: int = DEFAULT_RECORDS,
-                    btb_sizes: Sequence[int] = (2048, 1024, 512, 256)
+                    btb_sizes: Sequence[int] = (2048, 1024, 512, 256),
+                    jobs: Optional[int] = None
                     ) -> Dict[int, float]:
     """Fig. 18: speedup of SN4L+Dis+BTB over Shotgun as the BTB shrinks.
 
@@ -334,6 +381,11 @@ def fig18_btb_sweep(workloads: WorkloadList = None,
     (2048 -> 1536/128/512 per the paper's configuration)."""
     names = _workloads(workloads)
     out = {}
+    # The "ours" side only varies config overrides, which pickle fine;
+    # the scaled-Shotgun side is factory-built and stays serial.
+    _prewarm([(w, "sn4l_dis_btb",
+               {"config_overrides": {"btb_entries": size}})
+              for w in names for size in btb_sizes], n_records, jobs)
     for size in btb_sizes:
         ratio_u = size * 1536 // 2048
         ratio_c = max(32, size * 128 // 2048)

@@ -1,0 +1,154 @@
+"""Parallel experiment execution: fan (workload, scheme) runs out to workers.
+
+Every figure/table driver reduces to a bag of independent
+``run_scheme(workload, scheme, ...)`` simulations; this module runs such
+a bag on a :class:`~concurrent.futures.ProcessPoolExecutor` and seeds the
+in-process memo cache with the workers' slim results, so the serial
+driver code that follows gets pure cache hits.
+
+Results are **bit-identical to serial execution**: workers recompute the
+same seeded traces and run the same deterministic engine — parallelism
+only changes wall-clock, never a counter.  Workers share the persistent
+store (:mod:`repro.experiments.store`), so a fan-out also warms the
+on-disk cache for future processes.
+
+Job-count resolution (first match wins): the explicit ``jobs=`` argument,
+:func:`set_default_jobs` (the CLI's ``--jobs``), the ``REPRO_JOBS``
+environment variable, else 1 (serial — no worker processes at all).
+
+Only registered schemes plus picklable keyword arguments can cross the
+process boundary; sweeps built on ``prefetcher_factory`` callables must
+keep using :func:`~repro.experiments.runner.run_scheme` serially.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import runner
+from .runner import RunResult, run_scheme
+
+ENV_JOBS = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (None = unset)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else max(1, int(jobs))
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count for a run (see module docstring)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(ENV_JOBS, "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+#: A run request: ``(workload, scheme)`` or ``(workload, scheme, params)``
+#: where ``params`` are extra ``run_scheme`` keyword arguments.
+RunSpec = Tuple
+
+
+def _normalise(spec: RunSpec, common: Dict) -> Tuple[str, str, Dict]:
+    if len(spec) == 2:
+        workload, scheme = spec
+        params: Dict = {}
+    elif len(spec) == 3:
+        workload, scheme, params = spec
+    else:
+        raise ValueError(f"run spec must be (workload, scheme[, params]), "
+                         f"got {spec!r}")
+    merged = dict(common)
+    merged.update(params or {})
+    return workload, scheme, merged
+
+
+def _worker(payload: Tuple[str, str, Dict]) -> Tuple[Tuple, RunResult]:
+    """Executed in a worker process: one slim simulation run."""
+    workload, scheme, params = payload
+    result = run_scheme(workload, scheme, **params)
+    key = runner.cache_key(
+        workload, scheme,
+        n_records=params.get("n_records", runner.DEFAULT_RECORDS),
+        warmup=params.get("warmup"),
+        scale=params.get("scale", 1.0),
+        variable_length=params.get("variable_length", False),
+        config_overrides=params.get("config_overrides"),
+        cache_key_extra=params.get("cache_key_extra"))
+    return key, result
+
+
+def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
+             **common) -> List[RunResult]:
+    """Run every spec and return results in input order.
+
+    ``common`` keyword arguments (e.g. ``n_records=...``) apply to every
+    spec unless its own params override them.  With an effective job
+    count of 1 this is exactly a loop over ``run_scheme``; with more, the
+    unique specs are distributed over worker processes and the memo cache
+    is seeded so later ``run_scheme`` calls in this process hit.
+    """
+    normalised = [_normalise(s, common) for s in specs]
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(normalised) <= 1:
+        return [run_scheme(w, s, **p) for w, s, p in normalised]
+
+    # Deduplicate: figure drivers re-request the baseline many times.
+    unique: Dict[Tuple, Tuple[str, str, Dict]] = {}
+    for w, s, p in normalised:
+        key = runner.cache_key(
+            w, s, n_records=p.get("n_records", runner.DEFAULT_RECORDS),
+            warmup=p.get("warmup"), scale=p.get("scale", 1.0),
+            variable_length=p.get("variable_length", False),
+            config_overrides=p.get("config_overrides"),
+            cache_key_extra=p.get("cache_key_extra"))
+        unique.setdefault(key, (w, s, p))
+    # Serve already-memoised keys locally; only miss keys hit the pool.
+    todo = {k: v for k, v in unique.items() if k not in runner._CACHE}
+
+    if todo:
+        payloads = list(todo.values())
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(payloads))) as pool:
+                for key, result in pool.map(_worker, payloads):
+                    runner.seed_cache(key, result)
+        except BrokenProcessPool:
+            # Worker crashed (e.g. fork-hostile environment): degrade to
+            # serial execution rather than failing the experiment.
+            for w, s, p in payloads:
+                run_scheme(w, s, **p)
+
+    return [run_scheme(w, s, **p) for w, s, p in normalised]
+
+
+def map_parallel(fn: Callable, items: Sequence,
+                 jobs: Optional[int] = None) -> List:
+    """Order-preserving parallel map with serial fallback.
+
+    ``fn`` must be a module-level (picklable) callable.  Used by the
+    sampling and multicore setup paths to fan out trace generation and
+    per-sample simulation.
+    """
+    items = list(items)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        return [fn(item) for item in items]

@@ -3,12 +3,24 @@
 Every figure/table driver goes through :func:`run_scheme`, which memoises
 results so that e.g. the baseline run of a workload is shared by every
 figure that normalises against it.
+
+Two cache layers sit under :func:`run_scheme`:
+
+* a bounded in-process memo (``_CACHE``) holding slim
+  :class:`RunResult`\\ s — stats and scalar observables only, no live
+  simulator, unless the caller opted into ``keep_simulator=True``;
+* the persistent on-disk store (:mod:`repro.experiments.store`), keyed
+  by a content fingerprint, which lets fresh processes (CLI runs, CI,
+  parallel workers) skip simulation entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
+
+from . import store as result_store
 
 from ..core import ProactivePrefetcher, Sn4lPrefetcher, dis_only, sn4l_dis, sn4l_dis_btb
 from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
@@ -36,7 +48,13 @@ DEFAULT_WARMUP = 50_000
 
 @dataclass
 class RunResult:
-    """One simulation run plus scheme-side observables."""
+    """One simulation run plus scheme-side observables.
+
+    ``prefetcher`` and ``simulator`` are populated only for
+    ``run_scheme(..., keep_simulator=True)`` callers; the default result
+    is slim (stats + ``extra`` scalars) so it pickles cheaply across
+    worker processes and does not pin simulator state in the cache.
+    """
 
     workload: str
     scheme: str
@@ -97,7 +115,60 @@ def build_scheme(name: str):
     return factory()
 
 
-_CACHE: Dict[Tuple, RunResult] = {}
+#: Bounded LRU memo of slim results (heavier ``keep_simulator`` results
+#: share the same bound, which is what keeps live simulators from
+#: accumulating — the pre-bound cache pinned every one forever).
+_CACHE: "OrderedDict[Tuple, RunResult]" = OrderedDict()
+_CACHE_MAX = 256
+
+#: Simulations actually executed by this process (cache misses); tests
+#: use this to prove a warm persistent cache skips simulation.
+simulations_run = 0
+
+
+def _fingerprint(workload: str, scheme: str, n_records: int, warmup: int,
+                 scale: float, variable_length: bool,
+                 overrides: Dict, cache_key_extra: Optional[str]) -> str:
+    """Content fingerprint of one run for the persistent store."""
+    from ..workloads import get_profile
+    return result_store.fingerprint({
+        "kind": "run_scheme",
+        "profile": get_profile(workload),
+        "scheme": scheme,
+        "n_records": n_records,
+        "warmup": warmup,
+        "scale": scale,
+        "variable_length": variable_length,
+        "overrides": overrides,
+        "cache_key_extra": cache_key_extra,
+    })
+
+
+def _memoise(key: Tuple, result: RunResult) -> None:
+    _CACHE[key] = result
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+
+
+def seed_cache(key: Tuple, result: RunResult) -> None:
+    """Install an externally computed result (parallel workers)."""
+    _memoise(key, result)
+
+
+def cache_key(workload: str, scheme: str,
+              n_records: int = DEFAULT_RECORDS,
+              warmup: Optional[int] = None,
+              scale: float = 1.0,
+              variable_length: bool = False,
+              config_overrides: Optional[Dict] = None,
+              cache_key_extra: Optional[str] = None) -> Tuple:
+    """The memo key :func:`run_scheme` uses for these arguments."""
+    if warmup is None:
+        warmup = n_records // 3
+    overrides = dict(config_overrides or {})
+    return (workload, scheme, n_records, warmup, scale, variable_length,
+            tuple(sorted(overrides.items())), cache_key_extra)
 
 
 def run_scheme(workload: str, scheme: str,
@@ -108,7 +179,9 @@ def run_scheme(workload: str, scheme: str,
                config_overrides: Optional[Dict] = None,
                prefetcher_factory: Optional[Callable] = None,
                cache_key_extra: Optional[str] = None,
-               use_cache: bool = True) -> RunResult:
+               use_cache: bool = True,
+               keep_simulator: bool = False,
+               persistent: Optional[bool] = None) -> RunResult:
     """Run one (workload, scheme) pair and return the result.
 
     ``prefetcher_factory`` overrides the registered factory (used by
@@ -117,14 +190,43 @@ def run_scheme(workload: str, scheme: str,
 
     ``warmup=None`` warms on the first third of the trace (which equals
     :data:`DEFAULT_WARMUP` at the default trace length).
+
+    ``keep_simulator=True`` returns (and memoises) the live
+    :class:`FrontendSimulator`/prefetcher pair for callers that inspect
+    scheme-side state; the default result is slim.  ``persistent``
+    controls the on-disk store (None = honour ``REPRO_CACHE_DISABLE``).
     """
+    global simulations_run
     if warmup is None:
         warmup = n_records // 3
     overrides = dict(config_overrides or {})
     key = (workload, scheme, n_records, warmup, scale, variable_length,
            tuple(sorted(overrides.items())), cache_key_extra)
     if use_cache and key in _CACHE:
-        return _CACHE[key]
+        cached = _CACHE[key]
+        if cached.simulator is not None or not keep_simulator:
+            _CACHE.move_to_end(key)
+            return cached
+
+    # Persistent layer.  Factory-built variants are only fingerprintable
+    # when the caller tagged them (the factory itself cannot be hashed).
+    store = None
+    fp = None
+    if persistent is not False and use_cache and \
+            (prefetcher_factory is None or cache_key_extra is not None):
+        store = result_store.get_store() if persistent is None \
+            else result_store.ResultStore()
+        if store is not None:
+            fp = _fingerprint(workload, scheme, n_records, warmup, scale,
+                              variable_length, overrides, cache_key_extra)
+            if not keep_simulator:
+                loaded = store.load_result(fp)
+                if loaded is not None:
+                    stats, extra = loaded
+                    result = RunResult(workload=workload, scheme=scheme,
+                                       stats=stats, extra=extra)
+                    _memoise(key, result)
+                    return result
 
     if prefetcher_factory is not None:
         prefetcher, scheme_overrides = prefetcher_factory(), {}
@@ -141,16 +243,24 @@ def run_scheme(workload: str, scheme: str,
     config = FrontendConfig(**merged)
     sim = FrontendSimulator(trace, config=config, prefetcher=prefetcher,
                             program=generator.program)
+    simulations_run += 1
     stats = sim.run(warmup=warmup)
 
-    result = RunResult(workload=workload, scheme=scheme, stats=stats,
-                       prefetcher=prefetcher, simulator=sim)
+    result = RunResult(workload=workload, scheme=scheme, stats=stats)
     result.extra["llc_avg_latency"] = sim.latency.average_latency
     result.extra["external_requests"] = float(sim.latency.requests)
     if hasattr(prefetcher, "footprint_miss_ratio"):
         result.extra["footprint_miss_ratio"] = prefetcher.footprint_miss_ratio
+    if store is not None and fp is not None:
+        try:
+            store.save_result(fp, stats, result.extra)
+        except OSError:
+            pass        # read-only cache dir: persistence is best-effort
+    if keep_simulator:
+        result.prefetcher = prefetcher
+        result.simulator = sim
     if use_cache:
-        _CACHE[key] = result
+        _memoise(key, result)
     return result
 
 

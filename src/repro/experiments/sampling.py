@@ -11,14 +11,58 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-from scipy import stats as scipy_stats
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
 from ..workloads import get_generator
 
 from .runner import build_scheme
+
+
+def _t_cdf(t: float, df: int) -> float:
+    """Student-t CDF for integer ``df`` via the elementary closed form
+    (Abramowitz & Stegun 26.7.3/26.7.4) — exact, no special functions."""
+    theta = math.atan2(t, math.sqrt(df))
+    cos2 = math.cos(theta) ** 2
+    if df % 2 == 1:
+        total, term = 0.0, math.cos(theta)
+        for j in range(1, (df - 1) // 2 + 1):
+            total += term
+            term *= cos2 * (2 * j) / (2 * j + 1)
+        a = (theta + math.sin(theta) * total) * 2.0 / math.pi
+    else:
+        total, term = 0.0, 1.0
+        for j in range((df - 2) // 2 + 1):
+            total += term
+            term *= cos2 * (2 * j + 1) / (2 * j + 2)
+        a = math.sin(theta) * total
+    return 0.5 * (1.0 + a)
+
+
+def _t_ppf(q: float, df: int) -> float:
+    """Student-t quantile; scipy when available, else a stdlib fallback
+    that bisects the exact integer-df CDF above."""
+    try:
+        from scipy import stats as scipy_stats
+    except ImportError:
+        pass
+    else:
+        return float(scipy_stats.t.ppf(q, df=df))
+    if q == 0.5:
+        return 0.0
+    if q < 0.5:
+        return -_t_ppf(1.0 - q, df)
+    hi = 1.0
+    while _t_cdf(hi, df) < q:
+        hi *= 2.0
+    lo = 0.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if _t_cdf(mid, df) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
 
 
 @dataclass
@@ -49,8 +93,8 @@ class SampledMetric:
     def ci_half_width(self) -> float:
         if self.n < 2:
             return 0.0
-        t = scipy_stats.t.ppf(0.5 + self.confidence / 2, df=self.n - 1)
-        return float(t) * self.std_error
+        t = _t_ppf(0.5 + self.confidence / 2, df=self.n - 1)
+        return t * self.std_error
 
     @property
     def relative_ci(self) -> float:
@@ -85,35 +129,54 @@ def _default_metrics(stats: FrontendStats,
     }
 
 
+def _simulate_sample(payload: Tuple[str, str, int, int, float, int]
+                     ) -> Tuple[FrontendStats, FrontendStats]:
+    """One checkpoint: ``(scheme stats, baseline stats)`` for a sample.
+
+    Module-level so the parallel runner can ship it to worker processes;
+    both return values are plain counter dataclasses, so pickling them
+    back is cheap and lossless.
+    """
+    workload, scheme, n_records, warmup, scale, sample = payload
+    generator = get_generator(workload, scale=scale)
+    trace = generator.generate(n_records, sample=sample)
+    baseline = FrontendSimulator(
+        trace, config=FrontendConfig(),
+        program=generator.program).run(warmup=warmup)
+    prefetcher, overrides = build_scheme(scheme)
+    stats = FrontendSimulator(
+        trace, config=FrontendConfig(**overrides),
+        prefetcher=prefetcher,
+        program=generator.program).run(warmup=warmup)
+    return stats, baseline
+
+
 def run_sampled(workload: str, scheme: str, n_samples: int = 5,
                 n_records: int = 60_000, warmup: Optional[int] = None,
                 scale: float = 1.0,
                 metric_fn: Callable[[FrontendStats, FrontendStats],
                                     Dict[str, float]] = _default_metrics,
-                confidence: float = 0.95) -> SampledRun:
+                confidence: float = 0.95,
+                jobs: Optional[int] = None) -> SampledRun:
     """Run ``scheme`` on ``n_samples`` independent trace samples.
 
     Each sample is a fresh walk of the same program (different request
     arrival order), like launching from a different checkpoint.  The
     baseline is re-simulated per sample so derived metrics compare runs
-    of the *same* trace.
+    of the *same* trace.  Samples are independent, so ``jobs > 1`` fans
+    them out to worker processes; the per-sample seeding makes the
+    result identical regardless of the job count.
     """
     if n_samples < 2:
         raise ValueError("need at least two samples for an interval")
     if warmup is None:
         warmup = n_records // 3
-    generator = get_generator(workload, scale=scale)
+    from .parallel import map_parallel
+    payloads = [(workload, scheme, n_records, warmup, scale, sample)
+                for sample in range(n_samples)]
     collected: Dict[str, List[float]] = {}
-    for sample in range(n_samples):
-        trace = generator.generate(n_records, sample=sample)
-        baseline = FrontendSimulator(
-            trace, config=FrontendConfig(),
-            program=generator.program).run(warmup=warmup)
-        prefetcher, overrides = build_scheme(scheme)
-        stats = FrontendSimulator(
-            trace, config=FrontendConfig(**overrides),
-            prefetcher=prefetcher,
-            program=generator.program).run(warmup=warmup)
+    for stats, baseline in map_parallel(_simulate_sample, payloads,
+                                        jobs=jobs):
         for name, value in metric_fn(stats, baseline).items():
             collected.setdefault(name, []).append(value)
 

@@ -1,0 +1,237 @@
+"""Persistent result + trace store for experiment runs.
+
+The in-process memo cache in :mod:`repro.experiments.runner` only lives
+for one interpreter; every fresh invocation of the figure drivers (CLI,
+CI, ``examples/reproduce_paper.py``) used to pay the full pure-Python
+simulation cost again.  This module adds an on-disk layer:
+
+* **Results** — one small JSON file per (workload, scheme, config)
+  fingerprint holding the :class:`~repro.frontend.stats.FrontendStats`
+  counters plus the runner's ``extra`` observables.
+* **Traces** — compressed ``.npz`` archives written through
+  :mod:`repro.workloads.serialize`, so regenerating a workload's fetch
+  trace is a load instead of a CFG walk.
+
+Location: ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``.
+Set ``REPRO_CACHE_DISABLE=1`` to bypass the store entirely.
+
+Keys are content fingerprints: a SHA-256 over the canonical JSON of every
+input that can change the result (workload profile parameters, scheme
+name, config overrides, trace length, warmup, seed/sample, …) plus a
+*code salt* hashing the ``repro`` package sources — any code change
+invalidates every cached entry, which keeps "stale cache" bugs
+structurally impossible at the cost of a cold start per code edit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..frontend.stats import FrontendStats
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+#: Bump to invalidate every stored entry regardless of the code salt.
+STORE_VERSION = 1
+
+_CODE_SALT: Optional[str] = None
+
+
+def cache_root() -> Path:
+    """Directory the store lives in (not created until first write)."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def caching_enabled() -> bool:
+    """Persistent caching is on unless explicitly disabled."""
+    return os.environ.get(ENV_CACHE_DISABLE, "") not in ("1", "true", "yes")
+
+
+def code_salt() -> str:
+    """Hash of every ``repro`` source file (memoised per process).
+
+    Fingerprints include this salt, so editing any module under the
+    package invalidates all persisted results and traces.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        package_dir = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for source in sorted(package_dir.rglob("*.py")):
+            digest.update(str(source.relative_to(package_dir)).encode())
+            digest.update(source.read_bytes())
+        digest.update(str(STORE_VERSION).encode())
+        _CODE_SALT = digest.hexdigest()[:16]
+    return _CODE_SALT
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce fingerprint parts to canonical JSON-encodable values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__,
+                **_canonical(asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(),
+                                                        key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint(parts: Dict[str, Any]) -> str:
+    """Content fingerprint of a run: SHA-256 of canonical JSON + salt."""
+    payload = json.dumps({"salt": code_salt(), **_canonical(parts)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """On-disk store of simulation results and fetch traces.
+
+    Concurrent-safe for the parallel runner: writers publish with an
+    atomic rename, readers treat any unreadable entry as a miss.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self._root = Path(root) if root is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def root(self) -> Path:
+        return self._root if self._root is not None else cache_root()
+
+    # -- results -------------------------------------------------------
+
+    def result_path(self, fp: str) -> Path:
+        return self.root / "results" / f"{fp}.json"
+
+    def load_result(self, fp: str
+                    ) -> Optional[Tuple[FrontendStats, Dict[str, float]]]:
+        """Return ``(stats, extra)`` for a fingerprint, or None on miss."""
+        path = self.result_path(fp)
+        try:
+            payload = json.loads(path.read_text())
+            stats = FrontendStats(**payload["stats"])
+            extra = dict(payload["extra"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats, extra
+
+    def save_result(self, fp: str, stats: FrontendStats,
+                    extra: Dict[str, float]) -> Path:
+        path = self.result_path(fp)
+        payload = {"version": STORE_VERSION, "stats": asdict(stats),
+                   "extra": dict(extra)}
+        _atomic_write(path, json.dumps(payload).encode())
+        self.writes += 1
+        return path
+
+    # -- traces --------------------------------------------------------
+
+    def trace_path(self, fp: str) -> Path:
+        return self.root / "traces" / f"{fp}.npz"
+
+    def load_trace(self, fp: str):
+        from ..workloads.serialize import load_trace
+        path = self.trace_path(fp)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace = load_trace(path)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def save_trace(self, fp: str, trace) -> Path:
+        from ..workloads.serialize import save_trace
+        path = self.trace_path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # np.savez appends ".npz" to other suffixes, so keep it on the tmp.
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.name, suffix=".tmp.npz")
+        os.close(fd)
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        for sub in ("results", "traces"):
+            folder = self.root / sub
+            if not folder.is_dir():
+                continue
+            for entry in folder.iterdir():
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.writes = 0
+
+
+_STORE: Optional[ResultStore] = None
+
+
+def get_store() -> Optional[ResultStore]:
+    """Process-wide store singleton, or None when caching is disabled."""
+    global _STORE
+    if not caching_enabled():
+        return None
+    if _STORE is None or _STORE.root != cache_root():
+        _STORE = ResultStore()
+    return _STORE
+
+
+def reset_store() -> None:
+    """Drop the singleton (tests re-point ``REPRO_CACHE_DIR``)."""
+    global _STORE
+    _STORE = None

@@ -478,17 +478,175 @@ class FrontendSimulator:
         self.stats.backend_cycles += int(self.stats.instructions * cpi)
         return self.stats
 
-    def run(self, warmup: int = 0) -> FrontendStats:
+    def run(self, warmup: int = 0, fast: Optional[bool] = None
+            ) -> FrontendStats:
         """Simulate the whole trace and return the filled statistics.
 
         The first ``warmup`` records warm caches, BTB and predictor but
         are excluded from the returned statistics.
+
+        ``fast=None`` (the default) uses a batched fast path for the
+        hot no-prefetcher configuration; it is bit-identical to the
+        generic per-record loop, which ``fast=False`` forces (the
+        throughput microbenchmark uses that to measure the gap).
         """
-        for idx, record in enumerate(self.trace):
-            if idx == warmup and warmup > 0:
-                self._reset_measurement()
-            self.process_record(idx, record)
+        records = getattr(self.trace, "records", None)
+        if records is None:
+            records = list(self.trace)
+        n = len(records)
+        use_fast = self._fast_path_eligible() if fast is None else \
+            (fast and self._fast_path_eligible())
+        span = self._run_span_fast if use_fast else self._run_span
+        if 0 < warmup < n:
+            span(records, 0, warmup)
+            self._reset_measurement()
+            span(records, warmup, n)
+        else:
+            span(records, 0, n)
         return self.finalize()
+
+    def _fast_path_eligible(self) -> bool:
+        """True when no per-record hook can fire besides the core
+        demand/delivery/branch path the fast loop inlines."""
+        return (self.prefetcher is None
+                and self.datapath is None
+                and self.event_log is None
+                and self.l1_prefetch_buffer is None
+                and self.btb_prefetch_buffer is None
+                and self.config.wrong_path_depth == 0
+                and self.runahead_blocked_until == 0)
+
+    def _run_span(self, records, start: int, stop: int) -> None:
+        """Generic per-record stepping (pre-fast-path behaviour)."""
+        process = self.process_record
+        for idx in range(start, stop):
+            process(idx, records[idx])
+
+    def _run_span_fast(self, records, start: int, stop: int) -> None:
+        """Batched no-prefetcher loop: retire consecutive L1i hits
+        without the full per-record call chain.
+
+        Inlines ``process_record`` + ``_demand_access`` for the case
+        guarded by :meth:`_fast_path_eligible`; every counter update and
+        cycle charge replicates the generic path exactly, so results are
+        bit-identical.  The simulator clock is kept in a local and synced
+        to ``self.cycle`` around the (rare) calls back into shared
+        helpers.
+        """
+        stats = self.stats
+        cfg = self.config
+        width = cfg.fetch_width
+        perfect = cfg.perfect_l1i
+        l1i = self.l1i
+        block = l1i.block_size
+        n_sets = l1i.n_sets
+        sets = l1i._sets
+        mshr_entries = self.mshr._entries
+        llc_access = self.llc.access
+        latency_request = self.latency.request
+        handle_branch = self._handle_branch
+        not_branch = BranchKind.NOT_BRANCH
+        call_kind = BranchKind.CALL
+        indirect_kind = BranchKind.INDIRECT
+        return_kind = BranchKind.RETURN
+        cycle = self.cycle
+
+        rec_start = self.prefetch_clock
+        for idx in range(start, stop):
+            record = records[idx]
+            self._demand_index = idx
+            rec_start = cycle
+            if mshr_entries:
+                # Manually issued prefetches (no attached prefetcher can
+                # exist here) still drain through the shared path.
+                self.cycle = cycle
+                self._drain_fills()
+
+            stats.demand_accesses += 1
+            stats.cache_lookups += 1
+            if perfect:
+                stats.demand_hits += 1
+            else:
+                line = record.line
+                key = line // block
+                cset = sets[key % n_sets]
+                entry = cset.get(key)
+                if entry is not None:
+                    cset.move_to_end(key)
+                    stats.demand_hits += 1
+                    if entry.is_prefetch:
+                        stats.prefetches_useful += 1
+                        lat = entry.fill_latency
+                        stats.covered_latency += lat
+                        stats.prefetched_latency += lat
+                        entry.is_prefetch = False
+                else:
+                    inflight = mshr_entries.get(line) if mshr_entries \
+                        else None
+                    if inflight is not None:
+                        remaining = inflight.ready_cycle - cycle
+                        if remaining < 0:
+                            remaining = 0
+                        full_latency = inflight.ready_cycle - \
+                            inflight.issue_cycle
+                        if inflight.is_prefetch:
+                            stats.demand_late_prefetch += 1
+                            stats.prefetches_useful += 1
+                            stats.covered_latency += full_latency - remaining
+                            stats.prefetched_latency += full_latency
+                        else:
+                            stats.demand_misses += 1
+                        if record.seq:
+                            stats.seq_misses += 1
+                        else:
+                            stats.disc_misses += 1
+                        del mshr_entries[line]
+                        if remaining > 0:
+                            stats.icache_stall_cycles += remaining
+                            cycle += remaining
+                        self.cycle = cycle
+                        self._apply_fill(line, is_prefetch=False,
+                                         fill_latency=full_latency)
+                    else:
+                        # Full demand miss.
+                        stats.demand_misses += 1
+                        if record.seq:
+                            stats.seq_misses += 1
+                        else:
+                            stats.disc_misses += 1
+                        llc_hit = llc_access(line, is_instruction=True)
+                        lat = latency_request(cycle, llc_hit=llc_hit)
+                        if lat > 0:
+                            stats.icache_stall_cycles += lat
+                            cycle += lat
+                        victim = l1i.insert(line, is_prefetch=False,
+                                            is_instruction=True)
+                        resident = cset.get(key)
+                        if resident is not None:
+                            resident.fill_latency = lat
+                        if victim is not None and victim.is_prefetch:
+                            stats.prefetches_useless += 1
+
+            n_instr = record.n_instr
+            stats.instructions += n_instr
+            delivery = -(-n_instr // width)
+            stats.delivery_cycles += delivery
+            cycle += delivery
+
+            if record.branch_kind is not not_branch:
+                if record.taken:
+                    kind = record.branch_kind
+                    if kind is call_kind or kind is indirect_kind:
+                        if self._call_depth < 64:
+                            self._call_depth += 1
+                    elif kind is return_kind:
+                        if self._call_depth > 0:
+                            self._call_depth -= 1
+                self.cycle = cycle
+                handle_branch(record)
+                cycle = self.cycle
+        self.cycle = cycle
+        self.prefetch_clock = rec_start
 
 
 def simulate(trace: Trace, config: Optional[FrontendConfig] = None,

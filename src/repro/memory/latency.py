@@ -41,13 +41,26 @@ class LatencyConfig:
 
     @property
     def llc_round_trip(self) -> int:
-        """Zero-load LLC round trip: NoC there and back + array access."""
-        return int(round(self.noc.average_round_trip(self.core_tile))) + \
-            self.llc_access
+        """Zero-load LLC round trip: NoC there and back + array access.
+
+        Memoised on first access: the NoC average is a pure function of
+        the (immutable) mesh geometry, and this property sits on the fill
+        path of every single L1i miss.
+        """
+        cached = self.__dict__.get("_llc_round_trip")
+        if cached is None:
+            cached = int(round(self.noc.average_round_trip(self.core_tile))) \
+                + self.llc_access
+            self.__dict__["_llc_round_trip"] = cached
+        return cached
 
     @property
     def memory_round_trip(self) -> int:
-        return self.llc_round_trip + self.memory_access
+        cached = self.__dict__.get("_memory_round_trip")
+        if cached is None:
+            cached = self.llc_round_trip + self.memory_access
+            self.__dict__["_memory_round_trip"] = cached
+        return cached
 
 
 class ContentionTracker:

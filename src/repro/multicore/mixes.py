@@ -9,7 +9,7 @@ builds the per-core traces/programs for :class:`MulticoreSimulator`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..workloads import get_generator, workload_names
 
@@ -62,20 +62,30 @@ STANDARD_MIXES: Dict[str, WorkloadMix] = {
 }
 
 
+def _generate_core_trace(payload: Tuple[str, float, int, int]):
+    """Walk one core's trace (module-level so it can run in a worker)."""
+    workload, scale, n_records, sample = payload
+    return get_generator(workload, scale=scale).generate(n_records,
+                                                         sample=sample)
+
+
 def build_mix(mix: WorkloadMix, n_records: int, scale: float = 1.0,
-              base_sample: int = 0):
+              base_sample: int = 0, jobs: Optional[int] = None):
     """Materialise a mix: (traces, programs) ready for MulticoreSimulator.
 
     Cores running the same workload get *different* samples (independent
-    request arrival orders), like distinct server threads.
+    request arrival orders), like distinct server threads.  Per-core
+    trace walks are independent, so ``jobs > 1`` generates them in
+    parallel; sample seeding keeps the traces identical either way.
     """
     sample_counters: Dict[str, int] = {}
-    traces: List = []
-    programs: List = []
+    payloads: List[Tuple[str, float, int, int]] = []
     for workload in mix.assignments:
-        gen = get_generator(workload, scale=scale)
         sample = base_sample + sample_counters.get(workload, 0)
         sample_counters[workload] = sample_counters.get(workload, 0) + 1
-        traces.append(gen.generate(n_records, sample=sample))
-        programs.append(gen.program)
+        payloads.append((workload, scale, n_records, sample))
+    from ..experiments.parallel import map_parallel
+    traces = map_parallel(_generate_core_trace, payloads, jobs=jobs)
+    programs = [get_generator(w, scale=scale).program
+                for w in mix.assignments]
     return traces, programs

@@ -74,6 +74,26 @@ class MulticoreSimulator:
                 trace, config=cfg, prefetcher=prefetcher, program=program,
                 llc=self.llc, latency=self.latency))
 
+    @classmethod
+    def from_mix(cls, mix, n_records: int, scale: float = 1.0,
+                 base_sample: int = 0, jobs: Optional[int] = None,
+                 prefetcher_factory: Optional[Callable[[], object]] = None,
+                 config: Optional[FrontendConfig] = None,
+                 shared_llc_size: Optional[int] = None
+                 ) -> "MulticoreSimulator":
+        """Build a simulator for a :class:`~repro.multicore.mixes.WorkloadMix`.
+
+        ``jobs`` parallelises the per-core trace generation (the setup
+        cost, which dominates for short co-simulations); the simulation
+        itself still interleaves cores in virtual-time order.
+        """
+        from .mixes import build_mix
+        traces, programs = build_mix(mix, n_records, scale=scale,
+                                     base_sample=base_sample, jobs=jobs)
+        return cls(traces, prefetcher_factory=prefetcher_factory,
+                   config=config, programs=programs,
+                   shared_llc_size=shared_llc_size)
+
     def run(self, warmup: int = 0) -> MulticoreResult:
         """Advance all cores in virtual-time order until traces finish."""
         # Heap of (core_cycle, core_index, record_index).

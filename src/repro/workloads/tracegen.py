@@ -219,14 +219,50 @@ def get_generator(name: str, scale: float = 1.0,
     return gen
 
 
+def _trace_store_and_key(name: str, n_records: int, scale: float,
+                         variable_length: bool, sample: int):
+    """Persistent-store handle + fingerprint for one trace (or None)."""
+    # Imported lazily: workloads must not depend on experiments at
+    # module-import time.
+    from ..experiments import store as result_store
+    store = result_store.get_store()
+    if store is None:
+        return None, None
+    fp = result_store.fingerprint({
+        "kind": "trace",
+        "profile": get_profile(name),
+        "n_records": n_records,
+        "scale": scale,
+        "variable_length": variable_length,
+        "sample": sample,
+    })
+    return store, fp
+
+
 def get_trace(name: str, n_records: int = 200_000, scale: float = 1.0,
               variable_length: bool = False, sample: int = 0) -> Trace:
-    """Memoised trace for a named workload."""
+    """Memoised trace for a named workload.
+
+    Misses fall through to the persistent store (``REPRO_CACHE_DIR``)
+    before the CFG walk regenerates the trace; round-tripping through
+    :mod:`repro.workloads.serialize` is lossless, so cached and freshly
+    generated traces are interchangeable.
+    """
     key = (name, scale, variable_length, n_records, sample)
     trace = _TRACES.get(key)
     if trace is None:
-        trace = get_generator(name, scale, variable_length).generate(
-            n_records, sample=sample)
+        store, fp = _trace_store_and_key(name, n_records, scale,
+                                         variable_length, sample)
+        if store is not None:
+            trace = store.load_trace(fp)
+        if trace is None:
+            trace = get_generator(name, scale, variable_length).generate(
+                n_records, sample=sample)
+            if store is not None:
+                try:
+                    store.save_trace(fp, trace)
+                except OSError:
+                    pass    # read-only cache dir: persistence is best-effort
         _TRACES[key] = trace
     return trace
 

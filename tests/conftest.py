@@ -1,0 +1,27 @@
+"""Shared test configuration.
+
+The persistent result store defaults to ``~/.cache/repro``; pointing it
+at a per-session temporary directory keeps the suite hermetic (no reads
+from or writes to a developer's real cache) while still exercising the
+store's save/load paths exactly as production runs do.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    import os
+
+    from repro.experiments import store
+
+    root = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get(store.ENV_CACHE_DIR)
+    os.environ[store.ENV_CACHE_DIR] = str(root)
+    store.reset_store()
+    yield
+    if old is None:
+        os.environ.pop(store.ENV_CACHE_DIR, None)
+    else:
+        os.environ[store.ENV_CACHE_DIR] = old
+    store.reset_store()

@@ -1,0 +1,155 @@
+"""Tests for the parallel experiment runner (experiments.parallel).
+
+The host may have any number of cores; correctness is what these tests
+pin down — ``jobs=2`` must produce bit-identical results to serial
+execution, because every simulation is deterministic given its seed.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import parallel, runner
+from repro.experiments.parallel import map_parallel, resolve_jobs, run_many
+from repro.workloads import tracegen
+
+RECORDS = 6_000
+SCALE = 0.3
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches(monkeypatch, tmp_path):
+    # A private store per test: workers may write through it, and the
+    # comparison runs must not read results the first leg persisted
+    # under a different job count... which is fine (identical), but a
+    # clean slate keeps hit/miss accounting meaningful.
+    from repro.experiments import store
+    monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+    yield
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == 1  # floored
+
+    def test_default_then_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "4")
+        assert resolve_jobs() == 4
+        parallel.set_default_jobs(2)
+        try:
+            assert resolve_jobs() == 2
+        finally:
+            parallel.set_default_jobs(None)
+        assert resolve_jobs() == 4
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "many")
+        assert resolve_jobs() == 1
+
+
+class TestRunMany:
+    def test_parallel_matches_serial(self):
+        specs = [("web_apache", "baseline"), ("web_apache", "nl"),
+                 ("oltp_db_a", "baseline")]
+        par = run_many(specs, jobs=2, n_records=RECORDS, scale=SCALE)
+        runner.clear_cache()
+        ser = run_many(specs, jobs=1, n_records=RECORDS, scale=SCALE)
+        assert len(par) == len(ser) == len(specs)
+        for a, b in zip(par, ser):
+            assert (a.workload, a.scheme) == (b.workload, b.scheme)
+            assert asdict(a.stats) == asdict(b.stats)
+
+    def test_seeds_in_process_memo(self):
+        run_many([("web_apache", "baseline"), ("web_apache", "nl")],
+                 jobs=2, n_records=RECORDS, scale=SCALE)
+        sims_before = runner.simulations_run
+        runner.run_scheme("web_apache", "nl", n_records=RECORDS,
+                          scale=SCALE)
+        assert runner.simulations_run == sims_before
+
+    def test_per_spec_params_and_dedup(self):
+        specs = [("web_apache", "baseline"),
+                 ("web_apache", "baseline"),   # duplicate: one worker run
+                 ("web_apache", "sn4l_dis_btb",
+                  {"config_overrides": {"btb_entries": 512}})]
+        results = run_many(specs, jobs=2, n_records=RECORDS, scale=SCALE)
+        assert asdict(results[0].stats) == asdict(results[1].stats)
+        small_btb = results[2]
+        runner.clear_cache()
+        ser = runner.run_scheme("web_apache", "sn4l_dis_btb",
+                                n_records=RECORDS, scale=SCALE,
+                                config_overrides={"btb_entries": 512})
+        assert asdict(small_btb.stats) == asdict(ser.stats)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            run_many([("web_apache",)], n_records=RECORDS, scale=SCALE)
+
+
+class TestMapParallel:
+    def test_order_preserved(self):
+        items = list(range(7))
+        assert map_parallel(_square, items, jobs=2) == \
+            [i * i for i in items]
+
+    def test_serial_fallback(self):
+        assert map_parallel(_square, [3], jobs=8) == [9]
+
+
+def _square(x):
+    return x * x
+
+
+class TestSamplingParallel:
+    def test_sampled_matches_serial(self):
+        from repro.experiments import run_sampled
+        par = run_sampled("web_apache", "nl", n_samples=3,
+                          n_records=5_000, scale=SCALE, jobs=2)
+        ser = run_sampled("web_apache", "nl", n_samples=3,
+                          n_records=5_000, scale=SCALE, jobs=1)
+        assert set(par.metrics) == set(ser.metrics)
+        for name, metric in par.metrics.items():
+            assert metric.samples == ser.metrics[name].samples
+
+
+class TestMulticoreParallel:
+    def test_build_mix_matches_serial(self):
+        from repro.multicore import STANDARD_MIXES, build_mix
+        mix = STANDARD_MIXES["webfarm4"]
+        par_traces, par_programs = build_mix(mix, n_records=3_000,
+                                             scale=SCALE, jobs=2)
+        ser_traces, ser_programs = build_mix(mix, n_records=3_000,
+                                             scale=SCALE, jobs=1)
+        assert len(par_traces) == len(ser_traces) == mix.n_cores
+        for tp, ts in zip(par_traces, ser_traces):
+            assert len(tp) == len(ts)
+            assert all(a.line == b.line and a.taken == b.taken
+                       for a, b in zip(tp, ts))
+        assert par_programs == ser_programs
+
+    def test_from_mix_runs(self):
+        from repro.multicore import STANDARD_MIXES, MulticoreSimulator
+        sim = MulticoreSimulator.from_mix(STANDARD_MIXES["web4"],
+                                          n_records=2_000, scale=SCALE,
+                                          jobs=2)
+        result = sim.run(warmup=500)
+        assert len(result.cores) == 4
+        assert result.total_instructions > 0
+
+
+class TestFigureDriverParallel:
+    def test_fig03_matches_serial(self):
+        from repro.experiments import figures
+        par = figures.fig03_nl_seq_coverage(workloads=["web_apache"],
+                                            n_records=RECORDS, jobs=2)
+        runner.clear_cache()
+        ser = figures.fig03_nl_seq_coverage(workloads=["web_apache"],
+                                            n_records=RECORDS, jobs=1)
+        assert par == ser

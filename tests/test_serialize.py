@@ -2,8 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.isa import BranchKind
 from repro.workloads import (
+    NO_ADDR,
+    FetchRecord,
     Trace,
     get_generator,
     load_trace,
@@ -72,3 +77,40 @@ class TestRoundTrip:
         save_trace(trace, path)
         # Well under the naive 8 fields x 8 bytes x records.
         assert path.stat().st_size < len(trace) * 30
+
+
+_addresses = st.integers(min_value=0, max_value=2 ** 62)
+_records = st.builds(
+    FetchRecord,
+    line=_addresses.map(lambda a: a & ~63),
+    first_pc=_addresses,
+    n_instr=st.integers(min_value=1, max_value=64),
+    seq=st.booleans(),
+    branch_pc=st.one_of(st.just(NO_ADDR), _addresses),
+    branch_kind=st.sampled_from(list(BranchKind)),
+    branch_target=st.one_of(st.just(NO_ADDR), _addresses),
+    branch_size=st.integers(min_value=0, max_value=15),
+    taken=st.booleans(),
+    ctx_switch=st.booleans(),
+)
+
+
+class TestRoundTripProperty:
+    """The format must be lossless for *any* record, not just ones the
+    generator happens to emit (the persistent trace store depends on
+    cached and regenerated traces being interchangeable)."""
+
+    # The tmp_path dir is shared across examples; each one overwrites
+    # the same file, which is exactly what the round-trip needs.
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(records=st.lists(_records, max_size=40),
+           name=st.text(max_size=20))
+    def test_arbitrary_trace_roundtrips(self, records, name, tmp_path):
+        path = tmp_path / "prop.npz"
+        save_trace(Trace(records, name=name), path)
+        loaded = load_trace(path)
+        assert loaded.name == name
+        assert len(loaded) == len(records)
+        for a, b in zip(records, loaded):
+            assert records_equal(a, b)
