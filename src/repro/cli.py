@@ -8,6 +8,9 @@ Commands
 ``compare``              compare several schemes on one workload
 ``figure``               regenerate one of the paper's figures/tables
 ``sample``               SimFlex-style sampled run with confidence intervals
+``multicore``            co-simulate a workload mix over a shared LLC
+``stats``                observability: store inventory, run manifests,
+                         per-component telemetry, profiling
 """
 
 from __future__ import annotations
@@ -107,9 +110,18 @@ def _cmd_run(args) -> int:
                  variable_length=args.vl)
     base = run_scheme(args.workload, "baseline", n_records=args.records,
                       scale=args.scale, variable_length=args.vl)
-    res = run_scheme(args.workload, args.scheme, n_records=args.records,
-                     scale=args.scale, variable_length=args.vl)
-    st = res.stats
+    counts = None
+    if args.trace:
+        # Stream engine events to JSONL while simulating.  Deterministic
+        # engine + identical construction => the statistics match a
+        # cached run_scheme() of the same parameters bit for bit.
+        from .obs import trace_run
+        st, counts = trace_run(args.workload, args.scheme, args.trace,
+                               n_records=args.records, scale=args.scale,
+                               variable_length=args.vl)
+    else:
+        st = run_scheme(args.workload, args.scheme, n_records=args.records,
+                        scale=args.scale, variable_length=args.vl).stats
     misses = st.demand_misses + st.demand_late_prefetch
     print(f"{args.workload} / {args.scheme} "
           f"({args.records} records, scale {args.scale})")
@@ -121,6 +133,15 @@ def _cmd_run(args) -> int:
     print(f"  fscr       {st.fscr_over(base.stats):8.1%}")
     print(f"  accuracy   {st.prefetch_accuracy:8.1%}")
     print(f"  btb misses {st.btb_misses:8d}")
+    if counts is not None:
+        from .obs import reconcile
+        mismatches = reconcile(st, counts)
+        total = sum(counts.values())
+        if mismatches:
+            print(f"  trace      {total} events -> {args.trace} "
+                  f"RECONCILIATION MISMATCH {mismatches}", file=sys.stderr)
+            return 1
+        print(f"  trace      {total} events -> {args.trace} (reconciled)")
     return 0
 
 
@@ -229,6 +250,70 @@ def _cmd_multicore(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .experiments import store as result_store
+    from .obs import PROFILER, component_report
+
+    print("persistent store")
+    print(f"  root        {result_store.cache_root()}")
+    print(f"  enabled     {result_store.caching_enabled()}")
+    st = result_store.get_store()
+    if st is not None:
+        info = st.overview()
+        for kind in ("results", "manifests", "traces"):
+            entry = info[kind]
+            print(f"  {kind:11s} {entry['count']:6d} entries "
+                  f"({entry['bytes'] / 1024:.1f} KiB)")
+        counters = st.counters()
+        print("  session     " + "  ".join(
+            f"{k}={v}" for k, v in counters.items()))
+
+        manifests = sorted(st.iter_manifests(),
+                           key=lambda m: m.get("written_at", 0.0))
+        if manifests and args.last > 0:
+            print()
+            print(f"recent runs (last {min(args.last, len(manifests))} "
+                  f"of {len(manifests)})")
+            print(f"  {'workload':16s} {'scheme':16s} {'records':>8s} "
+                  f"{'duration':>9s} {'cycles':>12s} {'ipc':>6s}")
+            for m in manifests[-args.last:]:
+                summary = m.get("summary", {})
+                print(f"  {m.get('workload', '?'):16s} "
+                      f"{m.get('scheme', '?'):16s} "
+                      f"{m.get('n_records', 0):>8d} "
+                      f"{m.get('duration_s', 0.0):>8.2f}s "
+                      f"{summary.get('cycles', 0.0):>12.0f} "
+                      f"{summary.get('ipc', 0.0):>6.3f}")
+
+    if args.workload and args.scheme:
+        print()
+        print(f"per-component telemetry: {args.workload} / {args.scheme} "
+              f"({args.records} records, scale {args.scale})")
+        stats, counters = component_report(
+            args.workload, args.scheme, n_records=args.records,
+            scale=args.scale)
+        if counters.sources():
+            print(counters.render())
+        else:
+            print("  (no prefetches issued)")
+        print(f"  aggregate: issued={stats.prefetches_issued} "
+              f"useful={stats.prefetches_useful} "
+              f"useless={stats.prefetches_useless} "
+              f"accuracy={stats.prefetch_accuracy:.1%} "
+              f"cmal={stats.cmal:.1%}")
+    elif args.workload or args.scheme:
+        print("\nneed both --workload and --scheme for a component "
+              "breakdown", file=sys.stderr)
+        return 2
+
+    profile = PROFILER.render()
+    if profile != "(no profile data)":
+        print()
+        print("profile (this process)")
+        print(profile)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(scheme_names()))
     p_run.add_argument("--vl", action="store_true",
                        help="variable-length ISA build")
+    p_run.add_argument("--trace", metavar="OUT.JSONL",
+                       help="stream engine events to a JSONL trace file "
+                            "(opt-in; the default path stays event-free)")
     common(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -297,6 +385,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes for per-core trace generation")
     p_mc.set_defaults(func=_cmd_multicore)
+
+    p_stats = sub.add_parser(
+        "stats", help="observability: store inventory, run manifests, "
+                      "per-component telemetry, profiling")
+    p_stats.add_argument("--last", type=int, default=8, metavar="N",
+                         help="how many recent run manifests to list")
+    p_stats.add_argument("--workload", default=None,
+                         choices=workload_names(),
+                         help="with --scheme: per-component breakdown")
+    p_stats.add_argument("--scheme", default=None,
+                         choices=sorted(scheme_names()))
+    p_stats.add_argument("--records", type=int, default=20_000)
+    p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.set_defaults(func=_cmd_stats)
 
     return parser
 

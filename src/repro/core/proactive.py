@@ -253,7 +253,9 @@ class ProactivePrefetcher(Prefetcher):
                 hit = sim.lookup_cache(cand)
                 if not hit:
                     delay = self.predecode_delay if src == _SRC_DIS else 0
-                    sim.issue_prefetch(cand, probe_cache=False, delay=delay)
+                    sim.issue_prefetch(cand, probe_cache=False, delay=delay,
+                                       source=("dis" if src == _SRC_DIS
+                                               else "sn4l"))
                 if depth < self.max_depth:
                     if src == _SRC_DIS and self.enable_seq:
                         self.seq_queue.push(cand, depth)
@@ -284,6 +286,9 @@ class ProactivePrefetcher(Prefetcher):
         result = self.sim.predecoder().decode_block(
             line, footprint_offsets=footprint, dis_offset=offset)
         self.predecodes += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(self.sim.cycle, "predecode", line,
+                                f"depth={depth}")
 
         if self.enable_btb and (result.branches or result.offset_branch):
             branches = list(result.branches)

@@ -24,16 +24,22 @@ keep using :func:`~repro.experiments.runner.run_scheme` serially.
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import runner
 from .runner import RunResult, run_scheme
+from ..obs.profile import PROFILER
 
 ENV_JOBS = "REPRO_JOBS"
 
 _default_jobs: Optional[int] = None
+
+#: Bad REPRO_JOBS values already warned about (one warning per value).
+_warned_env_values = set()
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -53,7 +59,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            # An unparsable job count silently forcing serial execution
+            # is a debugging trap — say so, once per distinct value.
+            if env not in _warned_env_values:
+                _warned_env_values.add(env)
+                warnings.warn(
+                    f"ignoring invalid {ENV_JOBS}={env!r} (not an "
+                    f"integer); running serial",
+                    RuntimeWarning, stacklevel=2)
     return 1
 
 
@@ -76,10 +89,17 @@ def _normalise(spec: RunSpec, common: Dict) -> Tuple[str, str, Dict]:
     return workload, scheme, merged
 
 
-def _worker(payload: Tuple[str, str, Dict]) -> Tuple[Tuple, RunResult]:
-    """Executed in a worker process: one slim simulation run."""
+def _worker(payload: Tuple[str, str, Dict]
+            ) -> Tuple[Tuple, RunResult, float]:
+    """Executed in a worker process: one slim simulation run.
+
+    Returns the memo key, the result, and the worker-side wall time so
+    the parent can profile per-worker cost vs pool overhead.
+    """
     workload, scheme, params = payload
+    start = time.perf_counter()
     result = run_scheme(workload, scheme, **params)
+    elapsed = time.perf_counter() - start
     key = runner.cache_key(
         workload, scheme,
         n_records=params.get("n_records", runner.DEFAULT_RECORDS),
@@ -88,7 +108,7 @@ def _worker(payload: Tuple[str, str, Dict]) -> Tuple[Tuple, RunResult]:
         variable_length=params.get("variable_length", False),
         config_overrides=params.get("config_overrides"),
         cache_key_extra=params.get("cache_key_extra"))
-    return key, result
+    return key, result, elapsed
 
 
 def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
@@ -121,14 +141,27 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
 
     if todo:
         payloads = list(todo.values())
+        pool_start = time.perf_counter()
         try:
             with ProcessPoolExecutor(
                     max_workers=min(n_jobs, len(payloads))) as pool:
-                for key, result in pool.map(_worker, payloads):
+                busy = 0.0
+                for key, result, elapsed in pool.map(_worker, payloads):
                     runner.seed_cache(key, result)
+                    PROFILER.record("run_many.worker", elapsed)
+                    busy += elapsed
+            wall = time.perf_counter() - pool_start
+            PROFILER.record("run_many.pool", wall)
+            # Wall time not covered by (perfectly parallel) worker work:
+            # process spin-up, pickling, and queue wait.
+            workers = min(n_jobs, len(payloads))
+            PROFILER.record("run_many.pool_overhead",
+                            max(0.0, wall - busy / workers))
+            PROFILER.incr("run_many.worker_runs", len(payloads))
         except BrokenProcessPool:
             # Worker crashed (e.g. fork-hostile environment): degrade to
             # serial execution rather than failing the experiment.
+            PROFILER.incr("run_many.broken_pools")
             for w, s, p in payloads:
                 run_scheme(w, s, **p)
 

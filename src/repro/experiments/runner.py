@@ -16,11 +16,13 @@ Two cache layers sit under :func:`run_scheme`:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from . import store as result_store
+from ..obs.profile import PROFILER
 
 from ..core import ProactivePrefetcher, Sn4lPrefetcher, dis_only, sn4l_dis, sn4l_dis_btb
 from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
@@ -144,6 +146,30 @@ def _fingerprint(workload: str, scheme: str, n_records: int, warmup: int,
     })
 
 
+def _build_manifest(fp: str, workload: str, scheme: str, n_records: int,
+                    warmup: int, scale: float, variable_length: bool,
+                    overrides: Dict, cache_key_extra: Optional[str],
+                    duration_s: float, stats, extra: Dict) -> Dict:
+    """Machine-readable record of one run, written next to its result."""
+    return {
+        "fingerprint": fp,
+        "workload": workload,
+        "scheme": scheme,
+        "n_records": n_records,
+        "warmup": warmup,
+        "scale": scale,
+        "variable_length": variable_length,
+        "config_overrides": dict(overrides),
+        "cache_key_extra": cache_key_extra,
+        "duration_s": round(duration_s, 4),
+        "written_at": time.time(),
+        "code_salt": result_store.code_salt(),
+        "store_version": result_store.STORE_VERSION,
+        "summary": stats.summary(),
+        "extra": dict(extra),
+    }
+
+
 def _memoise(key: Tuple, result: RunResult) -> None:
     _CACHE[key] = result
     _CACHE.move_to_end(key)
@@ -206,6 +232,7 @@ def run_scheme(workload: str, scheme: str,
         cached = _CACHE[key]
         if cached.simulator is not None or not keep_simulator:
             _CACHE.move_to_end(key)
+            PROFILER.incr("run_scheme.memo_hits")
             return cached
 
     # Persistent layer.  Factory-built variants are only fingerprintable
@@ -226,6 +253,7 @@ def run_scheme(workload: str, scheme: str,
                     result = RunResult(workload=workload, scheme=scheme,
                                        stats=stats, extra=extra)
                     _memoise(key, result)
+                    PROFILER.incr("run_scheme.store_hits")
                     return result
 
     if prefetcher_factory is not None:
@@ -236,15 +264,20 @@ def run_scheme(workload: str, scheme: str,
         prefetcher, scheme_overrides = build_scheme(scheme)
     merged = {**scheme_overrides, **overrides}
 
-    generator = get_generator(workload, scale=scale,
-                              variable_length=variable_length)
-    trace = get_trace(workload, n_records=n_records, scale=scale,
-                      variable_length=variable_length)
+    with PROFILER.span("run_scheme.trace"):
+        generator = get_generator(workload, scale=scale,
+                                  variable_length=variable_length)
+        trace = get_trace(workload, n_records=n_records, scale=scale,
+                          variable_length=variable_length)
     config = FrontendConfig(**merged)
     sim = FrontendSimulator(trace, config=config, prefetcher=prefetcher,
                             program=generator.program)
     simulations_run += 1
+    PROFILER.incr("run_scheme.simulations")
+    sim_start = time.perf_counter()
     stats = sim.run(warmup=warmup)
+    sim_elapsed = time.perf_counter() - sim_start
+    PROFILER.record("run_scheme.simulate", sim_elapsed)
 
     result = RunResult(workload=workload, scheme=scheme, stats=stats)
     result.extra["llc_avg_latency"] = sim.latency.average_latency
@@ -254,6 +287,10 @@ def run_scheme(workload: str, scheme: str,
     if store is not None and fp is not None:
         try:
             store.save_result(fp, stats, result.extra)
+            store.save_manifest(fp, _build_manifest(
+                fp, workload, scheme, n_records, warmup, scale,
+                variable_length, overrides, cache_key_extra,
+                sim_elapsed, stats, result.extra))
         except OSError:
             pass        # read-only cache dir: persistence is best-effort
     if keep_simulator:

@@ -125,6 +125,11 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Entries that existed but failed to parse (a corrupt read is
+        #: also counted as a miss — callers just re-simulate).
+        self.corrupt = 0
+        #: Entries removed by :meth:`clear`.
+        self.invalidations = 0
 
     @property
     def root(self) -> Path:
@@ -140,10 +145,18 @@ class ResultStore:
         """Return ``(stats, extra)`` for a fingerprint, or None on miss."""
         path = self.result_path(fp)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
             stats = FrontendStats(**payload["stats"])
             extra = dict(payload["extra"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # Truncated/garbage entry (e.g. a torn concurrent write):
+            # indistinguishable from a miss for the caller, but tracked.
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -157,6 +170,37 @@ class ResultStore:
         _atomic_write(path, json.dumps(payload).encode())
         self.writes += 1
         return path
+
+    # -- run manifests -------------------------------------------------
+
+    def manifest_path(self, fp: str) -> Path:
+        return self.root / "results" / f"{fp}.manifest.json"
+
+    def save_manifest(self, fp: str, manifest: Dict[str, Any]) -> Path:
+        """Write the machine-readable run manifest next to a result."""
+        path = self.manifest_path(fp)
+        _atomic_write(path, json.dumps(manifest, sort_keys=True,
+                                       indent=1).encode())
+        return path
+
+    def load_manifest(self, fp: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.manifest_path(fp).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def iter_manifests(self):
+        """Yield every readable run manifest (unordered)."""
+        folder = self.root / "results"
+        try:
+            entries = sorted(folder.glob("*.manifest.json"))
+        except OSError:
+            return
+        for path in entries:
+            try:
+                yield json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
 
     # -- traces --------------------------------------------------------
 
@@ -200,22 +244,61 @@ class ResultStore:
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every stored entry; returns the number removed."""
+        """Delete every stored entry; returns the number removed.
+
+        Safe against concurrent modification: entries that vanish
+        between listing and unlinking (or a directory removed wholesale
+        by another process) are simply skipped.
+        """
         removed = 0
         for sub in ("results", "traces"):
             folder = self.root / sub
             if not folder.is_dir():
                 continue
-            for entry in folder.iterdir():
+            try:
+                entries = list(folder.iterdir())
+            except OSError:
+                continue        # directory vanished mid-listing
+            for entry in entries:
                 try:
                     entry.unlink()
                     removed += 1
                 except OSError:
-                    pass
+                    pass        # entry vanished first: same outcome
+        self.invalidations += removed
         return removed
 
     def reset_counters(self) -> None:
         self.hits = self.misses = self.writes = 0
+        self.corrupt = self.invalidations = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Session counters: hit/miss/corrupt/write/invalidation."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "writes": self.writes,
+                "invalidations": self.invalidations}
+
+    def overview(self) -> Dict[str, Any]:
+        """On-disk inventory: entry counts and byte totals per kind."""
+        info: Dict[str, Any] = {"root": str(self.root)}
+        for kind, pattern in (("results", "*.json"),
+                              ("manifests", "*.manifest.json"),
+                              ("traces", "*.npz")):
+            sub = "traces" if kind == "traces" else "results"
+            folder = self.root / sub
+            count = size = 0
+            if folder.is_dir():
+                for path in folder.glob(pattern):
+                    if kind == "results" and path.name.endswith(
+                            ".manifest.json"):
+                        continue
+                    try:
+                        size += path.stat().st_size
+                        count += 1
+                    except OSError:
+                        continue
+            info[kind] = {"count": count, "bytes": size}
+        return info
 
 
 _STORE: Optional[ResultStore] = None

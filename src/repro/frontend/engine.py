@@ -22,6 +22,7 @@ stalls (Table I).
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..btb import BtbPrefetchBuffer, ConventionalBtb, ReturnAddressStack
@@ -37,6 +38,7 @@ from ..memory import (
 from ..workloads import NO_ADDR, Trace
 from .branch_predictor import DirectionPredictor
 from .config import FrontendConfig
+from .eventlog import ScopedEmitter
 from .tage import TagePredictor
 from .l1pb import L1PrefetchBuffer
 from .stats import FrontendStats
@@ -97,11 +99,18 @@ class FrontendSimulator:
         #: Optional debugging aid: attach an ``EventLog`` to record a
         #: structured stream of simulator events (see frontend.eventlog).
         self.event_log = None
+        #: Optional per-component prefetch attribution
+        #: (:meth:`enable_component_telemetry`); ``None`` costs nothing.
+        self.component_counters = None
+        self._pf_sources = {}
         self.datapath = None
         if cfg.model_data:
             from .datapath import DataPathModel
             self.datapath = DataPathModel(self)
         self._call_depth = 0
+        #: True when an explicit ``run(fast=True)`` had to fall back to
+        #: the generic loop (also surfaced in ``stats.extra``).
+        self.fast_path_downgraded = False
         self.prefetcher = prefetcher
         if prefetcher is not None:
             prefetcher.attach(self)
@@ -113,6 +122,28 @@ class FrontendSimulator:
     def demand_index(self) -> int:
         """Index of the record currently being fetched."""
         return self._demand_index
+
+    def emitter(self, source: str) -> ScopedEmitter:
+        """A telemetry emitter stamping events with ``source``.
+
+        Bound to this simulator, not to a specific log: it follows a
+        later ``sim.event_log = ...`` attachment and is a single ``None``
+        check when no log is attached.
+        """
+        return ScopedEmitter(self, source)
+
+    def enable_component_telemetry(self):
+        """Attribute prefetch outcomes to their issuing component.
+
+        Returns the live :class:`~repro.obs.telemetry.ComponentCounters`;
+        sources come from ``issue_prefetch(..., source=...)`` (defaulting
+        to the attached prefetcher's name).  Disables the batched fast
+        path, like any other observer.
+        """
+        if self.component_counters is None:
+            from ..obs.telemetry import ComponentCounters
+            self.component_counters = ComponentCounters()
+        return self.component_counters
 
     def predecoder(self) -> Predecoder:
         if self._predecoder is None:
@@ -136,14 +167,16 @@ class FrontendSimulator:
         return block_base(addr) in self.mshr
 
     def issue_prefetch(self, addr: int, probe_cache: bool = True,
-                       delay: int = 0) -> bool:
+                       delay: int = 0, source: str = "") -> bool:
         """Issue a prefetch for the block containing ``addr``.
 
         Returns True when a request was actually sent to the memory
         hierarchy.  ``probe_cache=False`` skips the L1i lookup (the caller
         already probed, e.g. through the RLU filter path).  ``delay`` adds
         issue latency for longer prefetch paths, e.g. the Dis prefetcher's
-        DisTable-lookup + pre-decode pipeline.
+        DisTable-lookup + pre-decode pipeline.  ``source`` names the
+        issuing component for telemetry attribution (defaults to the
+        attached prefetcher's name when component telemetry is on).
         """
         line = block_base(addr)
         if probe_cache and self.lookup_cache(line):
@@ -159,9 +192,19 @@ class FrontendSimulator:
         if entry is None:
             return False
         self.stats.prefetches_issued += 1
+        if self.component_counters is not None:
+            if not source and self.prefetcher is not None:
+                source = self.prefetcher.name
+            self.component_counters.on_issue(source)
+            self._pf_sources[line] = source
         if self.event_log is not None:
-            self.event_log.emit(at, "prefetch", line, f"lat={lat}")
+            self.event_log.emit(at, "prefetch", line, f"lat={lat}",
+                                source=source)
         return True
+
+    def _pf_source(self, line: int) -> str:
+        """Pop the issuing component of a prefetched ``line``."""
+        return self._pf_sources.pop(line, "")
 
     # ------------------------------------------------------------------
     # fills
@@ -172,6 +215,9 @@ class FrontendSimulator:
             victim = self.l1_prefetch_buffer.fill(line, fill_latency)
             if victim is not None:
                 self.stats.prefetches_useless += 1
+                if self.component_counters is not None:
+                    self.component_counters.on_useless(
+                        self._pf_source(victim))
             if self.prefetcher is not None:
                 self.prefetch_clock = self.cycle
                 self.prefetcher.on_fill(line, True, self.cycle)
@@ -187,6 +233,9 @@ class FrontendSimulator:
         if victim is not None:
             if victim.is_prefetch:
                 self.stats.prefetches_useless += 1
+                if self.component_counters is not None:
+                    self.component_counters.on_useless(
+                        self._pf_source(victim.addr))
             if self.event_log is not None:
                 self.event_log.emit(self.cycle, "evict", victim.addr)
             if self.prefetcher is not None:
@@ -225,6 +274,9 @@ class FrontendSimulator:
 
         if self.config.perfect_l1i:
             stats.demand_hits += 1
+            if self.event_log is not None:
+                self.event_log.emit(self.cycle, "demand_hit", line,
+                                    "perfect")
             return HIT
 
         resident = self.l1i.lookup(line)
@@ -238,6 +290,9 @@ class FrontendSimulator:
                 stats.covered_latency += lat
                 stats.prefetched_latency += lat
                 resident.is_prefetch = False
+                if self.component_counters is not None:
+                    self.component_counters.on_useful(
+                        self._pf_source(line), lat, lat)
                 if self.prefetcher is not None:
                     self.prefetcher.on_prefetch_hit(line, self.cycle)
             return HIT
@@ -249,6 +304,12 @@ class FrontendSimulator:
                 stats.prefetches_useful += 1
                 stats.covered_latency += buffered
                 stats.prefetched_latency += buffered
+                if self.component_counters is not None:
+                    self.component_counters.on_useful(
+                        self._pf_source(line), buffered, buffered)
+                if self.event_log is not None:
+                    self.event_log.emit(self.cycle, "demand_hit", line,
+                                        "l1pb")
                 self.l1i.insert(line, is_prefetch=False, is_instruction=True)
                 return HIT
 
@@ -263,6 +324,9 @@ class FrontendSimulator:
                 stats.seq_misses += 1
             else:
                 stats.disc_misses += 1
+            if self.event_log is not None:
+                self.event_log.emit(self.cycle, "demand_miss", line,
+                                    "inflight")
             self.mshr.remove(line)
             self._stall(remaining, "icache_stall_cycles")
             self._apply_fill(line, is_prefetch=False,
@@ -280,6 +344,11 @@ class FrontendSimulator:
             stats.prefetches_useful += 1
             stats.covered_latency += inflight.full_latency - remaining
             stats.prefetched_latency += inflight.full_latency
+            if self.component_counters is not None:
+                self.component_counters.on_useful(
+                    self._pf_source(line),
+                    inflight.full_latency - remaining,
+                    inflight.full_latency, late=True)
             if self.event_log is not None:
                 self.event_log.emit(self.cycle, "demand_late", line,
                                     f"remaining={remaining}")
@@ -319,6 +388,9 @@ class FrontendSimulator:
             correct = self.predictor.update(record.branch_pc, record.taken)
             if not correct:
                 stats.mispredicts += 1
+                if self.event_log is not None:
+                    self.event_log.emit(self.cycle, "mispredict",
+                                        record.branch_pc, "cond")
                 self._stall(cfg.mispredict_penalty, "mispredict_stall_cycles")
                 self._wrong_path_touch(record)
             if record.taken:
@@ -344,6 +416,9 @@ class FrontendSimulator:
                 self._btb_miss(record)
             elif entry.target != record.branch_target:
                 stats.mispredicts += 1
+                if self.event_log is not None:
+                    self.event_log.emit(self.cycle, "mispredict",
+                                        record.branch_pc, "indirect")
                 self._stall(cfg.mispredict_penalty, "mispredict_stall_cycles")
                 entry.target = record.branch_target
             self.ras.push(record.branch_pc + record.branch_size)
@@ -353,6 +428,9 @@ class FrontendSimulator:
             predicted = self.ras.pop()
             if predicted != record.branch_target and record.branch_target != NO_ADDR:
                 stats.mispredicts += 1
+                if self.event_log is not None:
+                    self.event_log.emit(self.cycle, "mispredict",
+                                        record.branch_pc, "return")
                 if not cfg.perfect_btb:
                     self._stall(cfg.mispredict_penalty,
                                 "mispredict_stall_cycles")
@@ -425,6 +503,14 @@ class FrontendSimulator:
         predictor stay warm; only the measurement counters restart.
         """
         self.stats = FrontendStats()
+        if self.event_log is not None:
+            # Counts restart with the statistics so the two reconcile;
+            # buffered/streamed warmup events are kept for debugging.
+            self.event_log.mark_measurement_start()
+        if self.component_counters is not None:
+            # Prefetch provenance (``_pf_sources``) survives — in-flight
+            # and resident prefetches are microarchitectural state.
+            self.component_counters.reset()
         self.latency.llc_latency_sum = 0.0
         self.latency.llc_latency_count = 0
         self.latency.contention.total_requests = 0
@@ -476,6 +562,8 @@ class FrontendSimulator:
                if self.datapath is not None
                else self.config.backend_cpi_extra)
         self.stats.backend_cycles += int(self.stats.instructions * cpi)
+        if self.fast_path_downgraded:
+            self.stats.extra["fast_path_downgraded"] = 1.0
         return self.stats
 
     def run(self, warmup: int = 0, fast: Optional[bool] = None
@@ -494,8 +582,20 @@ class FrontendSimulator:
         if records is None:
             records = list(self.trace)
         n = len(records)
-        use_fast = self._fast_path_eligible() if fast is None else \
-            (fast and self._fast_path_eligible())
+        if fast is None:
+            use_fast = self._fast_path_eligible()
+        else:
+            use_fast = fast and self._fast_path_eligible()
+            if fast and not use_fast:
+                # An explicit fast=True that cannot be honoured must not
+                # be mistaken for a fast-path measurement downstream.
+                self.fast_path_downgraded = True
+                warnings.warn(
+                    "fast=True requested but this configuration is not "
+                    "fast-path eligible (a prefetcher, event log, "
+                    "datapath, buffer or wrong-path depth is attached); "
+                    "running the generic per-record loop",
+                    RuntimeWarning, stacklevel=2)
         span = self._run_span_fast if use_fast else self._run_span
         if 0 < warmup < n:
             span(records, 0, warmup)
@@ -511,6 +611,7 @@ class FrontendSimulator:
         return (self.prefetcher is None
                 and self.datapath is None
                 and self.event_log is None
+                and self.component_counters is None
                 and self.l1_prefetch_buffer is None
                 and self.btb_prefetch_buffer is None
                 and self.config.wrong_path_depth == 0

@@ -1,16 +1,36 @@
-"""Structured event log for debugging simulations.
+"""Structured event log / telemetry bus for simulations.
 
 An opt-in ring buffer of typed events the engine emits when a log is
 attached (``sim.event_log = EventLog(...)``).  Tests use it to assert
 event *sequences* (miss -> fill -> hit), and humans use ``dump()`` when a
 prefetcher misbehaves.  Disabled (None) by default: zero overhead.
+
+Beyond the ring buffer, the log is the repository's telemetry bus:
+
+* **validated kinds** — every ``kind`` must come from the registry
+  (:attr:`EventLog.KINDS` plus :meth:`EventLog.register_kind` /
+  ``extra_kinds=``).  A typo'd kind raises in strict mode (the default
+  under ``__debug__``, i.e. tests and development) and is counted under
+  ``"unknown"`` otherwise, so it can never silently fork a counter;
+* **scoped emitters** — :meth:`scoped` stamps every event with a
+  ``source`` (e.g. a prefetcher component such as ``sn4l`` or ``dis``),
+  which is what makes per-component coverage/accuracy attribution
+  queryable (see :mod:`repro.obs`);
+* **JSONL export/import** — :meth:`export_jsonl` /
+  :meth:`import_jsonl` round-trip the buffered events;
+  :class:`repro.obs.tracing.JsonlTraceLog` streams the *full* event
+  stream to disk without the ring-buffer bound;
+* **measurement markers** — :meth:`mark_measurement_start` zeroes the
+  cumulative counts when the engine resets its statistics after warmup,
+  so ``counts`` reconciles exactly with ``FrontendStats``.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -19,29 +39,120 @@ class Event:
     kind: str          # e.g. "demand_hit", "demand_miss", "fill", "btb_miss"
     addr: int
     detail: str = ""
+    source: str = ""   # emitting component ("" = the engine itself)
 
     def __str__(self) -> str:
         detail = f" {self.detail}" if self.detail else ""
-        return f"[{self.cycle:>10d}] {self.kind:<14s} {self.addr:#012x}{detail}"
+        source = f" <{self.source}>" if self.source else ""
+        return (f"[{self.cycle:>10d}] {self.kind:<14s} "
+                f"{self.addr:#012x}{source}{detail}")
+
+    def to_dict(self) -> Dict:
+        d = {"cycle": self.cycle, "kind": self.kind, "addr": self.addr}
+        if self.detail:
+            d["detail"] = self.detail
+        if self.source:
+            d["source"] = self.source
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Event":
+        return cls(cycle=int(d["cycle"]), kind=str(d["kind"]),
+                   addr=int(d["addr"]), detail=str(d.get("detail", "")),
+                   source=str(d.get("source", "")))
+
+
+class ScopedEmitter:
+    """Emit events stamped with a fixed ``source`` through a live log.
+
+    Bound to a *holder* (any object with an ``event_log`` attribute, in
+    practice the simulator) rather than a log instance, so a log attached
+    after construction is picked up and a detached log costs one ``None``
+    check per call.
+    """
+
+    __slots__ = ("_holder", "source")
+
+    def __init__(self, holder, source: str):
+        self._holder = holder
+        self.source = source
+
+    @property
+    def enabled(self) -> bool:
+        return self._holder.event_log is not None
+
+    def emit(self, cycle: int, kind: str, addr: int, detail: str = "") -> None:
+        log = self._holder.event_log
+        if log is not None:
+            log.emit(cycle, kind, addr, detail, source=self.source)
+
+
+class _LogHolder:
+    """Adapter letting :meth:`EventLog.scoped` reuse ScopedEmitter."""
+
+    __slots__ = ("event_log",)
+
+    def __init__(self, log):
+        self.event_log = log
 
 
 class EventLog:
-    """Bounded ring buffer of :class:`Event`."""
+    """Bounded ring buffer of :class:`Event` with validated kinds."""
 
     KINDS = ("demand_hit", "demand_miss", "demand_late", "fill",
-             "evict", "prefetch", "btb_miss", "btb_rescue", "mispredict")
+             "evict", "prefetch", "btb_miss", "btb_rescue", "mispredict",
+             "predecode")
 
-    def __init__(self, capacity: int = 4096):
+    #: Bucket unregistered kinds fall into outside strict mode.
+    UNKNOWN = "unknown"
+
+    _REGISTRY = set(KINDS) | {UNKNOWN}
+
+    def __init__(self, capacity: int = 4096, strict: Optional[bool] = None,
+                 extra_kinds: Iterable[str] = ()):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        #: strict=None follows ``__debug__``: raise on a typo'd kind in
+        #: tests/development, degrade to the "unknown" bucket under -O.
+        self.strict = __debug__ if strict is None else strict
+        self._kinds = self._REGISTRY | set(extra_kinds)
         self._events: Deque[Event] = deque(maxlen=capacity)
         self.counts: Counter = Counter()
 
+    @classmethod
+    def register_kind(cls, kind: str) -> None:
+        """Add ``kind`` to the global registry (new instances see it)."""
+        cls._REGISTRY.add(kind)
+
+    def known_kinds(self) -> frozenset:
+        return frozenset(self._kinds)
+
     def emit(self, cycle: int, kind: str, addr: int,
-             detail: str = "") -> None:
-        self._events.append(Event(cycle, kind, addr, detail))
+             detail: str = "", source: str = "") -> None:
+        if kind not in self._kinds:
+            if self.strict:
+                raise ValueError(
+                    f"unregistered event kind {kind!r}; known kinds: "
+                    f"{', '.join(sorted(self._kinds))} (extend with "
+                    f"EventLog.register_kind or extra_kinds=)")
+            detail = f"kind={kind}" + (f" {detail}" if detail else "")
+            kind = self.UNKNOWN
+        self._events.append(Event(cycle, kind, addr, detail, source))
         self.counts[kind] += 1
+
+    def scoped(self, source: str) -> ScopedEmitter:
+        """An emitter that stamps every event with ``source``."""
+        return ScopedEmitter(_LogHolder(self), source)
+
+    def mark_measurement_start(self) -> None:
+        """Zero the cumulative counts (engine warmup reset).
+
+        The buffered events are kept — they are a debugging aid — but
+        ``counts`` restarts so it reconciles with the freshly zeroed
+        :class:`~repro.frontend.stats.FrontendStats`.
+        """
+        self.counts.clear()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -51,6 +162,9 @@ class EventLog:
 
     def of_kind(self, kind: str) -> List[Event]:
         return [e for e in self._events if e.kind == kind]
+
+    def of_source(self, source: str) -> List[Event]:
+        return [e for e in self._events if e.source == source]
 
     def for_addr(self, addr: int, block_size: int = 64) -> List[Event]:
         line = addr - addr % block_size
@@ -63,3 +177,38 @@ class EventLog:
     def dump(self, n: Optional[int] = None) -> str:
         events = list(self._events) if n is None else self.last(n)
         return "\n".join(str(e) for e in events)
+
+    # -- JSONL round-trip ----------------------------------------------
+
+    def export_jsonl(self, path) -> int:
+        """Write the buffered events as JSON Lines; returns the count.
+
+        Note the ring-buffer bound: only the last ``capacity`` events are
+        buffered.  Use :class:`repro.obs.tracing.JsonlTraceLog` to stream
+        an unbounded trace during the run instead.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event.to_dict(),
+                                    separators=(",", ":")) + "\n")
+        return len(self._events)
+
+    @classmethod
+    def import_jsonl(cls, path, capacity: Optional[int] = None,
+                     strict: bool = False) -> "EventLog":
+        """Rebuild a log from a JSONL trace file (markers are skipped)."""
+        events = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                d = json.loads(raw)
+                if "marker" in d:
+                    continue
+                events.append(Event.from_dict(d))
+        log = cls(capacity=capacity or max(1, len(events)), strict=strict)
+        for event in events:
+            log.emit(event.cycle, event.kind, event.addr, event.detail,
+                     event.source)
+        return log

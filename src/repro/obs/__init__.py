@@ -1,0 +1,42 @@
+"""Observability: structured telemetry, profiling hooks, run manifests.
+
+The ``repro.obs`` package is the unified observability layer threaded
+through the engine, the prefetchers, the experiment runner and the CLI:
+
+* :mod:`repro.obs.telemetry` — per-prefetcher component counters
+  (coverage / accuracy / timeliness / pollution per SN4L, Dis, … source)
+  and the event-count <-> :class:`~repro.frontend.stats.FrontendStats`
+  reconciliation used by the trace smoke test;
+* :mod:`repro.obs.profile` — context-manager timing spans and monotonic
+  counters (``PROFILER``) instrumenting ``run_scheme``, the parallel
+  pool and the persistent store;
+* :mod:`repro.obs.tracing` — streaming JSONL event traces
+  (``repro run --trace out.jsonl``) and their readers.
+
+Everything here is opt-in: with no event log attached and no profiler
+consumer, the default simulation path is unchanged (the engine's
+``event_log is None`` fast path and fast-path eligibility are
+preserved).
+"""
+
+from .profile import PROFILER, Profiler, SpanStats
+from .telemetry import (
+    RECONCILED_COUNTERS,
+    ComponentCounters,
+    component_report,
+    reconcile,
+)
+from .tracing import JsonlTraceLog, read_trace, trace_run
+
+__all__ = [
+    "PROFILER",
+    "Profiler",
+    "SpanStats",
+    "ComponentCounters",
+    "RECONCILED_COUNTERS",
+    "reconcile",
+    "component_report",
+    "JsonlTraceLog",
+    "read_trace",
+    "trace_run",
+]

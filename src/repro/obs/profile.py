@@ -1,0 +1,115 @@
+"""Lightweight profiling: timing spans and monotonic counters.
+
+A :class:`Profiler` aggregates named wall-clock spans (count / total /
+min / max) and integer counters.  The module-level :data:`PROFILER` is
+the process-wide instance the experiment layer reports into:
+
+* ``run_scheme`` — simulation wall time, memo/store hit and miss counts;
+* ``run_many`` — pool wall time, per-worker run time, queue wait;
+* the persistent store — hit/miss/corrupt/invalidation totals are read
+  directly off :class:`~repro.experiments.store.ResultStore`.
+
+Costs are one ``perf_counter()`` pair per span — these wrap whole
+simulation runs, never per-record work, so the engine's hot loops are
+untouched.  ``repro stats`` renders the snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of one named span."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": float(self.count), "total_s": self.total,
+                "mean_s": self.mean,
+                "min_s": self.min if self.count else 0.0,
+                "max_s": self.max}
+
+
+class Profiler:
+    """Named timing spans plus monotonic counters."""
+
+    def __init__(self):
+        self.counters: Counter = Counter()
+        self._spans: Dict[str, SpanStats] = {}
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager timing one span occurrence."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into span ``name``."""
+        span = self._spans.get(name)
+        if span is None:
+            span = self._spans[name] = SpanStats()
+        span.add(seconds)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def span_stats(self, name: str) -> SpanStats:
+        return self._spans.get(name, SpanStats())
+
+    def snapshot(self) -> Dict:
+        """Machine-readable dump of every counter and span."""
+        return {
+            "counters": dict(self.counters),
+            "spans": {name: span.as_dict()
+                      for name, span in sorted(self._spans.items())},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self._spans.clear()
+
+    def render(self) -> str:
+        """Human-readable profile table (spans, then counters)."""
+        lines = []
+        if self._spans:
+            lines.append(f"{'span':28s} {'count':>7s} {'total':>9s} "
+                         f"{'mean':>9s} {'max':>9s}")
+            for name, span in sorted(self._spans.items()):
+                lines.append(f"{name:28s} {span.count:>7d} "
+                             f"{span.total:>8.3f}s {span.mean:>8.3f}s "
+                             f"{span.max:>8.3f}s")
+        if self.counters:
+            if lines:
+                lines.append("")
+            lines.append(f"{'counter':36s} {'value':>10s}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:36s} {self.counters[name]:>10d}")
+        return "\n".join(lines) if lines else "(no profile data)"
+
+
+#: Process-wide profiler the experiment layer reports into.
+PROFILER = Profiler()

@@ -1,0 +1,126 @@
+"""Streaming JSONL event traces (``repro run --trace out.jsonl``).
+
+The ring-buffered :class:`~repro.frontend.eventlog.EventLog` keeps only
+the last ``capacity`` events; :class:`JsonlTraceLog` additionally writes
+*every* event to a JSON Lines file as it is emitted, so a full run's
+event stream survives.  A ``{"marker": "measurement_start"}`` line is
+written when the engine resets its statistics after warmup; readers
+count events after the last marker, which is what makes the trace
+reconcile exactly with the returned
+:class:`~repro.frontend.stats.FrontendStats` (see
+:func:`repro.obs.telemetry.reconcile`).
+
+Tracing is strictly opt-in: a simulator with ``event_log is None`` takes
+the exact pre-observability path, including fast-path eligibility.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend.eventlog import Event, EventLog
+
+MEASUREMENT_MARKER = "measurement_start"
+
+
+class JsonlTraceLog(EventLog):
+    """An :class:`EventLog` that also streams every event to a file.
+
+    Use as a context manager (or call :meth:`close`) to flush:
+
+    >>> with JsonlTraceLog("out.jsonl") as log:   # doctest: +SKIP
+    ...     sim.event_log = log
+    ...     sim.run()
+    """
+
+    def __init__(self, path, capacity: int = 4096,
+                 strict: Optional[bool] = None, extra_kinds=()):
+        super().__init__(capacity=capacity, strict=strict,
+                         extra_kinds=extra_kinds)
+        self.path = path
+        self.events_written = 0
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def emit(self, cycle: int, kind: str, addr: int,
+             detail: str = "", source: str = "") -> None:
+        super().emit(cycle, kind, addr, detail, source)
+        # The appended event, post-validation (a degraded kind streams
+        # as "unknown", same as it was counted).
+        event = self._events[-1]
+        self._fh.write(json.dumps(event.to_dict(),
+                                  separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def mark_measurement_start(self) -> None:
+        super().mark_measurement_start()
+        self._fh.write(json.dumps({"marker": MEASUREMENT_MARKER}) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path) -> Tuple[List[Event], Dict[str, int]]:
+    """Read a JSONL trace; returns ``(measured_events, counts)``.
+
+    ``measured_events`` are the events after the last measurement marker
+    (the whole file when no marker is present), and ``counts`` are their
+    per-kind totals — directly comparable with ``FrontendStats`` through
+    :func:`repro.obs.telemetry.reconcile`.
+    """
+    measured: List[Event] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            d = json.loads(raw)
+            if d.get("marker") == MEASUREMENT_MARKER:
+                measured = []
+                continue
+            measured.append(Event.from_dict(d))
+    counts: Counter = Counter(e.kind for e in measured)
+    return measured, dict(counts)
+
+
+def trace_run(workload: str, scheme: str, out_path,
+              n_records: int = 20_000, warmup: Optional[int] = None,
+              scale: float = 1.0, variable_length: bool = False,
+              config_overrides: Optional[Dict] = None):
+    """Simulate one (workload, scheme) pair streaming events to JSONL.
+
+    Returns ``(stats, counts)`` where ``counts`` are the measured-window
+    event totals.  Mirrors ``run_scheme``'s construction (same trace,
+    config and default warmup of a third of the records) so the returned
+    statistics are bit-identical to a cached run of the same parameters
+    — but never reads or writes the result caches, because a cached
+    result has no event stream.
+    """
+    from ..experiments.runner import build_scheme
+    from ..frontend import FrontendConfig, FrontendSimulator
+    from ..workloads import get_generator, get_trace
+
+    if warmup is None:
+        warmup = n_records // 3
+    prefetcher, scheme_overrides = build_scheme(scheme)
+    merged = {**scheme_overrides, **(config_overrides or {})}
+    generator = get_generator(workload, scale=scale,
+                              variable_length=variable_length)
+    trace = get_trace(workload, n_records=n_records, scale=scale,
+                      variable_length=variable_length)
+    sim = FrontendSimulator(trace, config=FrontendConfig(**merged),
+                            prefetcher=prefetcher,
+                            program=generator.program)
+    with JsonlTraceLog(out_path) as log:
+        sim.event_log = log
+        stats = sim.run(warmup=warmup)
+        counts = dict(log.counts)
+    return stats, counts

@@ -24,10 +24,15 @@ class Prefetcher:
 
     def __init__(self) -> None:
         self.sim: "FrontendSimulator" = None  # set by attach()
+        #: Scoped telemetry emitter (set by attach); events carry this
+        #: prefetcher's name as their source.  No-op while no event log
+        #: is attached to the simulator.
+        self.telemetry = None
 
     def attach(self, sim: "FrontendSimulator") -> None:
         """Bind to a simulator.  Override to install buffers; call super."""
         self.sim = sim
+        self.telemetry = sim.emitter(self.name)
 
     # -- event hooks -----------------------------------------------------
 

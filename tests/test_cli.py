@@ -87,3 +87,35 @@ class TestCommands:
         rc = main(["figure", "fig8", "--csv", str(out_csv)])
         assert rc == 0
         assert out_csv.exists()
+
+
+class TestObservabilityCommands:
+    def test_run_with_trace(self, capsys, tmp_path):
+        out_jsonl = tmp_path / "trace.jsonl"
+        rc = main(["run", "--workload", "web_frontend", "--scheme", "sn4l",
+                   "--records", "6000", "--scale", "0.3",
+                   "--trace", str(out_jsonl)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(reconciled)" in out and "speedup" in out
+        assert out_jsonl.exists()
+        from repro.obs import read_trace
+        events, counts = read_trace(out_jsonl)
+        assert events and sum(counts.values()) == len(events)
+
+    def test_stats_overview(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "persistent store" in out
+
+    def test_stats_component_report(self, capsys):
+        rc = main(["stats", "--workload", "web_frontend",
+                   "--scheme", "sn4l_dis_btb", "--records", "6000",
+                   "--scale", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sn4l" in out and "aggregate" in out
+
+    def test_stats_needs_both_workload_and_scheme(self, capsys):
+        assert main(["stats", "--workload", "web_frontend"]) == 2
+        assert main(["stats", "--scheme", "sn4l"]) == 2

@@ -52,6 +52,111 @@ class TestEventLog:
             EventLog(0)
 
 
+class TestKindValidation:
+    """Regression: a typo'd kind must never silently fork a counter."""
+
+    def test_strict_rejects_unregistered_kind(self):
+        log = EventLog(8)       # strict defaults to __debug__ (True here)
+        assert log.strict
+        with pytest.raises(ValueError, match="unregistered event kind"):
+            log.emit(1, "demand_mis", 0x1000)   # the original typo bug
+        assert len(log) == 0
+        assert "demand_mis" not in log.counts
+
+    def test_nonstrict_counts_under_unknown(self):
+        log = EventLog(8, strict=False)
+        log.emit(1, "demand_mis", 0x1000, "ctx")
+        assert log.counts[EventLog.UNKNOWN] == 1
+        assert "demand_mis" not in log.counts
+        event = log.last(1)[0]
+        assert event.kind == EventLog.UNKNOWN
+        assert "kind=demand_mis" in event.detail and "ctx" in event.detail
+
+    def test_extra_kinds_accepted(self):
+        log = EventLog(8, extra_kinds=("custom",))
+        log.emit(1, "custom", 0x1000)
+        assert log.counts["custom"] == 1
+        assert "custom" in log.known_kinds()
+
+    def test_register_kind_is_global(self):
+        try:
+            EventLog.register_kind("registered_kind")
+            log = EventLog(8)
+            log.emit(1, "registered_kind", 0)
+            assert log.counts["registered_kind"] == 1
+        finally:
+            EventLog._REGISTRY.discard("registered_kind")
+
+    def test_all_builtin_kinds_registered(self):
+        log = EventLog(len(EventLog.KINDS))
+        for i, kind in enumerate(EventLog.KINDS):
+            log.emit(i, kind, i * B)
+        assert sum(log.counts.values()) == len(EventLog.KINDS)
+
+
+class TestScopedEmitter:
+    def test_stamps_source(self):
+        log = EventLog(8)
+        log.scoped("sn4l").emit(1, "prefetch", 0x1000)
+        log.scoped("dis").emit(2, "prefetch", 0x2000)
+        assert [e.source for e in log] == ["sn4l", "dis"]
+        assert len(log.of_source("sn4l")) == 1
+
+    def test_simulator_emitter_follows_attached_log(self):
+        sim = FrontendSimulator(Trace([rec(1)]))
+        emitter = sim.emitter("mycomp")
+        assert not emitter.enabled
+        emitter.emit(1, "prefetch", 0x1000)     # no log: no-op
+        sim.event_log = EventLog(8)
+        assert emitter.enabled
+        emitter.emit(2, "prefetch", 0x2000)
+        assert len(sim.event_log) == 1
+        assert sim.event_log.last(1)[0].source == "mycomp"
+
+
+class TestJsonlRoundTrip:
+    def test_export_import(self, tmp_path):
+        log = EventLog(16)
+        log.emit(1, "demand_miss", 0x1000)
+        log.emit(2, "fill", 0x1000, "demand")
+        log.scoped("sn4l").emit(3, "prefetch", 0x2000, "lat=30")
+        path = tmp_path / "events.jsonl"
+        assert log.export_jsonl(path) == 3
+        loaded = EventLog.import_jsonl(path)
+        assert list(loaded) == list(log)
+        assert loaded.counts == log.counts
+
+    def test_import_skips_markers_and_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"cycle": 1, "kind": "fill", "addr": 64}\n'
+                        '\n'
+                        '{"marker": "measurement_start"}\n'
+                        '{"cycle": 2, "kind": "demand_hit", "addr": 64}\n')
+        loaded = EventLog.import_jsonl(path)
+        assert [e.kind for e in loaded] == ["fill", "demand_hit"]
+
+
+class TestMeasurementMarker:
+    def test_counts_reset_events_kept(self):
+        log = EventLog(8)
+        log.emit(1, "demand_miss", 0x1000)
+        log.mark_measurement_start()
+        assert log.counts == {}
+        assert len(log) == 1        # buffer kept for debugging
+        log.emit(2, "demand_hit", 0x1000)
+        assert log.counts == {"demand_hit": 1}
+
+    def test_warmup_run_reconciles(self):
+        trace = Trace([rec(i % 4 + 1) for i in range(40)])
+        sim = FrontendSimulator(trace)
+        sim.event_log = EventLog(1024)
+        stats = sim.run(warmup=20)
+        counts = sim.event_log.counts
+        assert counts.get("demand_hit", 0) + counts.get("demand_miss", 0) \
+            == stats.demand_accesses
+        assert counts.get("demand_miss", 0) == stats.demand_misses
+
+
 class TestEngineEmission:
     def test_miss_fill_hit_sequence(self):
         sim = FrontendSimulator(Trace([rec(1), rec(1)]))

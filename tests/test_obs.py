@@ -1,0 +1,244 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the streaming JSONL trace, event/counter reconciliation (for
+every registered scheme — the acceptance gate for the telemetry bus),
+per-component counters, the profiler, run manifests, and the explicit
+``fast=True`` downgrade warning.
+"""
+
+import json
+import warnings
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import runner, store
+from repro.frontend import FrontendSimulator
+from repro.isa import CACHE_BLOCK_SIZE
+from repro.obs import (
+    PROFILER,
+    ComponentCounters,
+    JsonlTraceLog,
+    Profiler,
+    component_report,
+    read_trace,
+    reconcile,
+    trace_run,
+)
+from repro.prefetchers import NextXLinePrefetcher
+from repro.workloads import FetchRecord, Trace, tracegen
+
+B = CACHE_BLOCK_SIZE
+RECORDS = 3_000
+SCALE = 0.3
+
+
+def rec(line_no, n=6, seq=False, **kw):
+    addr = line_no * B
+    return FetchRecord(line=addr, first_pc=addr, n_instr=n, seq=seq, **kw)
+
+
+@pytest.fixture()
+def fresh_store(tmp_path, monkeypatch):
+    monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+    monkeypatch.delenv(store.ENV_CACHE_DISABLE, raising=False)
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+    yield store.get_store()
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+
+
+class TestTraceRun:
+    def test_stream_and_reread(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        stats, counts = trace_run("web_apache", "sn4l", out,
+                                  n_records=RECORDS, scale=SCALE)
+        assert out.exists()
+        events, file_counts = read_trace(out)
+        assert file_counts == {k: v for k, v in counts.items() if v}
+        assert len(events) == sum(file_counts.values())
+        # The file is valid JSONL with a measurement marker.
+        lines = out.read_text().splitlines()
+        assert any(json.loads(ln).get("marker") == "measurement_start"
+                   for ln in lines)
+
+    def test_reconciles_with_stats(self, tmp_path):
+        stats, counts = trace_run("web_apache", "sn4l_dis_btb",
+                                  tmp_path / "t.jsonl",
+                                  n_records=RECORDS, scale=SCALE)
+        assert reconcile(stats, counts) == {}
+        assert counts["prefetch"] == stats.prefetches_issued
+        assert counts["demand_miss"] == stats.demand_misses
+
+    @pytest.mark.parametrize("scheme", runner.scheme_names())
+    def test_every_scheme_reconciles(self, scheme, tmp_path):
+        """Acceptance gate: telemetry never drifts from the counters."""
+        stats, counts = trace_run("web_apache", scheme,
+                                  tmp_path / f"{scheme}.jsonl",
+                                  n_records=1_500, scale=SCALE)
+        _, file_counts = read_trace(tmp_path / f"{scheme}.jsonl")
+        assert reconcile(stats, file_counts) == {}, scheme
+
+    def test_stats_identical_to_cached_run(self, tmp_path, fresh_store):
+        traced, _ = trace_run("web_apache", "nl", tmp_path / "t.jsonl",
+                              n_records=RECORDS, scale=SCALE)
+        cached = runner.run_scheme("web_apache", "nl", n_records=RECORDS,
+                                   scale=SCALE)
+        assert asdict(traced) == asdict(cached.stats)
+
+    def test_trace_log_close_idempotent(self, tmp_path):
+        log = JsonlTraceLog(tmp_path / "x.jsonl")
+        log.emit(1, "fill", 0x1000)
+        log.close()
+        log.close()
+        assert log.events_written == 1
+
+
+class TestComponentCounters:
+    def test_sums_match_aggregate_stats(self):
+        stats, cc = component_report("web_apache", "sn4l_dis_btb",
+                                     n_records=RECORDS, scale=SCALE)
+        assert sum(cc.issued.values()) == stats.prefetches_issued
+        assert sum(cc.useful.values()) == stats.prefetches_useful
+        assert sum(cc.useless.values()) == stats.prefetches_useless
+        assert sum(cc.covered_latency.values()) == \
+            pytest.approx(stats.covered_latency)
+        assert sum(cc.prefetched_latency.values()) == \
+            pytest.approx(stats.prefetched_latency)
+
+    def test_sources_are_components(self):
+        _, cc = component_report("web_apache", "sn4l_dis_btb",
+                                 n_records=RECORDS, scale=SCALE)
+        assert "sn4l" in cc.sources()
+        assert set(cc.sources()) <= {"sn4l", "dis"}
+
+    def test_default_source_is_prefetcher_name(self):
+        sim = FrontendSimulator(Trace([rec(1), rec(2)]),
+                                prefetcher=NextXLinePrefetcher(1))
+        cc = sim.enable_component_telemetry()
+        sim.run()
+        assert set(cc.issued) == {"nl"}
+        assert cc.issued["nl"] == sim.stats.prefetches_issued
+
+    def test_derived_metrics(self):
+        cc = ComponentCounters()
+        cc.on_issue("x")
+        cc.on_issue("x")
+        cc.on_useful("x", covered=30.0, full=40.0, late=True)
+        cc.on_useless("x")
+        assert cc.accuracy("x") == 0.5
+        assert cc.timeliness("x") == pytest.approx(0.75)
+        d = cc.as_dict()["x"]
+        assert d["issued"] == 2.0 and d["late"] == 1.0
+        assert "x" in cc.render()
+
+    def test_disables_fast_path(self):
+        sim = FrontendSimulator(Trace([rec(1)]))
+        assert sim._fast_path_eligible()
+        sim.enable_component_telemetry()
+        assert not sim._fast_path_eligible()
+
+
+class TestFastPathDowngrade:
+    def test_explicit_fast_on_ineligible_warns(self):
+        sim = FrontendSimulator(Trace([rec(1), rec(2)]),
+                                prefetcher=NextXLinePrefetcher(1))
+        with pytest.warns(RuntimeWarning, match="not.*fast-path eligible"):
+            stats = sim.run(fast=True)
+        assert sim.fast_path_downgraded
+        assert stats.extra.get("fast_path_downgraded") == 1.0
+        # The run itself is still correct (generic loop).
+        assert stats.demand_accesses == 2
+
+    def test_explicit_fast_on_eligible_is_silent(self):
+        sim = FrontendSimulator(Trace([rec(1), rec(2)]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = sim.run(fast=True)
+        assert not sim.fast_path_downgraded
+        assert "fast_path_downgraded" not in stats.extra
+
+    def test_default_fast_none_never_warns(self):
+        sim = FrontendSimulator(Trace([rec(1)]),
+                                prefetcher=NextXLinePrefetcher(1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = sim.run()     # fast=None: silent auto-selection
+        assert "fast_path_downgraded" not in stats.extra
+
+    def test_fast_false_never_warns(self):
+        sim = FrontendSimulator(Trace([rec(1)]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run(fast=False)
+
+
+class TestProfiler:
+    def test_span_and_counters(self):
+        prof = Profiler()
+        with prof.span("work"):
+            pass
+        with prof.span("work"):
+            pass
+        prof.incr("things", 3)
+        span = prof.span_stats("work")
+        assert span.count == 2
+        assert span.total >= 0.0
+        assert span.min <= span.max
+        assert prof.counters["things"] == 3
+        snap = prof.snapshot()
+        assert snap["counters"]["things"] == 3
+        assert snap["spans"]["work"]["count"] == 2.0
+        assert "work" in prof.render()
+        prof.reset()
+        assert prof.snapshot() == {"counters": {}, "spans": {}}
+
+    def test_span_records_on_exception(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof.span("boom"):
+                raise RuntimeError("x")
+        assert prof.span_stats("boom").count == 1
+
+    def test_run_scheme_reports(self, fresh_store):
+        PROFILER.reset()
+        runner.run_scheme("web_apache", "baseline", n_records=RECORDS,
+                          scale=SCALE)
+        assert PROFILER.counters["run_scheme.simulations"] == 1
+        assert PROFILER.span_stats("run_scheme.simulate").count == 1
+        # Memoised repeat: no new simulation, a memo hit instead.
+        runner.run_scheme("web_apache", "baseline", n_records=RECORDS,
+                          scale=SCALE)
+        assert PROFILER.counters["run_scheme.simulations"] == 1
+        assert PROFILER.counters["run_scheme.memo_hits"] == 1
+        PROFILER.reset()
+
+
+class TestRunManifest:
+    def test_written_next_to_result(self, fresh_store):
+        runner.run_scheme("web_apache", "baseline", n_records=RECORDS,
+                          scale=SCALE)
+        manifests = list(fresh_store.iter_manifests())
+        assert len(manifests) == 1
+        m = manifests[0]
+        assert m["workload"] == "web_apache"
+        assert m["scheme"] == "baseline"
+        assert m["n_records"] == RECORDS
+        assert m["duration_s"] >= 0.0
+        assert m["summary"]["cycles"] > 0
+        # Next to the result entry, keyed by the same fingerprint.
+        fp = m["fingerprint"]
+        assert fresh_store.result_path(fp).exists()
+        assert fresh_store.manifest_path(fp).exists()
+        assert fresh_store.load_manifest(fp) == m
+
+    def test_unreadable_manifest_is_skipped(self, fresh_store):
+        runner.run_scheme("web_apache", "baseline", n_records=RECORDS,
+                          scale=SCALE)
+        fp = next(fresh_store.iter_manifests())["fingerprint"]
+        fresh_store.manifest_path(fp).write_text("{broken")
+        assert fresh_store.load_manifest(fp) is None
+        assert list(fresh_store.iter_manifests()) == []

@@ -5,6 +5,7 @@ pin down — ``jobs=2`` must produce bit-identical results to serial
 execution, because every simulation is deterministic given its seed.
 """
 
+import warnings
 from dataclasses import asdict
 
 import pytest
@@ -51,7 +52,51 @@ class TestResolveJobs:
 
     def test_bad_env_ignored(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "many")
-        assert resolve_jobs() == 1
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert resolve_jobs() == 1
+
+    def test_empty_env_is_serial_and_silent(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "")
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1
+
+    def test_unset_env_is_serial_and_silent(self, monkeypatch):
+        monkeypatch.delenv(parallel.ENV_JOBS, raising=False)
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1
+
+    def test_garbage_env_warns_naming_value(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "lots!")
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='lots!'"):
+            assert resolve_jobs() == 1
+
+    def test_garbage_env_warns_once_per_value(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "nope")
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with pytest.warns(RuntimeWarning):
+            resolve_jobs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1      # second hit: silent
+
+    def test_negative_env_is_valid_and_floored(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "-3")
+        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1      # parses fine, floored to 1
+
+    def test_valid_env_parses(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_JOBS, "4")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 4
 
 
 class TestRunMany:

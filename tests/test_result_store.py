@@ -61,10 +61,120 @@ class TestStoreBasics:
         assert fresh_store.load_result(fp) is None
 
 
+class TestAdversarialReads:
+    """Torn writes, concurrent deletions, hostile directory states."""
+
+    def test_truncated_entry_is_counted_corrupt_miss(self, fresh_store):
+        fp = store.fingerprint({"kind": "unit", "x": 10})
+        fresh_store.save_result(fp, FrontendStats(instructions=5), {})
+        full = fresh_store.result_path(fp).read_text()
+        fresh_store.result_path(fp).write_text(full[:len(full) // 2])
+        fresh_store.reset_counters()
+        assert fresh_store.load_result(fp) is None
+        assert fresh_store.corrupt == 1
+        assert fresh_store.misses == 1
+        assert fresh_store.hits == 0
+
+    def test_garbage_json_shapes(self, fresh_store):
+        fp = store.fingerprint({"kind": "unit", "x": 11})
+        for garbage in ("", "null", "[]", '{"stats": 3}',
+                        '{"stats": {"bogus_field": 1}, "extra": {}}',
+                        "\x00\xff binary junk"):
+            fresh_store.result_path(fp).parent.mkdir(parents=True,
+                                                     exist_ok=True)
+            fresh_store.result_path(fp).write_text(garbage)
+            assert fresh_store.load_result(fp) is None, repr(garbage)
+        assert fresh_store.corrupt == 6
+
+    def test_missing_entry_is_plain_miss_not_corrupt(self, fresh_store):
+        assert fresh_store.load_result("0" * 32) is None
+        assert fresh_store.misses == 1
+        assert fresh_store.corrupt == 0
+
+    def test_runner_resimulates_over_corrupt_entry(self, fresh_store):
+        r1 = runner.run_scheme("web_apache", "baseline",
+                               n_records=RECORDS, scale=SCALE)
+        results = [p for p in (fresh_store.root / "results").iterdir()
+                   if not p.name.endswith(".manifest.json")]
+        assert len(results) == 1
+        results[0].write_text("{torn write")
+        runner.clear_cache()
+        r2 = runner.run_scheme("web_apache", "baseline",
+                               n_records=RECORDS, scale=SCALE)
+        assert asdict(r1.stats) == asdict(r2.stats)
+        assert fresh_store.corrupt == 1
+
+    def test_clear_survives_vanishing_entries(self, fresh_store,
+                                              monkeypatch):
+        from pathlib import Path
+        for x in (20, 21):
+            fresh_store.save_result(
+                store.fingerprint({"kind": "unit", "x": x}),
+                FrontendStats(), {})
+        real_unlink = Path.unlink
+        doomed = fresh_store.result_path(
+            store.fingerprint({"kind": "unit", "x": 20}))
+
+        def racy_unlink(self, *a, **kw):
+            if self == doomed:
+                real_unlink(self)       # another process got there first
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *a, **kw)
+
+        monkeypatch.setattr(Path, "unlink", racy_unlink)
+        assert fresh_store.clear() == 1     # survivor still removed
+        results_dir = fresh_store.root / "results"
+        assert not results_dir.is_dir() or not list(results_dir.iterdir())
+
+    def test_clear_survives_vanishing_directory(self, fresh_store,
+                                                monkeypatch):
+        import shutil
+        from pathlib import Path
+        fresh_store.save_result(
+            store.fingerprint({"kind": "unit", "x": 30}),
+            FrontendStats(), {})
+        real_iterdir = Path.iterdir
+
+        def racy_iterdir(self):
+            if self.name == "results":
+                shutil.rmtree(self)     # whole directory swept away
+                raise FileNotFoundError(str(self))
+            return real_iterdir(self)
+
+        monkeypatch.setattr(Path, "iterdir", racy_iterdir)
+        assert fresh_store.clear() == 0     # no crash, nothing counted
+
+    def test_clear_on_empty_store(self, fresh_store):
+        assert fresh_store.clear() == 0
+        assert fresh_store.invalidations == 0
+
+
 class TestFingerprint:
     def test_stable(self):
         parts = {"kind": "t", "a": 1, "b": [1, 2]}
         assert store.fingerprint(parts) == store.fingerprint(dict(parts))
+
+    def test_insensitive_to_dict_key_order(self):
+        a = store.fingerprint({"kind": "t", "a": 1, "b": 2, "c": 3})
+        b = store.fingerprint({"c": 3, "b": 2, "a": 1, "kind": "t"})
+        assert a == b
+
+    def test_insensitive_to_nested_key_order(self):
+        a = store.fingerprint({"kind": "t",
+                               "overrides": {"x": 1, "y": {"p": 1, "q": 2}}})
+        b = store.fingerprint({"overrides": {"y": {"q": 2, "p": 1}, "x": 1},
+                               "kind": "t"})
+        assert a == b
+
+    def test_canonical_sorts_mixed_keys(self):
+        # Keys are stringified before sorting, so int/str mixes cannot
+        # raise and order deterministically.
+        assert store._canonical({2: "b", "1": "a"}) == \
+            store._canonical({"1": "a", 2: "b"})
+        assert list(store._canonical({2: "b", "1": "a"})) == ["1", "2"]
+
+    def test_canonical_tuple_equals_list(self):
+        assert store._canonical((1, 2, (3,))) == store._canonical([1, 2, [3]])
 
     def test_sensitive_to_parts(self):
         base = store.fingerprint({"kind": "t", "n": 100})
