@@ -11,11 +11,16 @@ Commands
 ``multicore``            co-simulate a workload mix over a shared LLC
 ``stats``                observability: store inventory, run manifests,
                          per-component telemetry, profiling
+``bench``                benchmark matrix with JSONL history; ``--check``
+                         gates against the stored baseline
+``trace``                analytics over JSONL event traces:
+                         ``summarize`` / ``diff`` / ``query``
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -156,14 +161,33 @@ def _cmd_compare(args) -> int:
                  jobs=args.jobs, n_records=args.records, scale=args.scale)
     base = run_scheme(args.workload, "baseline", n_records=args.records,
                       scale=args.scale)
-    print(f"{'scheme':16s} {'speedup':>8s} {'coverage':>9s} "
-          f"{'cmal':>7s} {'fscr':>7s} {'accuracy':>9s}")
+    rows = {}
     for scheme in schemes:
         st = run_scheme(args.workload, scheme, n_records=args.records,
                         scale=args.scale).stats
-        print(f"{scheme:16s} {st.speedup_over(base.stats):8.3f} "
-              f"{st.coverage_over(base.stats):9.1%} {st.cmal:7.1%} "
-              f"{st.fscr_over(base.stats):7.1%} {st.prefetch_accuracy:9.1%}")
+        rows[scheme] = {
+            "speedup": st.speedup_over(base.stats),
+            "coverage": st.coverage_over(base.stats),
+            "cmal": st.cmal,
+            "fscr": st.fscr_over(base.stats),
+            "accuracy": st.prefetch_accuracy,
+            "ipc": st.ipc,
+        }
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "n_records": args.records,
+            "scale": args.scale,
+            "baseline": base.stats.summary(),
+            "schemes": rows,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"{'scheme':16s} {'speedup':>8s} {'coverage':>9s} "
+          f"{'cmal':>7s} {'fscr':>7s} {'accuracy':>9s}")
+    for scheme, row in rows.items():
+        print(f"{scheme:16s} {row['speedup']:8.3f} "
+              f"{row['coverage']:9.1%} {row['cmal']:7.1%} "
+              f"{row['fscr']:7.1%} {row['accuracy']:9.1%}")
     return 0
 
 
@@ -254,6 +278,35 @@ def _cmd_stats(args) -> int:
     from .experiments import store as result_store
     from .obs import PROFILER, component_report
 
+    if args.json:
+        payload = {"store": {"root": str(result_store.cache_root()),
+                             "enabled": result_store.caching_enabled()}}
+        st = result_store.get_store()
+        if st is not None:
+            payload["store"].update(st.overview())
+            payload["store"]["session_counters"] = st.counters()
+            manifests = sorted(st.iter_manifests(),
+                               key=lambda m: m.get("written_at", 0.0))
+            payload["recent_runs"] = manifests[-args.last:] \
+                if args.last > 0 else []
+        if args.workload and args.scheme:
+            stats, counters = component_report(
+                args.workload, args.scheme, n_records=args.records,
+                scale=args.scale)
+            payload["components"] = {
+                "workload": args.workload, "scheme": args.scheme,
+                "n_records": args.records, "scale": args.scale,
+                "per_component": counters.as_dict(),
+                "aggregate": stats.summary(),
+            }
+        elif args.workload or args.scheme:
+            print("need both --workload and --scheme for a component "
+                  "breakdown", file=sys.stderr)
+            return 2
+        payload["profile"] = PROFILER.snapshot()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print("persistent store")
     print(f"  root        {result_store.cache_root()}")
     print(f"  enabled     {result_store.caching_enabled()}")
@@ -314,6 +367,114 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .obs import bench, regress
+
+    try:
+        cells = bench.resolve_matrix(args.matrix, n_records=args.records,
+                                     scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        tolerance = regress.parse_tolerance(args.tolerance)
+    except ValueError:
+        print(f"invalid --tolerance {args.tolerance!r} "
+              f"(use e.g. '10%' or '0.1')", file=sys.stderr)
+        return 2
+
+    if not args.json:
+        print(f"benchmark matrix '{args.matrix}': {len(cells)} cells, "
+              f"{args.repeats} repeats each "
+              f"(history: {bench.history_path()})")
+
+    def progress(record):
+        if not args.json:
+            print(f"  {record['cell']:<44s} "
+                  f"{record['mean_records_per_sec']:>10,.0f} rec/s")
+
+    records = bench.run_matrix(cells, repeats=args.repeats,
+                               progress=progress)
+    # Gate against the history as it stood *before* this run, then
+    # append — so back-to-back runs compare against each other.
+    history = bench.load_history()
+    verdicts = None
+    if args.check:
+        verdicts = regress.check_records(records, history,
+                                         tolerance=tolerance)
+    for record in records:
+        bench.append_history(record)
+    if args.view:
+        path = bench.write_view(bench.load_history(), args.view)
+        if not args.json:
+            print(f"wrote derived view {path}")
+
+    if args.json:
+        payload = {"records": records}
+        if verdicts is not None:
+            payload["verdicts"] = [v.as_dict() for v in verdicts]
+            payload["failed"] = regress.any_failed(verdicts)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print()
+        print(bench.render_records(records))
+        if verdicts is not None:
+            print()
+            print(f"regression gate (tolerance {tolerance:.0%}, "
+                  f"baseline: latest stored entry per cell)")
+            print(regress.render_verdicts(verdicts))
+    if verdicts is not None:
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(regress.markdown_report(verdicts,
+                                                 tolerance=tolerance))
+            if not args.json:
+                print(f"wrote markdown report {args.report}")
+        if regress.any_failed(verdicts):
+            return 1
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    from .obs import traceql
+
+    summary = traceql.summarize_trace(args.file)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(traceql.render_summary(summary))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from .obs import traceql
+
+    diff = traceql.diff_traces(args.a, args.b)
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def _cmd_trace_query(args) -> int:
+    from .obs import traceql
+
+    events = traceql.query_trace(
+        args.file,
+        kinds=args.kind.split(",") if args.kind else None,
+        sources=args.source.split(",") if args.source else None,
+        cycle_min=args.cycle_min, cycle_max=args.cycle_max,
+        limit=args.limit)
+    if args.json:
+        print(json.dumps([e.to_dict() for e in events], indent=2))
+    else:
+        for event in events:
+            print(event)
+        print(f"({len(events)} events)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -351,6 +512,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=workload_names())
     p_cmp.add_argument("--schemes",
                        default="n4l,sn4l,sn4l_dis,sn4l_dis_btb,shotgun")
+    p_cmp.add_argument("--json", action="store_true",
+                       help="machine-readable output (per-scheme metrics)")
     common(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -398,7 +561,68 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(scheme_names()))
     p_stats.add_argument("--records", type=int, default=20_000)
     p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output (store, manifests, "
+                              "components, profile)")
     p_stats.set_defaults(func=_cmd_stats)
+
+    from .obs.bench import matrix_names
+    p_bench = sub.add_parser(
+        "bench", help="run the benchmark matrix, append to the JSONL "
+                      "history; --check gates against the stored baseline")
+    p_bench.add_argument("--matrix", default="default",
+                         choices=matrix_names())
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timed repetitions per cell (default 3)")
+    p_bench.add_argument("--records", type=int, default=None,
+                         help="override every cell's trace length")
+    p_bench.add_argument("--scale", type=float, default=None,
+                         help="override every cell's workload scale")
+    p_bench.add_argument("--check", action="store_true",
+                         help="compare against the stored baseline; exit 1 "
+                              "on a statistically significant regression")
+    p_bench.add_argument("--tolerance", default="10%",
+                         help="mean slowdown tolerated before failing "
+                              "(default 10%%)")
+    p_bench.add_argument("--report", metavar="OUT.MD",
+                         help="with --check: write a markdown report")
+    p_bench.add_argument("--view", metavar="OUT.JSON",
+                         help="regenerate the derived throughput view "
+                              "(e.g. BENCH_throughput.json)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="machine-readable records and verdicts")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="analytics over JSONL event traces "
+                      "(from `repro run --trace`)")
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_sum = tsub.add_parser("summarize",
+                            help="per-kind/source/component event totals")
+    p_sum.add_argument("file")
+    p_sum.add_argument("--json", action="store_true")
+    p_sum.set_defaults(func=_cmd_trace_summarize)
+
+    p_diff = tsub.add_parser(
+        "diff", help="align two traces: counter drift per kind and "
+                     "component, first diverging event; exit 1 on drift")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+    p_diff.add_argument("--json", action="store_true")
+    p_diff.set_defaults(func=_cmd_trace_diff)
+
+    p_query = tsub.add_parser("query",
+                              help="filter events by kind/source/cycle")
+    p_query.add_argument("file")
+    p_query.add_argument("--kind", help="comma-separated event kinds")
+    p_query.add_argument("--source",
+                         help="comma-separated sources ('engine' = untagged)")
+    p_query.add_argument("--cycle-min", type=int, default=None)
+    p_query.add_argument("--cycle-max", type=int, default=None)
+    p_query.add_argument("--limit", type=int, default=None)
+    p_query.add_argument("--json", action="store_true")
+    p_query.set_defaults(func=_cmd_trace_query)
 
     return parser
 

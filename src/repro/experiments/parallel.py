@@ -90,13 +90,18 @@ def _normalise(spec: RunSpec, common: Dict) -> Tuple[str, str, Dict]:
 
 
 def _worker(payload: Tuple[str, str, Dict]
-            ) -> Tuple[Tuple, RunResult, float]:
+            ) -> Tuple[Tuple, RunResult, float, Dict]:
     """Executed in a worker process: one slim simulation run.
 
-    Returns the memo key, the result, and the worker-side wall time so
-    the parent can profile per-worker cost vs pool overhead.
+    Returns the memo key, the result, the worker-side wall time and the
+    worker's profiler snapshot for this task, so the parent can profile
+    per-worker cost vs pool overhead *and* fold the worker's counters
+    and spans into its own profiler.  The worker profiler is reset at
+    task start because pool processes are reused across tasks — each
+    snapshot must cover exactly one task.
     """
     workload, scheme, params = payload
+    PROFILER.reset()
     start = time.perf_counter()
     result = run_scheme(workload, scheme, **params)
     elapsed = time.perf_counter() - start
@@ -108,7 +113,7 @@ def _worker(payload: Tuple[str, str, Dict]
         variable_length=params.get("variable_length", False),
         config_overrides=params.get("config_overrides"),
         cache_key_extra=params.get("cache_key_extra"))
-    return key, result, elapsed
+    return key, result, elapsed, PROFILER.snapshot()
 
 
 def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
@@ -146,9 +151,11 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             with ProcessPoolExecutor(
                     max_workers=min(n_jobs, len(payloads))) as pool:
                 busy = 0.0
-                for key, result, elapsed in pool.map(_worker, payloads):
+                for key, result, elapsed, snap in pool.map(_worker,
+                                                           payloads):
                     runner.seed_cache(key, result)
                     PROFILER.record("run_many.worker", elapsed)
+                    PROFILER.merge(snap)
                     busy += elapsed
             wall = time.perf_counter() - pool_start
             PROFILER.record("run_many.pool", wall)

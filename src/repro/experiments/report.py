@@ -1,11 +1,113 @@
 """Plain-text rendering of experiment results, shaped like the paper's
-figures (one row per workload / scheme / sweep point)."""
+figures (one row per workload / scheme / sweep point) — plus the shared
+statistics helpers (Student-t quantiles, confidence intervals) used by
+the sampling layer and the benchmark regression gate."""
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
 
 from ..workloads import DISPLAY_NAMES
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers (shared by repro.experiments.sampling and
+# repro.obs.regress).  Pure stdlib: scipy is consulted when importable,
+# with an exact integer-df fallback otherwise.
+# ---------------------------------------------------------------------------
+
+def t_cdf(t: float, df: int) -> float:
+    """Student-t CDF for integer ``df`` via the elementary closed form
+    (Abramowitz & Stegun 26.7.3/26.7.4) — exact, no special functions."""
+    theta = math.atan2(t, math.sqrt(df))
+    cos2 = math.cos(theta) ** 2
+    if df % 2 == 1:
+        total, term = 0.0, math.cos(theta)
+        for j in range(1, (df - 1) // 2 + 1):
+            total += term
+            term *= cos2 * (2 * j) / (2 * j + 1)
+        a = (theta + math.sin(theta) * total) * 2.0 / math.pi
+    else:
+        total, term = 0.0, 1.0
+        for j in range((df - 2) // 2 + 1):
+            total += term
+            term *= cos2 * (2 * j + 1) / (2 * j + 2)
+        a = math.sin(theta) * total
+    return 0.5 * (1.0 + a)
+
+
+def t_ppf(q: float, df: int) -> float:
+    """Student-t quantile; scipy when available, else a stdlib fallback
+    that bisects the exact integer-df CDF above."""
+    try:
+        from scipy import stats as scipy_stats
+    except ImportError:
+        pass
+    else:
+        return float(scipy_stats.t.ppf(q, df=df))
+    if q == 0.5:
+        return 0.0
+    if q < 0.5:
+        return -t_ppf(1.0 - q, df)
+    hi = 1.0
+    while t_cdf(hi, df) < q:
+        hi *= 2.0
+    lo = 0.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if t_cdf(mid, df) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean and t-distribution confidence interval of one sample set."""
+
+    n: int
+    mean: float
+    std_error: float
+    ci_half_width: float
+    confidence: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def overlaps(self, other: "SampleSummary") -> bool:
+        """Whether the two confidence intervals intersect."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"n": float(self.n), "mean": self.mean,
+                "std_error": self.std_error,
+                "ci_half_width": self.ci_half_width,
+                "lo": self.lo, "hi": self.hi,
+                "confidence": self.confidence}
+
+
+def summarize_samples(values: Sequence[float],
+                      confidence: float = 0.95) -> SampleSummary:
+    """Mean ± t-interval of ``values`` (half-width 0 for n < 2)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return SampleSummary(n, mean, 0.0, 0.0, confidence)
+    var = sum((x - mean) ** 2 for x in values) / (n - 1)
+    std_error = math.sqrt(var / n)
+    half = t_ppf(0.5 + confidence / 2, df=n - 1) * std_error
+    return SampleSummary(n, mean, std_error, half, confidence)
 
 
 def _label(key: str) -> str:

@@ -16,53 +16,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
 from ..workloads import get_generator
 
+# The t-distribution machinery moved to repro.experiments.report so the
+# benchmark regression gate can share it; the old private names remain
+# as aliases for existing callers.
+from .report import t_cdf as _t_cdf, t_ppf as _t_ppf
 from .runner import build_scheme
-
-
-def _t_cdf(t: float, df: int) -> float:
-    """Student-t CDF for integer ``df`` via the elementary closed form
-    (Abramowitz & Stegun 26.7.3/26.7.4) — exact, no special functions."""
-    theta = math.atan2(t, math.sqrt(df))
-    cos2 = math.cos(theta) ** 2
-    if df % 2 == 1:
-        total, term = 0.0, math.cos(theta)
-        for j in range(1, (df - 1) // 2 + 1):
-            total += term
-            term *= cos2 * (2 * j) / (2 * j + 1)
-        a = (theta + math.sin(theta) * total) * 2.0 / math.pi
-    else:
-        total, term = 0.0, 1.0
-        for j in range((df - 2) // 2 + 1):
-            total += term
-            term *= cos2 * (2 * j + 1) / (2 * j + 2)
-        a = math.sin(theta) * total
-    return 0.5 * (1.0 + a)
-
-
-def _t_ppf(q: float, df: int) -> float:
-    """Student-t quantile; scipy when available, else a stdlib fallback
-    that bisects the exact integer-df CDF above."""
-    try:
-        from scipy import stats as scipy_stats
-    except ImportError:
-        pass
-    else:
-        return float(scipy_stats.t.ppf(q, df=df))
-    if q == 0.5:
-        return 0.0
-    if q < 0.5:
-        return -_t_ppf(1.0 - q, df)
-    hi = 1.0
-    while _t_cdf(hi, df) < q:
-        hi *= 2.0
-    lo = 0.0
-    for _ in range(100):
-        mid = 0.5 * (lo + hi)
-        if _t_cdf(mid, df) < q:
-            lo = mid
-        else:
-            hi = mid
-    return 0.5 * (lo + hi)
 
 
 @dataclass

@@ -301,6 +301,58 @@ class ResultStore:
         return info
 
 
+# -- benchmark history ------------------------------------------------------
+#
+# ``repro bench`` appends one JSON line per measured matrix cell to an
+# append-only history under the cache root.  Unlike results/traces the
+# history is *not* keyed by the code salt — the whole point is comparing
+# measurements across code revisions — so it lives in its own
+# subdirectory and survives code edits.
+
+def bench_dir() -> Path:
+    """Directory the benchmark history lives in."""
+    return cache_root() / "bench"
+
+
+def bench_history_path() -> Path:
+    """The append-only JSONL benchmark history file."""
+    return bench_dir() / "history.jsonl"
+
+
+def append_jsonl(path: Path, record: Dict[str, Any]) -> Path:
+    """Append one JSON object as a line to ``path`` (created on demand).
+
+    A single ``write`` of one newline-terminated line: concurrent
+    appenders may interleave *lines* but never bytes within a line on
+    POSIX, and readers skip any line that fails to parse.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
+    return path
+
+
+def iter_jsonl(path: Path):
+    """Yield parsed records from a JSONL file, skipping corrupt lines."""
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue        # torn concurrent append: skip the line
+            if isinstance(record, dict):
+                yield record
+
+
 _STORE: Optional[ResultStore] = None
 
 

@@ -47,6 +47,17 @@ class Event:
         return (f"[{self.cycle:>10d}] {self.kind:<14s} "
                 f"{self.addr:#012x}{source}{detail}")
 
+    def sort_key(self):
+        """Stable total-order key: ``(cycle, kind, source, addr, detail)``.
+
+        Emission order within one cycle is an implementation detail of
+        the engine's inner loop; trace analytics (``repro trace diff``)
+        canonicalise same-cycle events by this key before aligning two
+        traces, so a harmless reordering inside a cycle never reads as a
+        divergence.
+        """
+        return (self.cycle, self.kind, self.source, self.addr, self.detail)
+
     def to_dict(self) -> Dict:
         d = {"cycle": self.cycle, "kind": self.kind, "addr": self.addr}
         if self.detail:

@@ -11,7 +11,15 @@ through the engine, the prefetchers, the experiment runner and the CLI:
   counters (``PROFILER``) instrumenting ``run_scheme``, the parallel
   pool and the persistent store;
 * :mod:`repro.obs.tracing` — streaming JSONL event traces
-  (``repro run --trace out.jsonl``) and their readers.
+  (``repro run --trace out.jsonl``) and their readers;
+* :mod:`repro.obs.bench` — the ``repro bench`` benchmark matrix with
+  its append-only JSONL measurement history (and the derived
+  ``BENCH_throughput.json`` view);
+* :mod:`repro.obs.regress` — the statistical regression gate
+  (``repro bench --check``): t-interval comparison against the stored
+  baseline plus deterministic behaviour-digest matching;
+* :mod:`repro.obs.traceql` — trace analytics (``repro trace
+  summarize|diff|query``) with per-component drift attribution.
 
 Everything here is opt-in: with no event log attached and no profiler
 consumer, the default simulation path is unchanged (the engine's
@@ -19,13 +27,16 @@ consumer, the default simulation path is unchanged (the engine's
 preserved).
 """
 
+from .bench import BenchCell, MATRICES, run_cell, run_matrix
 from .profile import PROFILER, Profiler, SpanStats
+from .regress import Verdict, check_record, check_records, markdown_report
 from .telemetry import (
     RECONCILED_COUNTERS,
     ComponentCounters,
     component_report,
     reconcile,
 )
+from .traceql import diff_traces, query_trace, summarize_trace
 from .tracing import JsonlTraceLog, read_trace, trace_run
 
 __all__ = [
@@ -39,4 +50,15 @@ __all__ = [
     "JsonlTraceLog",
     "read_trace",
     "trace_run",
+    "BenchCell",
+    "MATRICES",
+    "run_cell",
+    "run_matrix",
+    "Verdict",
+    "check_record",
+    "check_records",
+    "markdown_report",
+    "diff_traces",
+    "query_trace",
+    "summarize_trace",
 ]

@@ -80,6 +80,28 @@ class Profiler:
     def span_stats(self, name: str) -> SpanStats:
         return self._spans.get(name, SpanStats())
 
+    def merge(self, snapshot: Dict) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Used by the parallel runner to carry worker-process counters and
+        spans back into the parent, so ``repro stats`` reports pool-wide
+        totals rather than silently dropping everything that happened in
+        a worker.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] += int(value)
+        for name, data in snapshot.get("spans", {}).items():
+            count = int(data.get("count", 0))
+            if count <= 0:
+                continue
+            span = self._spans.get(name)
+            if span is None:
+                span = self._spans[name] = SpanStats()
+            span.count += count
+            span.total += float(data.get("total_s", 0.0))
+            span.min = min(span.min, float(data.get("min_s", span.min)))
+            span.max = max(span.max, float(data.get("max_s", span.max)))
+
     def snapshot(self) -> Dict:
         """Machine-readable dump of every counter and span."""
         return {

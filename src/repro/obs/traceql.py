@@ -1,0 +1,210 @@
+"""Trace analytics over JSONL event traces: summarize, diff, query.
+
+``repro run --trace out.jsonl`` streams every engine event to disk
+(:mod:`repro.obs.tracing`); this module answers questions about such
+files after the fact:
+
+* :func:`summarize_trace` — per-kind / per-source / per-component event
+  totals and the covered cycle span of the measured window;
+* :func:`diff_traces` — align two traces, report per-kind and
+  per-component counter drift, and pinpoint the **first diverging
+  event** (same-cycle events are canonicalised by
+  :meth:`~repro.frontend.eventlog.Event.sort_key` first, so engine-
+  internal emission order within a cycle never reads as a divergence);
+* :func:`query_trace` — filter events by kind, source and cycle range.
+
+Component buckets mirror the paper's division of the frontend
+bottleneck: ``sn4l`` (sequential), ``dis`` (discontinuity), ``btb``
+(BTB-miss events and pre-decode), any other tagged source under its own
+name, and untagged engine events under ``engine``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import groupby, zip_longest
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..frontend.eventlog import Event
+from .tracing import read_trace
+
+#: Event kinds attributed to the BTB-prefetch component regardless of
+#: their tagged source (pre-decode exists to feed the BTB buffer).
+BTB_KINDS = frozenset(("btb_miss", "btb_rescue", "predecode"))
+
+ENGINE_BUCKET = "engine"
+
+
+def bucket_of(event: Event) -> str:
+    """Attribution bucket of one event (sn4l / dis / btb / ... / engine)."""
+    if event.kind in BTB_KINDS:
+        return "btb"
+    if event.source:
+        return event.source
+    return ENGINE_BUCKET
+
+
+def _canonical_events(events: List[Event]) -> List[Event]:
+    """Events with each same-cycle run sorted by the stable key."""
+    out: List[Event] = []
+    for _, group in groupby(events, key=lambda e: e.cycle):
+        out.extend(sorted(group, key=Event.sort_key))
+    return out
+
+
+# -- summarize -------------------------------------------------------------
+
+def summarize_trace(path) -> Dict[str, Any]:
+    """Totals of the measured window of one trace file."""
+    events, counts = read_trace(path)
+    sources = Counter(e.source or ENGINE_BUCKET for e in events)
+    buckets = Counter(bucket_of(e) for e in events)
+    summary: Dict[str, Any] = {
+        "path": str(path),
+        "events": len(events),
+        "kinds": dict(sorted(counts.items())),
+        "sources": dict(sorted(sources.items())),
+        "components": dict(sorted(buckets.items())),
+    }
+    if events:
+        summary["cycle_first"] = events[0].cycle
+        summary["cycle_last"] = events[-1].cycle
+    return summary
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    lines = [f"{summary['path']}: {summary['events']} measured events"]
+    if "cycle_first" in summary:
+        lines[0] += (f" (cycles {summary['cycle_first']}"
+                     f"..{summary['cycle_last']})")
+    for section in ("kinds", "sources", "components"):
+        table = summary.get(section) or {}
+        if not table:
+            continue
+        lines.append(f"  {section}:")
+        for name, count in table.items():
+            lines.append(f"    {name:<16s} {count:>9d}")
+    return "\n".join(lines)
+
+
+# -- query -----------------------------------------------------------------
+
+def query_trace(path, kinds: Optional[Iterable[str]] = None,
+                sources: Optional[Iterable[str]] = None,
+                cycle_min: Optional[int] = None,
+                cycle_max: Optional[int] = None,
+                limit: Optional[int] = None) -> List[Event]:
+    """Measured-window events matching every given filter."""
+    kind_set = set(kinds) if kinds else None
+    source_set = set(sources) if sources else None
+    events, _ = read_trace(path)
+    out: List[Event] = []
+    for e in events:
+        if kind_set is not None and e.kind not in kind_set:
+            continue
+        if source_set is not None and (e.source or ENGINE_BUCKET) \
+                not in source_set:
+            continue
+        if cycle_min is not None and e.cycle < cycle_min:
+            continue
+        if cycle_max is not None and e.cycle > cycle_max:
+            continue
+        out.append(e)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+# -- diff ------------------------------------------------------------------
+
+@dataclass
+class TraceDiff:
+    """Alignment of two traces: counter drift plus first divergence."""
+
+    path_a: str
+    path_b: str
+    n_a: int = 0
+    n_b: int = 0
+    #: kind -> (count in a, count in b); differing kinds only.
+    kind_drift: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: component bucket -> (count in a, count in b); differing only.
+    component_drift: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: None when the traces are identical, else the aligned index plus
+    #: both events at it (either side None past the shorter trace).
+    first_divergence: Optional[Dict[str, Any]] = None
+
+    @property
+    def identical(self) -> bool:
+        return self.first_divergence is None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path_a": self.path_a, "path_b": self.path_b,
+            "events_a": self.n_a, "events_b": self.n_b,
+            "identical": self.identical,
+            "kind_drift": {k: list(v) for k, v in self.kind_drift.items()},
+            "component_drift": {k: list(v)
+                                for k, v in self.component_drift.items()},
+            "first_divergence": self.first_divergence,
+        }
+
+    def render(self) -> str:
+        lines = [f"a: {self.path_a} ({self.n_a} events)",
+                 f"b: {self.path_b} ({self.n_b} events)"]
+        if self.identical:
+            lines.append("traces are identical (zero drift)")
+            return "\n".join(lines)
+        div = self.first_divergence
+        lines.append(f"first divergence at aligned event #{div['index']}"
+                     f" (cycle {div.get('cycle', '?')}):")
+        lines.append(f"  a: {div.get('event_a') or '(end of trace)'}")
+        lines.append(f"  b: {div.get('event_b') or '(end of trace)'}")
+        if self.kind_drift:
+            lines.append("counter drift by kind (a -> b):")
+            for kind, (ca, cb) in sorted(self.kind_drift.items()):
+                lines.append(f"  {kind:<16s} {ca:>9d} -> {cb:<9d} "
+                             f"({cb - ca:+d})")
+        if self.component_drift:
+            lines.append("counter drift by component (a -> b):")
+            for bucket, (ca, cb) in sorted(self.component_drift.items()):
+                lines.append(f"  {bucket:<16s} {ca:>9d} -> {cb:<9d} "
+                             f"({cb - ca:+d})")
+        return "\n".join(lines)
+
+
+def diff_traces(path_a, path_b) -> TraceDiff:
+    """Align the measured windows of two traces and attribute the drift."""
+    events_a, counts_a = read_trace(path_a)
+    events_b, counts_b = read_trace(path_b)
+    diff = TraceDiff(path_a=str(path_a), path_b=str(path_b),
+                     n_a=len(events_a), n_b=len(events_b))
+
+    for kind in sorted(set(counts_a) | set(counts_b)):
+        ca, cb = counts_a.get(kind, 0), counts_b.get(kind, 0)
+        if ca != cb:
+            diff.kind_drift[kind] = (ca, cb)
+
+    buckets_a = Counter(bucket_of(e) for e in events_a)
+    buckets_b = Counter(bucket_of(e) for e in events_b)
+    for bucket in sorted(set(buckets_a) | set(buckets_b)):
+        ca, cb = buckets_a.get(bucket, 0), buckets_b.get(bucket, 0)
+        if ca != cb:
+            diff.component_drift[bucket] = (ca, cb)
+
+    canon_a = _canonical_events(events_a)
+    canon_b = _canonical_events(events_b)
+    for index, (ea, eb) in enumerate(zip_longest(canon_a, canon_b)):
+        if ea is not None and eb is not None \
+                and ea.sort_key() == eb.sort_key():
+            continue
+        diff.first_divergence = {
+            "index": index,
+            "cycle": (ea or eb).cycle if (ea or eb) else None,
+            "event_a": str(ea) if ea is not None else None,
+            "event_b": str(eb) if eb is not None else None,
+            "component_a": bucket_of(ea) if ea is not None else None,
+            "component_b": bucket_of(eb) if eb is not None else None,
+        }
+        break
+    return diff

@@ -43,7 +43,9 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     np.savez_compressed(
         Path(path),
         version=np.int64(FORMAT_VERSION),
-        name=np.str_(trace.name),
+        # UTF-8 bytes, not a numpy str_: numpy's fixed-width unicode
+        # storage strips trailing NULs, which would corrupt exotic names.
+        name=np.frombuffer(trace.name.encode("utf-8"), dtype=np.uint8),
         line=line, first_pc=first_pc, n_instr=n_instr,
         branch_pc=branch_pc, branch_kind=branch_kind,
         branch_target=branch_target, branch_size=branch_size,
@@ -58,7 +60,11 @@ def load_trace(path: Union[str, Path]) -> Trace:
             raise ValueError(
                 f"unsupported trace format version {version} "
                 f"(expected {FORMAT_VERSION})")
-        name = str(data["name"])
+        raw_name = data["name"]
+        if raw_name.dtype.kind == "u":      # current format: UTF-8 bytes
+            name = raw_name.tobytes().decode("utf-8")
+        else:                               # older archives: numpy str_
+            name = str(raw_name)
         line = data["line"]
         first_pc = data["first_pc"]
         n_instr = data["n_instr"]

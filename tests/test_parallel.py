@@ -137,6 +137,19 @@ class TestRunMany:
         with pytest.raises(ValueError):
             run_many([("web_apache",)], n_records=RECORDS, scale=SCALE)
 
+    def test_worker_profiles_merge_into_parent(self):
+        from repro.obs import PROFILER
+        PROFILER.reset()
+        run_many([("web_apache", "baseline"), ("web_apache", "nl")],
+                 jobs=2, n_records=RECORDS, scale=SCALE)
+        # Each pool worker simulated once and shipped its profiler
+        # snapshot home; the parent ran no simulation of its own (both
+        # results come back through the seeded memo).
+        assert PROFILER.counters["run_scheme.simulations"] == 2
+        spans = PROFILER.snapshot()["spans"]
+        assert spans["run_scheme.simulate"]["count"] == 2
+        assert spans["run_scheme.simulate"]["total_s"] > 0
+
 
 class TestMapParallel:
     def test_order_preserved(self):

@@ -1,0 +1,194 @@
+"""Tests for trace analytics (obs.traceql): summarize, query, diff.
+
+Satellite coverage from the issue: a property-style round-trip — every
+kind in the telemetry registry survives JSONL export -> import ->
+``trace diff`` with zero reported drift — plus the acceptance diff of a
+real two-scheme trace attributing counter drift to a component bucket.
+"""
+
+import pytest
+
+from repro.experiments import runner, store
+from repro.frontend.eventlog import Event, EventLog
+from repro.obs import tracing, traceql
+from repro.workloads import tracegen
+
+RECORDS = 4_000
+SCALE = 0.3
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store(monkeypatch, tmp_path):
+    monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+    monkeypatch.delenv(store.ENV_CACHE_DISABLE, raising=False)
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+    yield
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+
+
+def _synthetic_trace(path, kinds, sources=("", "sn4l", "dis")):
+    """A trace exercising every given kind across several sources."""
+    with tracing.JsonlTraceLog(path, strict=True) as log:
+        log.mark_measurement_start()
+        cycle = 0
+        for rep in range(3):
+            for kind in kinds:
+                for source in sources:
+                    cycle += 1
+                    log.emit(cycle, kind, 0x4000 + 64 * cycle,
+                             detail=f"rep{rep}", source=source)
+    return path
+
+
+class TestRoundTrip:
+    def test_every_registered_kind_survives_roundtrip_with_zero_drift(
+            self, tmp_path):
+        """Property: registry kinds -> export -> import -> diff == zero."""
+        kinds = sorted(EventLog._REGISTRY - {EventLog.UNKNOWN})
+        assert len(kinds) >= 10          # the full telemetry registry
+        original = _synthetic_trace(tmp_path / "a.jsonl", kinds)
+
+        log = EventLog.import_jsonl(original)
+        assert log.export_jsonl(tmp_path / "b.jsonl") == len(log)
+
+        diff = traceql.diff_traces(original, tmp_path / "b.jsonl")
+        assert diff.identical
+        assert diff.kind_drift == {}
+        assert diff.component_drift == {}
+        assert diff.first_divergence is None
+        assert "zero drift" in diff.render()
+        # Every kind made it through intact.
+        summary = traceql.summarize_trace(tmp_path / "b.jsonl")
+        assert set(summary["kinds"]) == set(kinds)
+
+    def test_same_cycle_reordering_is_not_a_divergence(self, tmp_path):
+        events = [Event(5, "demand_hit", 0x40), Event(5, "fill", 0x80),
+                  Event(7, "demand_miss", 0xc0)]
+
+        def write(path, order):
+            with tracing.JsonlTraceLog(path) as log:
+                for e in order:
+                    log.emit(e.cycle, e.kind, e.addr, e.detail, e.source)
+
+        write(tmp_path / "a.jsonl", events)
+        write(tmp_path / "b.jsonl", [events[1], events[0], events[2]])
+        assert traceql.diff_traces(tmp_path / "a.jsonl",
+                                   tmp_path / "b.jsonl").identical
+
+
+class TestDiff:
+    def test_two_scheme_diff_attributes_drift_to_components(self, tmp_path):
+        """Acceptance: counter deltas land in specific component buckets."""
+        a = tmp_path / "baseline.jsonl"
+        b = tmp_path / "sn4l_dis_btb.jsonl"
+        tracing.trace_run("web_apache", "baseline", a,
+                          n_records=RECORDS, scale=SCALE)
+        tracing.trace_run("web_apache", "sn4l_dis_btb", b,
+                          n_records=RECORDS, scale=SCALE)
+
+        diff = traceql.diff_traces(a, b)
+        assert not diff.identical
+        assert diff.kind_drift                      # e.g. prefetch counts
+        # At least one delta is attributed to a named prefetcher
+        # component, not just the engine bucket.
+        assert set(diff.component_drift) & {"sn4l", "dis", "btb"}
+        div = diff.first_divergence
+        assert div["index"] >= 0
+        assert div["component_a"] or div["component_b"]
+        rendered = diff.render()
+        assert "first divergence" in rendered
+        assert "component" in rendered
+
+    def test_divergence_points_at_first_extra_event(self, tmp_path):
+        base = [Event(1, "demand_hit", 0x40), Event(2, "demand_miss", 0x80)]
+        with tracing.JsonlTraceLog(tmp_path / "a.jsonl") as log:
+            for e in base:
+                log.emit(e.cycle, e.kind, e.addr)
+        with tracing.JsonlTraceLog(tmp_path / "b.jsonl") as log:
+            log.emit(1, "demand_hit", 0x40)
+            log.emit(2, "prefetch", 0x100, source="sn4l")
+            log.emit(2, "demand_miss", 0x80)
+
+        diff = traceql.diff_traces(tmp_path / "a.jsonl",
+                                   tmp_path / "b.jsonl")
+        assert diff.kind_drift == {"prefetch": (0, 1)}
+        assert diff.component_drift == {"sn4l": (0, 1)}
+        div = diff.first_divergence
+        assert div["cycle"] == 2
+        # Canonical order puts demand_miss before prefetch in b, so the
+        # first aligned mismatch is a's end against b's extra event.
+        assert div["component_b"] in ("sn4l", "engine")
+
+    def test_length_mismatch_reports_end_of_trace(self, tmp_path):
+        with tracing.JsonlTraceLog(tmp_path / "a.jsonl") as log:
+            log.emit(1, "demand_hit", 0x40)
+        with tracing.JsonlTraceLog(tmp_path / "b.jsonl") as log:
+            log.emit(1, "demand_hit", 0x40)
+            log.emit(2, "fill", 0x80)
+        diff = traceql.diff_traces(tmp_path / "a.jsonl",
+                                   tmp_path / "b.jsonl")
+        assert diff.first_divergence["event_a"] is None
+        assert "(end of trace)" in diff.render()
+
+
+class TestQuery:
+    def _trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing.JsonlTraceLog(path) as log:
+            log.emit(1, "demand_hit", 0x40)
+            log.emit(2, "prefetch", 0x80, source="sn4l")
+            log.emit(3, "prefetch", 0xc0, source="dis")
+            log.emit(4, "btb_miss", 0x100)
+            log.emit(5, "demand_miss", 0x140)
+        return path
+
+    def test_kind_filter(self, tmp_path):
+        events = traceql.query_trace(self._trace(tmp_path),
+                                     kinds=["prefetch"])
+        assert [e.cycle for e in events] == [2, 3]
+
+    def test_source_filter_includes_engine_bucket(self, tmp_path):
+        path = self._trace(tmp_path)
+        assert all(e.source == "sn4l"
+                   for e in traceql.query_trace(path, sources=["sn4l"]))
+        engine = traceql.query_trace(path, sources=["engine"])
+        assert [e.kind for e in engine] == ["demand_hit", "btb_miss",
+                                           "demand_miss"]
+
+    def test_cycle_range_and_limit(self, tmp_path):
+        path = self._trace(tmp_path)
+        ranged = traceql.query_trace(path, cycle_min=2, cycle_max=4)
+        assert [e.cycle for e in ranged] == [2, 3, 4]
+        assert len(traceql.query_trace(path, limit=2)) == 2
+
+    def test_bucket_of(self):
+        assert traceql.bucket_of(Event(1, "btb_miss", 0)) == "btb"
+        assert traceql.bucket_of(Event(1, "predecode", 0,
+                                       source="sn4l")) == "btb"
+        assert traceql.bucket_of(Event(1, "prefetch", 0,
+                                       source="dis")) == "dis"
+        assert traceql.bucket_of(Event(1, "demand_hit", 0)) == "engine"
+
+
+class TestSummarize:
+    def test_summary_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing.JsonlTraceLog(path) as log:
+            log.emit(1, "demand_hit", 0x40)
+            log.mark_measurement_start()
+            log.emit(10, "demand_miss", 0x80)
+            log.emit(12, "prefetch", 0xc0, source="sn4l")
+        summary = traceql.summarize_trace(path)
+        # Only the measured window (after the marker) counts.
+        assert summary["events"] == 2
+        assert summary["kinds"] == {"demand_miss": 1, "prefetch": 1}
+        assert summary["sources"] == {"engine": 1, "sn4l": 1}
+        assert summary["components"] == {"engine": 1, "sn4l": 1}
+        assert (summary["cycle_first"], summary["cycle_last"]) == (10, 12)
+        rendered = traceql.render_summary(summary)
+        assert "2 measured events" in rendered
+        assert "sn4l" in rendered
