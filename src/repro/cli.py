@@ -15,6 +15,9 @@ Commands
                          gates against the stored baseline
 ``trace``                analytics over JSONL event traces:
                          ``summarize`` / ``diff`` / ``query``
+``lint``                 static analysis of simulator invariants:
+                         determinism, telemetry registry, scheme
+                         registry, storage budgets (text/JSON/SARIF)
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import List, Optional
 from .analysis import arithmetic_mean
 from .experiments import (
     figures,
+    parse_count,
     run_many,
     set_default_jobs,
     render_matrix,
@@ -475,6 +479,48 @@ def _cmd_trace_query(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import RULES, LintUsageError, lint_paths
+    from .lint.reporters import RENDERERS, render_sarif
+
+    if args.list_rules:
+        print(f"{'id':8s} {'scope':8s} {'name':28s} summary")
+        for rule in RULES.values():
+            print(f"{rule.id:8s} {rule.scope:8s} {rule.name:28s} "
+                  f"{rule.summary}")
+        return 0
+    try:
+        result = lint_paths(
+            args.paths or None,
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+            jobs=args.jobs)
+    except LintUsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rendered = RENDERERS[args.format](result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.format} report {args.output}")
+    else:
+        print(rendered)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(result) + "\n")
+        if args.format != "sarif" or args.output:
+            print(f"wrote sarif report {args.sarif}")
+    return 0 if result.ok else 1
+
+
+def _jobs_flag(value):
+    """argparse type for every ``--jobs`` flag: shares the env-var
+    normalization, so ``--jobs three`` warns exactly like
+    ``REPRO_JOBS=three`` and falls back to serial instead of aborting
+    the parse."""
+    return parse_count(value, source="--jobs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -490,7 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--records", type=int, default=90_000)
         p.add_argument("--scale", type=float, default=1.0)
-        p.add_argument("--jobs", type=int, default=None, metavar="N",
+        p.add_argument("--jobs", type=_jobs_flag, default=None, metavar="N",
                        help="worker processes for independent simulations "
                             "(default: serial, or $REPRO_JOBS)")
 
@@ -533,7 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument("--samples", type=int, default=5)
     p_sample.add_argument("--records", type=int, default=60_000)
     p_sample.add_argument("--scale", type=float, default=1.0)
-    p_sample.add_argument("--jobs", type=int, default=None, metavar="N",
+    p_sample.add_argument("--jobs", type=_jobs_flag, default=None,
+                          metavar="N",
                           help="worker processes, one sample each")
     p_sample.set_defaults(func=_cmd_sample)
 
@@ -545,7 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=sorted(scheme_names()))
     p_mc.add_argument("--records", type=int, default=40_000)
     p_mc.add_argument("--scale", type=float, default=0.5)
-    p_mc.add_argument("--jobs", type=int, default=None, metavar="N",
+    p_mc.add_argument("--jobs", type=_jobs_flag, default=None, metavar="N",
                       help="worker processes for per-core trace generation")
     p_mc.set_defaults(func=_cmd_multicore)
 
@@ -592,6 +639,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="machine-readable records and verdicts")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis of simulator invariants: "
+                     "determinism, telemetry/scheme registries, storage "
+                     "budgets")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: the installed "
+                             "repro package)")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"))
+    p_lint.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    p_lint.add_argument("--sarif", metavar="FILE",
+                        help="additionally write a SARIF 2.1.0 report "
+                             "(for code-scanning upload)")
+    p_lint.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids/prefixes to run "
+                             "(e.g. DET,BUD001)")
+    p_lint.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids/prefixes to skip")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.add_argument("--jobs", type=_jobs_flag, default=None, metavar="N",
+                        help="worker processes for the per-file pass")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trace = sub.add_parser(
         "trace", help="analytics over JSONL event traces "

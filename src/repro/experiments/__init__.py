@@ -1,7 +1,13 @@
 """Experiment harness: scheme registry, cached runner, figure drivers."""
 
 from . import export, figures, store
-from .parallel import map_parallel, resolve_jobs, run_many, set_default_jobs
+from .parallel import (
+    map_parallel,
+    parse_count,
+    resolve_jobs,
+    run_many,
+    set_default_jobs,
+)
 from .sampling import SampledMetric, SampledRun, render_sampled, run_sampled
 from .store import ResultStore, caching_enabled, get_store, reset_store
 from .report import (
@@ -28,6 +34,7 @@ __all__ = [
     "store",
     "run_many",
     "map_parallel",
+    "parse_count",
     "resolve_jobs",
     "set_default_jobs",
     "ResultStore",

@@ -38,8 +38,31 @@ ENV_JOBS = "REPRO_JOBS"
 
 _default_jobs: Optional[int] = None
 
-#: Bad REPRO_JOBS values already warned about (one warning per value).
-_warned_env_values = set()
+#: (source, value) pairs already warned about (one warning per pair).
+_warned_values = set()
+
+
+def parse_count(value, *, source: str, floor: int = 1) -> Optional[int]:
+    """Normalize a numeric knob from an env var or CLI flag.
+
+    The one argument-normalization path for every worker/limit count:
+    ``REPRO_JOBS``, the subcommands' ``--jobs`` flags and ``repro
+    lint``'s all route through here, so an unparsable value warns
+    *identically* everywhere — once per distinct (source, value) pair —
+    and degrades to None (callers fall back to serial) instead of
+    silently forcing serial execution or hard-exiting mid-parse.
+    """
+    try:
+        return max(floor, int(str(value).strip()))
+    except (TypeError, ValueError):
+        key = (source, str(value))
+        if key not in _warned_values:
+            _warned_values.add(key)
+            warnings.warn(
+                f"ignoring invalid {source}={str(value)!r} (not an "
+                f"integer); running serial",
+                RuntimeWarning, stacklevel=3)
+        return None
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -56,17 +79,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         return _default_jobs
     env = os.environ.get(ENV_JOBS, "")
     if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            # An unparsable job count silently forcing serial execution
-            # is a debugging trap — say so, once per distinct value.
-            if env not in _warned_env_values:
-                _warned_env_values.add(env)
-                warnings.warn(
-                    f"ignoring invalid {ENV_JOBS}={env!r} (not an "
-                    f"integer); running serial",
-                    RuntimeWarning, stacklevel=2)
+        parsed = parse_count(env, source=ENV_JOBS)
+        if parsed is not None:
+            return parsed
     return 1
 
 

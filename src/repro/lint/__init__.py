@@ -1,0 +1,62 @@
+"""Domain-aware static analysis for the simulator's invariants.
+
+``repro lint`` verifies, in seconds and before any simulation runs, the
+structural properties the runtime gates (telemetry-bus strictness,
+``repro bench --check`` behaviour digests) can only catch after a full
+bench cycle: determinism of the simulation code, telemetry-registry
+consistency, scheme-registry health, and the paper's 7.6 KB storage
+claim.  See ``docs/static-analysis.md`` for the rule catalogue and the
+lint-vs-digest-gate division of labour.
+
+Programmatic use::
+
+    from repro.lint import lint_paths
+
+    result = lint_paths(["src/repro"])
+    assert result.ok, result.findings
+"""
+
+from .framework import (  # noqa: F401
+    RULES,
+    FileContext,
+    Finding,
+    LintResult,
+    LintUsageError,
+    Project,
+    Rule,
+    Suppression,
+    default_target,
+    lint_paths,
+    parse_suppressions,
+    register,
+    resolve_rules,
+)
+from .reporters import (  # noqa: F401
+    RENDERERS,
+    render_json,
+    render_sarif,
+    render_text,
+    result_as_dict,
+)
+from . import rules  # noqa: F401  (registers the shipped rule packs)
+
+__all__ = [
+    "RULES",
+    "RENDERERS",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintUsageError",
+    "Project",
+    "Rule",
+    "Suppression",
+    "default_target",
+    "lint_paths",
+    "parse_suppressions",
+    "register",
+    "resolve_rules",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "result_as_dict",
+]

@@ -1,0 +1,238 @@
+"""Small AST helpers shared by the lint rules.
+
+Three concerns: resolving a call's dotted name through the module's
+imports (``np.random.default_rng`` -> ``numpy.random.default_rng``),
+folding constant arithmetic expressions (``16 * 1024`` -> 16384, the
+shape every table-geometry default in this tree takes), and locating
+class/function definitions for static signature checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+
+def collect_imports(tree: ast.AST) -> Dict[str, str]:
+    """Map local alias -> dotted origin for every import in ``tree``.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from time import time as now`` yields ``{"now": "time.time"}``.
+    Relative imports are recorded with their leading dots stripped —
+    the banned-name sets only care about absolute stdlib/numpy names,
+    so an in-package origin can never collide with them.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                imports[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            module = (node.module or "").lstrip(".")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                origin = f"{module}.{alias.name}" if module else alias.name
+                imports[local] = origin
+    return imports
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Dotted name of ``node`` with its first segment mapped through
+    the module's imports (so aliases resolve to their true origin)."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+_FOLD_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Div: lambda a, b: a / b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.Mod: lambda a, b: a % b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+}
+
+#: Sentinel distinguishing "folded to None" from "could not fold".
+UNFOLDABLE = object()
+
+
+def fold_constant(node: Optional[ast.AST]) -> object:
+    """Evaluate a numeric constant expression (literals + arithmetic).
+
+    Returns the value (which may legitimately be ``None`` for
+    ``Optional[int] = None`` defaults) or :data:`UNFOLDABLE` when the
+    expression references names, calls or anything non-constant.
+    """
+    if node is None:
+        return UNFOLDABLE
+    if isinstance(node, ast.Constant):
+        if node.value is None or isinstance(node.value, (int, float)):
+            return node.value
+        return UNFOLDABLE
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        operand = fold_constant(node.operand)
+        if isinstance(operand, (int, float)):
+            return -operand
+        return UNFOLDABLE
+    if isinstance(node, ast.BinOp):
+        op = _FOLD_BINOPS.get(type(node.op))
+        if op is None:
+            return UNFOLDABLE
+        left = fold_constant(node.left)
+        right = fold_constant(node.right)
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            try:
+                return op(left, right)
+            except (ZeroDivisionError, OverflowError, ValueError):
+                return UNFOLDABLE
+        return UNFOLDABLE
+    return UNFOLDABLE
+
+
+def iter_classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in iter_classes(tree):
+        if node.name == name:
+            return node
+    return None
+
+
+def find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def keyword_defaults(fn: ast.FunctionDef) -> Dict[str, ast.AST]:
+    """Parameter name -> default-value node, for every defaulted
+    positional/keyword parameter of ``fn``."""
+    args = fn.args
+    defaults: Dict[str, ast.AST] = {}
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        defaults[arg.arg] = default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults[arg.arg] = default
+    return defaults
+
+
+def module_constant(tree: ast.AST, name: str) -> Optional[ast.AST]:
+    """Value node of a top-level ``NAME = <expr>`` assignment."""
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value
+    return None
+
+
+def class_constant(cls: ast.ClassDef, name: str) -> Optional[ast.AST]:
+    """Value node of a class-level ``NAME = <expr>`` assignment."""
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value
+    return None
+
+
+def static_bind(defn: Union[ast.ClassDef, ast.FunctionDef],
+                call: ast.Call) -> Optional[str]:
+    """Check ``call`` against an AST definition's signature.
+
+    For a class the constructor (``__init__``) is bound with ``self``
+    skipped.  Returns an error description, or None when the call binds
+    (or cannot be checked statically, e.g. ``*args`` in the call).
+    """
+    if isinstance(defn, ast.ClassDef):
+        fn = find_method(defn, "__init__")
+        if fn is None:
+            # Object () constructor: any argument is an arity error.
+            if call.args or any(k.arg for k in call.keywords):
+                return f"{defn.name} takes no constructor arguments"
+            return None
+        skip_self = 1
+    else:
+        fn, skip_self = defn, 0
+
+    if any(isinstance(a, ast.Starred) for a in call.args) or \
+            any(k.arg is None for k in call.keywords):
+        return None  # *args / **kwargs at the call site: not checkable
+
+    args = fn.args
+    positional = [a.arg for a in (args.posonlyargs + args.args)][skip_self:]
+    n_required = len(positional) - len(args.defaults)
+    kwonly = {a.arg for a in args.kwonlyargs}
+    kw_required = {a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                   if d is None}
+
+    n_pos = len(call.args)
+    if n_pos > len(positional) and args.vararg is None:
+        return (f"{defn.name} takes at most {len(positional)} positional "
+                f"arguments ({n_pos} given)")
+    supplied = set(positional[:n_pos])
+    for kw in call.keywords:
+        if kw.arg in supplied:
+            return f"{defn.name} got multiple values for {kw.arg!r}"
+        if kw.arg not in positional and kw.arg not in kwonly \
+                and args.kwarg is None:
+            return f"{defn.name} got an unexpected keyword {kw.arg!r}"
+        supplied.add(kw.arg)
+    missing = [p for p in positional[:n_required] if p not in supplied]
+    missing += sorted(kw_required - supplied)
+    if missing:
+        return (f"{defn.name} missing required argument(s): "
+                f"{', '.join(missing)}")
+    return None
+
+
+def string_tuple(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The values of a tuple/list of string constants, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        values.append(elt.value)
+    return tuple(values)

@@ -1,0 +1,477 @@
+"""Rule registry, suppression parsing and the lint runner.
+
+The framework separates *file-scope* rules (one file at a time: the
+determinism pack) from *project-scope* rules (whole-tree invariants:
+telemetry registry consistency, scheme registry, storage budgets).
+Project rules consume **facts** — small picklable summaries extracted
+per file by registered fact extractors — so the per-file pass can run
+in worker processes (``repro lint --jobs``) while cross-file checks
+stay in the parent.
+
+Findings can be suppressed per line and per rule with::
+
+    risky_call()   # repro: noqa[DET001] -- justification
+
+Unused suppressions are themselves reported (``LNT001``) so stale
+exemptions cannot linger after the code they excused is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Facts = Dict[str, object]
+
+
+class LintUsageError(ValueError):
+    """Bad lint invocation (unknown rule id, missing path)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str            # posix path relative to the lint root
+    line: int
+    col: int             # 1-based column
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message,
+        }
+        if self.suppressed:
+            d["suppressed"] = True
+            if self.justification:
+                d["justification"] = self.justification
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "Finding":
+        return cls(rule=str(d["rule"]), path=str(d["path"]),
+                   line=int(d["line"]), col=int(d["col"]),  # type: ignore[arg-type]
+                   message=str(d["message"]),
+                   suppressed=bool(d.get("suppressed", False)),
+                   justification=str(d.get("justification", "")))
+
+
+#: Matches a comment of the form ``repro: noqa[DET001,TEL002] -- why``
+#: (hash prefix included; the justification after ``--`` is optional).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*(?:--|—|:)\s*(?P<why>.*\S))?")
+
+
+@dataclass
+class Suppression:
+    """A parsed per-line ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str = ""
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Per-line suppressions of ``source`` keyed by 1-based line.
+
+    Only real ``#`` comment tokens count — a noqa example quoted inside
+    a docstring is documentation, not an exemption.  Falls back to a
+    raw line scan when the file does not tokenize (the suppressions of
+    a broken file hardly matter: it already reports LNT002).
+    """
+    out: Dict[int, Suppression] = {}
+
+    def add(lineno: int, text: str) -> None:
+        match = _NOQA_RE.search(text)
+        if match is None:
+            return
+        rules = tuple(sorted({r.strip() for r in
+                              match.group("rules").split(",") if r.strip()}))
+        if rules:
+            out[lineno] = Suppression(lineno, rules,
+                                      match.group("why") or "")
+
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "noqa" in text:
+                add(lineno, text)
+        return out
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT and "noqa" in tok.string:
+            add(tok.start[0], tok.string)
+    return out
+
+
+class FileContext:
+    """One source file: path, source, lazily parsed AST, suppressions."""
+
+    def __init__(self, path: Path, rel: str,
+                 source: Optional[str] = None) -> None:
+        self.path = path
+        self.rel = rel
+        self._source = source
+        self._tree: Optional[ast.Module] = None
+        self._imports: Optional[Dict[str, str]] = None
+        self._suppressions: Optional[Dict[int, Suppression]] = None
+        self.syntax_error: Optional[SyntaxError] = None
+
+    @property
+    def source(self) -> str:
+        if self._source is None:
+            self._source = self.path.read_text(encoding="utf-8")
+        return self._source
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        if self._tree is None and self.syntax_error is None:
+            try:
+                self._tree = ast.parse(self.source, filename=str(self.path))
+            except SyntaxError as exc:
+                self.syntax_error = exc
+        return self._tree
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        if self._imports is None:
+            from .astutil import collect_imports
+            tree = self.tree
+            self._imports = collect_imports(tree) if tree is not None else {}
+        return self._imports
+
+    @property
+    def suppressions(self) -> Dict[int, Suppression]:
+        if self._suppressions is None:
+            self._suppressions = parse_suppressions(self.source)
+        return self._suppressions
+
+
+class Project:
+    """The linted file set plus per-rule facts for project rules."""
+
+    def __init__(self, root: Path, files: Sequence[Tuple[Path, str]]) -> None:
+        self.root = root
+        self._contexts: Dict[str, FileContext] = {
+            rel: FileContext(path, rel) for path, rel in files}
+        #: fact key -> rel -> facts dict (only files that produced facts).
+        self.facts: Dict[str, Dict[str, Facts]] = {}
+
+    def files(self) -> List[str]:
+        return sorted(self._contexts)
+
+    def context(self, rel: str) -> FileContext:
+        return self._contexts[rel]
+
+    def facts_for(self, key: str) -> Dict[str, Facts]:
+        return self.facts.get(key, {})
+
+
+class Rule:
+    """Base class; subclasses register with :func:`register`."""
+
+    id: str = ""
+    name: str = ""           # kebab-case slug for reporters
+    summary: str = ""        # one line, shown in --list-rules and SARIF
+    scope: str = "file"      # "file" or "project"
+    level: str = "error"     # SARIF level: "error" | "warning" | "note"
+    facts: Tuple[str, ...] = ()   # fact keys this (project) rule consumes
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+#: rule id -> singleton instance, in registration order.
+RULES: Dict[str, Rule] = {}
+
+#: fact key -> extractor(ctx) -> facts dict or None.
+FACT_EXTRACTORS: Dict[str, Callable[[FileContext], Optional[Facts]]] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and add to the rule registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def fact_extractor(key: str):
+    """Decorator registering a per-file fact extractor under ``key``."""
+    def wrap(fn):
+        FACT_EXTRACTORS[key] = fn
+        return fn
+    return wrap
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """A ``noqa`` that suppresses nothing is stale and must go."""
+
+    id = "LNT001"
+    name = "unused-suppression"
+    summary = ("a '# repro: noqa[RULE]' comment whose rules produced no "
+               "finding on that line")
+    scope = "project"        # applied by the runner after all rules ran
+    level = "warning"
+
+
+@register
+class SyntaxErrorRule(Rule):
+    """Unparsable files can hide anything; surfaced as a finding."""
+
+    id = "LNT002"
+    name = "syntax-error"
+    summary = "the file does not parse; no rule can check it"
+    scope = "file"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    root: str
+    files: List[str]
+    findings: List[Finding] = field(default_factory=list)    # unsuppressed
+    suppressed: List[Finding] = field(default_factory=list)
+    rules: Tuple[str, ...] = ()      # active rule ids
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree (lint's self-host target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+#: Directory names skipped during directory discovery.  The lint test
+#: corpus (``tests/lint_fixtures``) holds deliberate violations; its
+#: files are linted only when named explicitly, exactly like pytest's
+#: ``norecursedirs``.
+EXCLUDED_DIRS = frozenset({"__pycache__", "lint_fixtures"})
+
+
+def _expand(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*.py"))
+                         if not (EXCLUDED_DIRS & set(p.parts)))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise LintUsageError(f"not a python file or directory: {path}")
+    seen: Set[Path] = set()
+    unique = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(r)
+    return unique
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Active rules after ``--select`` / ``--ignore`` filtering.
+
+    A selector is a full rule id (``DET001``) or a prefix naming a whole
+    pack (``DET``, ``BUD``); a selector matching nothing is an error.
+    """
+    def expand(selectors: Optional[Sequence[str]]) -> Set[str]:
+        out: Set[str] = set()
+        for sel in selectors or ():
+            sel = sel.strip()
+            if not sel:
+                continue
+            ids = [rid for rid in RULES if rid.startswith(sel)]
+            if not ids:
+                raise LintUsageError(
+                    f"unknown rule id {sel!r}; known: {', '.join(RULES)}")
+            out.update(ids)
+        return out
+
+    selected = expand(select)
+    ignored = expand(ignore)
+    active = [r for r in RULES.values()
+              if (not selected or r.id in selected)
+              and r.id not in ignored]
+    return active
+
+
+def _file_pass(ctx: FileContext, rules: Sequence[Rule],
+               fact_keys: Sequence[str]
+               ) -> Tuple[List[Finding], Dict[str, Facts]]:
+    """File-scope findings and project-rule facts for one file."""
+    findings: List[Finding] = []
+    if ctx.tree is None:
+        err = ctx.syntax_error
+        if any(r.id == "LNT002" for r in rules):
+            findings.append(Finding(
+                "LNT002", ctx.rel, err.lineno or 1, (err.offset or 0) or 1,
+                f"syntax error: {err.msg}"))
+        return findings, {}
+    for rule in rules:
+        if rule.scope == "file" and rule.id != "LNT002":
+            findings.extend(rule.check_file(ctx))
+    facts: Dict[str, Facts] = {}
+    for key in fact_keys:
+        extracted = FACT_EXTRACTORS[key](ctx)
+        if extracted:
+            facts[key] = extracted
+    return findings, facts
+
+
+def _worker(payload: Tuple[str, str, Tuple[str, ...], Tuple[str, ...]]
+            ) -> Tuple[str, List[Dict[str, object]], Dict[str, Facts],
+                       List[Tuple[int, Tuple[str, ...], str]]]:
+    """Worker-process entry: lint one file, return picklable results."""
+    from . import rules as _rules  # noqa: F401  (registers the packs)
+    path, rel, rule_ids, fact_keys = payload
+    ctx = FileContext(Path(path), rel)
+    active = [RULES[r] for r in rule_ids if r in RULES]
+    findings, facts = _file_pass(ctx, active, fact_keys)
+    sup = [(s.line, s.rules, s.justification)
+           for s in ctx.suppressions.values()]
+    return rel, [f.as_dict() for f in findings], facts, sup
+
+
+def lint_paths(paths: Optional[Sequence] = None,
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None,
+               jobs: Optional[int] = None,
+               root: Optional[Path] = None) -> LintResult:
+    """Run the active rules over ``paths`` (default: the repro package).
+
+    ``jobs`` follows the same resolution as every other subcommand
+    (explicit argument, then ``REPRO_JOBS``, else serial); the per-file
+    pass fans out to worker processes, cross-file rules stay local.
+    """
+    from . import rules as _rules  # noqa: F401  (registers the packs)
+    from ..experiments.parallel import map_parallel, resolve_jobs
+
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    for t in targets:
+        if not t.exists():
+            raise LintUsageError(f"no such path: {t}")
+    files = _expand(targets)
+    if root is None:
+        cwd = Path.cwd().resolve()
+        if all(cwd in f.parents for f in files):
+            root = cwd
+        elif len(files) == 1:
+            root = files[0].parent
+        else:
+            root = Path(*os.path.commonprefix([f.parts for f in files]))
+    root = root.resolve()
+
+    def rel_of(f: Path) -> str:
+        try:
+            return f.relative_to(root).as_posix()
+        except ValueError:
+            return f.as_posix()
+
+    pairs = [(f, rel_of(f)) for f in files]
+    active = resolve_rules(select, ignore)
+    fact_keys = tuple(sorted({k for r in active for k in r.facts
+                              if k in FACT_EXTRACTORS}))
+    project = Project(root, pairs)
+
+    all_findings: List[Finding] = []
+    suppressions: Dict[str, Dict[int, Suppression]] = {}
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(pairs) > 1:
+        rule_ids = tuple(r.id for r in active)
+        payloads = [(str(f), rel, rule_ids, fact_keys) for f, rel in pairs]
+        for rel, findings, facts, sup in map_parallel(
+                _worker, payloads, jobs=n_jobs):
+            all_findings.extend(Finding.from_dict(d) for d in findings)
+            for key, value in facts.items():
+                project.facts.setdefault(key, {})[rel] = value
+            suppressions[rel] = {line: Suppression(line, rules, why)
+                                 for line, rules, why in sup}
+    else:
+        for f, rel in pairs:
+            ctx = project.context(rel)
+            findings, facts = _file_pass(ctx, active, fact_keys)
+            all_findings.extend(findings)
+            for key, value in facts.items():
+                project.facts.setdefault(key, {})[rel] = value
+            suppressions[rel] = ctx.suppressions
+
+    for rule in active:
+        if rule.scope == "project" and rule.id != "LNT001":
+            all_findings.extend(rule.check_project(project))
+
+    # Apply per-line suppressions centrally (covers project findings too).
+    used: Dict[Tuple[str, int], Set[str]] = {}
+    kept: List[Finding] = []
+    muted: List[Finding] = []
+    for finding in all_findings:
+        sup = suppressions.get(finding.path, {}).get(finding.line)
+        if sup is not None and finding.rule in sup.rules:
+            used.setdefault((finding.path, finding.line),
+                            set()).add(finding.rule)
+            muted.append(Finding(
+                finding.rule, finding.path, finding.line, finding.col,
+                finding.message, suppressed=True,
+                justification=sup.justification))
+        else:
+            kept.append(finding)
+
+    if any(r.id == "LNT001" for r in active):
+        for rel in sorted(suppressions):
+            for line, sup in sorted(suppressions[rel].items()):
+                unused = [r for r in sup.rules
+                          if r not in used.get((rel, line), set())]
+                if unused:
+                    kept.append(Finding(
+                        "LNT001", rel, line, 1,
+                        f"suppression of {', '.join(unused)} matches no "
+                        f"finding on this line; remove the stale noqa"))
+
+    key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+    return LintResult(root=str(root), files=[rel for _, rel in pairs],
+                      findings=sorted(kept, key=key),
+                      suppressed=sorted(muted, key=key),
+                      rules=tuple(r.id for r in active))

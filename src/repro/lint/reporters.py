@@ -1,0 +1,104 @@
+"""Render a :class:`~repro.lint.framework.LintResult` as text/JSON/SARIF.
+
+The SARIF output is the minimal valid 2.1.0 document GitHub code
+scanning ingests: one run, the active rules as ``tool.driver.rules``,
+one result per unsuppressed finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .framework import RULES, LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location}: {finding.rule} {finding.message}")
+    counts = result.counts()
+    if counts:
+        per_rule = ", ".join(f"{rid} x{n}" for rid, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"{len(result.findings)} finding(s) in "
+                     f"{len(result.files)} file(s): {per_rule}")
+    else:
+        lines.append(f"clean: {len(result.files)} file(s), "
+                     f"{len(result.suppressed)} suppressed finding(s)")
+    return "\n".join(lines)
+
+
+def result_as_dict(result: LintResult) -> Dict[str, object]:
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "root": result.root,
+        "files": len(result.files),
+        "rules": list(result.rules),
+        "counts": result.counts(),
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_as_dict(result), indent=2, sort_keys=True)
+
+
+def _sarif_rules(result: LintResult) -> List[Dict[str, object]]:
+    rules = []
+    for rid in result.rules:
+        rule = RULES.get(rid)
+        if rule is None:
+            continue
+        rules.append({
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": rule.level},
+        })
+    return rules
+
+
+def render_sarif(result: LintResult) -> str:
+    results = []
+    for finding in result.findings:
+        rule = RULES.get(finding.rule)
+        results.append({
+            "ruleId": finding.rule,
+            "level": rule.level if rule is not None else "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line,
+                               "startColumn": finding.col},
+                },
+            }],
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "version": "1.0.0",
+                "rules": _sarif_rules(result),
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

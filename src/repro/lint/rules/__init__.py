@@ -1,0 +1,19 @@
+"""The shipped rule packs; importing this module registers them all.
+
+================  =========  =====================================
+pack              ids        invariant
+================  =========  =====================================
+determinism       DET001-3   no wall clock, no unseeded/global RNG,
+                             no set-order reaching counters/events
+telemetry         TEL001-2   emit kinds registered, no dead kinds
+scheme registry   REG001-3   SCHEMES factories importable and
+                             signature-correct, override keys valid
+storage budget    BUD001-3   Table II geometry within the paper's
+                             7.6 KB storage claim
+framework         LNT001-2   no stale suppressions, files parse
+================  =========  =====================================
+"""
+
+from . import budget, determinism, registry, telemetry  # noqa: F401
+
+__all__ = ["budget", "determinism", "registry", "telemetry"]

@@ -1,0 +1,340 @@
+"""Hardware storage-budget rules (BUD001-BUD003).
+
+The paper's central claim is economic: SN4L+Dis+BTB delivers
+Shotgun-class miss coverage out of **7.6 KB** of per-core state (Table
+II / Section VI-D3) — versus ~6 KB of *additions* for Shotgun on top of
+its huge U-BTB and >200 KB for Confluence.  That number is a structural
+property of the table geometries, so it can drift silently: bump
+``seqtable_entries`` in a sweep and forget to revert it, and every
+"storage" column in the repo is quietly wrong while all tests pass.
+
+This rule statically folds the geometry constants out of the source —
+``ProactivePrefetcher.__init__`` defaults, ``FrontendConfig`` cache
+geometry, ``BtbPrefetchBuffer.ENTRY_BITS`` — recomputes the Table II
+accounting, and fails the build when:
+
+* **BUD001** a single structure exceeds its declared per-structure byte
+  budget;
+* **BUD002** the SN4L+Dis+BTB total exceeds the paper's storage claim;
+* **BUD003** a geometry constant cannot be statically resolved (so the
+  budget cannot be proven at lint time).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..astutil import (
+    UNFOLDABLE,
+    class_constant,
+    find_class,
+    find_method,
+    fold_constant,
+    keyword_defaults,
+    module_constant,
+)
+from ..framework import (
+    Facts,
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    fact_extractor,
+    register,
+)
+
+#: Paper Table II: the proposal's total storage claim ("7.6 KB").
+PAPER_TOTAL_BYTES = 7786
+
+#: Per-structure byte budgets, matching the Table II line items.
+STRUCTURE_BUDGETS: Dict[str, int] = {
+    "seqtable": 2048,             # 16 K x 1 bit
+    "distable": 4096,             # 4 K x (4-bit tag + 4-bit offset)
+    "btb_prefetch_buffer": 1024,  # 32 entries x ~2 Kb / 8
+    "l1i_status": 320,            # 512 lines x (4-bit status + pf flag)
+    "queues_rlu": 298,            # 3 x 16 queue slots + 8 RLU tags
+}
+
+#: Bits per queue slot (block address + depth, Table II's accounting)
+#: and per RLU entry (block-address tag).
+QUEUE_SLOT_BITS = 43
+RLU_TAG_BITS = 40
+#: L1i per-line metadata: 4-bit local prefetch status + prefetch flag.
+L1I_STATUS_BITS = 5
+#: Full-tag width assumed when DisTable tagging is set to None.
+FULL_TAG_BITS = 40
+#: Byte count standing in for an unlimited (None-sized) reference table.
+UNLIMITED_BYTES = 2 ** 62
+
+
+@dataclass(frozen=True)
+class Constant:
+    """One folded geometry constant and where it came from."""
+
+    name: str
+    value: object            # int/float/None, or UNFOLDABLE
+    rel: str
+    line: int
+    col: int
+
+    @property
+    def resolved(self) -> bool:
+        return self.value is not UNFOLDABLE
+
+
+@dataclass(frozen=True)
+class BudgetItem:
+    """One Table II line recomputed from the source constants."""
+
+    structure: str
+    bytes: int
+    limit: int
+    rel: str
+    line: int
+    col: int
+
+    @property
+    def over(self) -> bool:
+        return self.bytes > self.limit
+
+
+@dataclass
+class BudgetReport:
+    """Everything the budget rules (and the tests) need."""
+
+    items: List[BudgetItem]
+    unresolved: List[Constant]
+    anchor: Optional[Tuple[str, int, int]] = None  # ProactivePrefetcher
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(item.bytes for item in self.items)
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024
+
+
+@fact_extractor("budget")
+def budget_facts(ctx: FileContext) -> Optional[Facts]:
+    """Which budget-relevant classes this file defines."""
+    if ctx.tree is None:
+        return None
+    wanted = {"ProactivePrefetcher", "FrontendConfig", "BtbPrefetchBuffer"}
+    found = [node.name for node in ctx.tree.body
+             if isinstance(node, ast.ClassDef) and node.name in wanted]
+    return {"classes": found} if found else None
+
+
+def _constant(name: str, node: Optional[ast.AST], rel: str,
+              fallback: Tuple[int, int] = (1, 1)) -> Constant:
+    if node is None:
+        return Constant(name, UNFOLDABLE, rel, *fallback)
+    return Constant(name, fold_constant(node), rel,
+                    node.lineno, node.col_offset + 1)
+
+
+def _gather_constants(project: Project) -> Tuple[Dict[str, Constant],
+                                                 Optional[Tuple[str, int,
+                                                                int]]]:
+    """Fold every geometry constant out of the linted sources."""
+    constants: Dict[str, Constant] = {}
+    anchor: Optional[Tuple[str, int, int]] = None
+    for rel in sorted(project.facts_for("budget")):
+        classes = project.facts_for("budget")[rel].get("classes", [])
+        tree = project.context(rel).tree
+        if tree is None:
+            continue
+        if "ProactivePrefetcher" in classes and \
+                "proactive_anchor" not in constants:
+            cls = find_class(tree, "ProactivePrefetcher")
+            anchor = (rel, cls.lineno, cls.col_offset + 1)
+            init = find_method(cls, "__init__")
+            defaults = keyword_defaults(init) if init is not None else {}
+            for name in ("seqtable_entries", "distable_entries",
+                         "distable_tag_bits", "rlu_entries",
+                         "queue_entries", "btb_buffer_entries"):
+                constants[name] = _constant(name, defaults.get(name), rel,
+                                            (cls.lineno,
+                                             cls.col_offset + 1))
+            constants["offset_bits"] = _constant(
+                "offset_bits", module_constant(tree, "FIXED_OFFSET_BITS"),
+                rel, (cls.lineno, cls.col_offset + 1))
+        if "FrontendConfig" in classes and "l1i_size" not in constants:
+            cls = find_class(tree, "FrontendConfig")
+            for name in ("l1i_size", "block_size"):
+                node = class_constant(cls, name)
+                if node is None:  # dataclass fields are AnnAssign values
+                    for stmt in cls.body:
+                        if isinstance(stmt, ast.AnnAssign) and \
+                                isinstance(stmt.target, ast.Name) and \
+                                stmt.target.id == name:
+                            node = stmt.value
+                            break
+                constants[name] = _constant(name, node, rel,
+                                            (cls.lineno,
+                                             cls.col_offset + 1))
+        if "BtbPrefetchBuffer" in classes and \
+                "btb_entry_bits" not in constants:
+            cls = find_class(tree, "BtbPrefetchBuffer")
+            constants["btb_entry_bits"] = _constant(
+                "btb_entry_bits", class_constant(cls, "ENTRY_BITS"), rel,
+                (cls.lineno, cls.col_offset + 1))
+    return constants, anchor
+
+
+def compute_budget(project: Project) -> Optional[BudgetReport]:
+    """Recompute the Table II accounting from the linted sources.
+
+    Returns None when the linted set does not define
+    ``ProactivePrefetcher`` (nothing to budget).
+    """
+    constants, anchor = _gather_constants(project)
+    if anchor is None:
+        return None
+
+    report = BudgetReport(items=[], unresolved=[], anchor=anchor)
+
+    def resolved(*names: str) -> Optional[List[object]]:
+        """Values of the named constants; None (recording each
+        unresolved constant for BUD003) when any cannot be folded."""
+        values: List[object] = []
+        ok = True
+        for name in names:
+            const = constants.get(name)
+            if const is None:
+                rel, line, col = anchor
+                report.unresolved.append(
+                    Constant(name, UNFOLDABLE, rel, line, col))
+                ok = False
+            elif not const.resolved:
+                report.unresolved.append(const)
+                ok = False
+            else:
+                values.append(const.value)
+        return values if ok else None
+
+    def item(structure: str, nbytes: float, loc_of: str) -> None:
+        """``math.inf`` bytes marks an unlimited reference table, which
+        can never fit a hardware budget."""
+        const = constants.get(loc_of)
+        rel, line, col = (const.rel, const.line, const.col) \
+            if const is not None and const.resolved else anchor
+        report.items.append(BudgetItem(
+            structure, UNLIMITED_BYTES if nbytes == math.inf
+            else int(nbytes), STRUCTURE_BUDGETS[structure],
+            rel, line, col))
+
+    got = resolved("seqtable_entries")
+    if got is not None:
+        (n,) = got
+        item("seqtable", math.inf if n is None else n * 1 // 8,
+             "seqtable_entries")
+
+    got = resolved("distable_entries", "distable_tag_bits", "offset_bits")
+    if got is not None:
+        n, tag, off = got
+        tag_bits = FULL_TAG_BITS if tag is None else tag
+        item("distable",
+             math.inf if n is None else n * (tag_bits + off) // 8,
+             "distable_entries")
+
+    got = resolved("btb_buffer_entries", "btb_entry_bits")
+    if got is not None:
+        n, bits = got
+        item("btb_prefetch_buffer", n * bits // 8, "btb_buffer_entries")
+
+    got = resolved("l1i_size", "block_size")
+    if got is not None:
+        size, block = got
+        item("l1i_status", size // block * L1I_STATUS_BITS // 8,
+             "l1i_size")
+
+    got = resolved("queue_entries", "rlu_entries")
+    if got is not None:
+        queues, rlu = got
+        item("queues_rlu",
+             (3 * queues * QUEUE_SLOT_BITS + rlu * RLU_TAG_BITS) // 8,
+             "queue_entries")
+
+    return report
+
+
+@register
+class StructureBudgetRule(Rule):
+    id = "BUD001"
+    name = "structure-over-budget"
+    summary = ("a prefetcher structure's statically computed bytes "
+               "exceed its declared per-structure budget (Table II "
+               "line item)")
+    scope = "project"
+    facts = ("budget",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        report = compute_budget(project)
+        if report is None:
+            return
+        for it in report.items:
+            if it.over:
+                shown = "unlimited" if it.bytes >= UNLIMITED_BYTES \
+                    else f"{it.bytes} B"
+                yield Finding(
+                    self.id, it.rel, it.line, it.col,
+                    f"{it.structure} computes to {shown}, over its "
+                    f"declared budget of {it.limit} B; shrink the "
+                    f"geometry or revise docs + STRUCTURE_BUDGETS "
+                    f"together")
+
+
+@register
+class TotalBudgetRule(Rule):
+    id = "BUD002"
+    name = "total-over-paper-claim"
+    summary = ("the statically computed SN4L+Dis+BTB storage total "
+               "exceeds the paper's 7.6 KB claim (Table II)")
+    scope = "project"
+    facts = ("budget",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        report = compute_budget(project)
+        if report is None or not report.items:
+            return
+        if report.total_bytes > PAPER_TOTAL_BYTES:
+            rel, line, col = report.anchor
+            shown = "unlimited" if report.total_bytes >= UNLIMITED_BYTES \
+                else f"{report.total_bytes} B ({report.total_kb:.2f} KB)"
+            yield Finding(
+                self.id, rel, line, col,
+                f"SN4L+Dis+BTB storage computes to {shown}, over the "
+                f"paper's claim of {PAPER_TOTAL_BYTES} B (7.6 KB); the "
+                f"storage argument of the paper no longer holds")
+
+
+@register
+class UnresolvedConstantRule(Rule):
+    id = "BUD003"
+    name = "unresolved-geometry-constant"
+    summary = ("a table-geometry constant could not be statically "
+               "folded, so the storage budget cannot be proven at lint "
+               "time")
+    scope = "project"
+    facts = ("budget",)
+    level = "warning"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        report = compute_budget(project)
+        if report is None:
+            return
+        seen = set()
+        for const in report.unresolved:
+            if const.name in seen:
+                continue
+            seen.add(const.name)
+            yield Finding(
+                self.id, const.rel, const.line, const.col,
+                f"geometry constant {const.name!r} is not a foldable "
+                f"numeric literal; the budget rule cannot verify the "
+                f"storage claim")

@@ -1,0 +1,214 @@
+"""Determinism rules (DET001-DET003).
+
+The repository's whole verification story — behaviour digests asserted
+identical across bench repetitions, traces reconciling bit-for-bit with
+counters, results memoised by content fingerprint — rests on simulations
+being pure functions of their inputs.  These rules reject the three ways
+nondeterminism has historically crept into simulators:
+
+* **DET001** wall-clock reads (``time.time``, ``datetime.now``, ...) in
+  simulation code.  Timing *measurement* lives in ``repro.obs`` and
+  ``repro.experiments`` (profiler spans, bench harness, manifests),
+  which are exempt;
+* **DET002** unseeded or global-state RNG anywhere: the global
+  ``random`` module, ``numpy.random.<fn>`` module-level functions, and
+  seedable constructors (``default_rng()``, ``Random()``) called
+  without a seed;
+* **DET003** iteration over sets, whose order varies with the hash
+  seed and so must never reach counters, queues or event emission.
+  Wrapping the set in ``sorted(...)`` canonicalises the order and is
+  the sanctioned fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Dict, Iterable, Iterator, Set
+
+from ..astutil import resolve_dotted
+from ..framework import FileContext, Finding, Rule, register
+
+#: Wall-clock / monotonic-clock reads banned from simulation code.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Seedable constructors: fine with a seed argument, flagged without.
+SEEDABLE_CALLS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "random.Random",
+})
+
+#: Ambient-entropy reads that can never be seeded.
+ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid4", "uuid.uuid1",
+    "random.SystemRandom",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice",
+})
+
+#: Path segments whose files legitimately read clocks (measurement,
+#: manifests, benchmark harness) — exempt from DET001 only.
+CLOCK_EXEMPT_SEGMENTS = frozenset({"obs", "experiments", "benchmarks"})
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "wall-clock-read"
+    summary = ("wall/monotonic clock read in simulation code; cycle time "
+               "comes from the engine, measurement belongs in repro.obs")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        parts = set(PurePath(ctx.rel).parts)
+        if parts & CLOCK_EXEMPT_SEGMENTS:
+            return
+        imports = ctx.imports
+        for call in _calls(ctx.tree):
+            resolved = resolve_dotted(call.func, imports)
+            if resolved in WALL_CLOCK_CALLS:
+                yield Finding(
+                    self.id, ctx.rel, call.lineno, call.col_offset + 1,
+                    f"call to {resolved}() is nondeterministic across "
+                    f"runs; derive time from simulator cycles or move "
+                    f"measurement into repro.obs")
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "DET002"
+    name = "unseeded-rng"
+    summary = ("global or unseeded random number generation; every RNG "
+               "must be a seeded generator derived from the workload seed")
+
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        imports = ctx.imports
+        for call in _calls(ctx.tree):
+            resolved = resolve_dotted(call.func, imports)
+            if resolved is None:
+                continue
+            if resolved in SEEDABLE_CALLS:
+                if not call.args and not call.keywords:
+                    yield Finding(
+                        self.id, ctx.rel, call.lineno, call.col_offset + 1,
+                        f"{resolved}() without a seed draws OS entropy; "
+                        f"pass a seed derived from the workload profile")
+            elif resolved in ENTROPY_CALLS:
+                yield Finding(
+                    self.id, ctx.rel, call.lineno, call.col_offset + 1,
+                    f"{resolved}() reads ambient entropy and cannot be "
+                    f"seeded; use a seeded numpy Generator")
+            elif resolved.startswith("numpy.random.") or \
+                    resolved.startswith("random."):
+                yield Finding(
+                    self.id, ctx.rel, call.lineno, call.col_offset + 1,
+                    f"{resolved}() uses hidden global RNG state; use a "
+                    f"seeded numpy Generator passed in explicitly")
+
+
+def _is_setish(node: ast.AST, setish_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in setish_names:
+        return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                 ast.BitXor, ast.Sub)):
+        return _is_setish(node.left, setish_names) or \
+            _is_setish(node.right, setish_names)
+    return False
+
+
+class _SetIterVisitor(ast.NodeVisitor):
+    """Track names bound to set expressions per function scope and
+    collect iteration sites whose iterable is set-valued."""
+
+    def __init__(self) -> None:
+        self.sites = []               # (node, description)
+        self._setish: Set[str] = set()
+
+    def _enter_scope(self, node) -> None:
+        saved = self._setish
+        self._setish = set()
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._setish = saved
+
+    def visit_FunctionDef(self, node) -> None:
+        self._enter_scope(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        setish = _is_setish(node.value, self._setish)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if setish:
+                    self._setish.add(target.id)
+                else:
+                    self._setish.discard(target.id)
+        self.generic_visit(node)
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if _is_setish(iter_node, self._setish):
+            self.sites.append(iter_node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Iterating a set to build another set is order-insensitive:
+        # the result is again unordered, so no order can leak.
+        self.generic_visit(node)
+
+
+@register
+class SetIterationRule(Rule):
+    id = "DET003"
+    name = "set-iteration"
+    summary = ("iteration over a set: order follows the hash seed and "
+               "must never reach counters or event emission; wrap the "
+               "set in sorted(...)")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        visitor = _SetIterVisitor()
+        visitor.visit(ctx.tree)
+        for site in visitor.sites:
+            yield Finding(
+                self.id, ctx.rel, site.lineno, site.col_offset + 1,
+                "iteration over a set is hash-seed ordered; wrap it in "
+                "sorted(...) so the order is deterministic")

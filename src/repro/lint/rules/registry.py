@@ -1,0 +1,282 @@
+"""Scheme-registry consistency rules (REG001-REG003).
+
+``repro.experiments.runner.SCHEMES`` is the single map from a scheme
+name (every ``--scheme`` choice, every bench cell, every figure driver)
+to a factory building ``(prefetcher, config overrides)``.  A broken
+entry — a renamed class, a constructor argument that no longer exists,
+an override key ``FrontendConfig`` dropped — only surfaces today when
+that scheme is first simulated.  These rules verify the whole registry
+statically:
+
+* **REG001** the factory's callee must resolve (by importing the
+  defining module, or statically for non-importable fixtures) and the
+  call must bind against its constructor signature;
+* **REG002** every override key must be a ``FrontendConfig`` field;
+* **REG003** every entry must have the canonical shape — a lambda
+  returning a 2-tuple of ``None``-or-call and a dict literal — so the
+  other two rules (and human readers) can analyse it.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from pathlib import PurePath
+from typing import Iterable, List, Optional, Set, Tuple, Union
+
+from ..astutil import dotted_name, find_class, static_bind
+from ..framework import (
+    Facts,
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    fact_extractor,
+    register,
+)
+
+
+@fact_extractor("scheme_registry")
+def registry_facts(ctx: FileContext) -> Optional[Facts]:
+    """Flag files holding a ``SCHEMES`` dict or a ``FrontendConfig``."""
+    if ctx.tree is None:
+        return None
+    facts: Facts = {}
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SCHEMES" and \
+                        isinstance(node.value, ast.Dict):
+                    facts["has_schemes"] = True
+        elif isinstance(node, ast.ClassDef) and \
+                node.name == "FrontendConfig":
+            facts["has_config"] = True
+    return facts or None
+
+
+def module_name_for(rel: str) -> Optional[str]:
+    """Importable dotted module name for a repo-relative path, if the
+    path lies inside the ``repro`` package."""
+    parts = list(PurePath(rel).parts)
+    if "repro" not in parts:
+        return None
+    parts = parts[parts.index("repro"):]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _config_fields(project: Project) -> Set[str]:
+    """FrontendConfig field names, from the linted set when it declares
+    the class, else from the installed dataclass."""
+    fields: Set[str] = set()
+    for rel, facts in project.facts_for("scheme_registry").items():
+        if not facts.get("has_config"):
+            continue
+        tree = project.context(rel).tree
+        cls = find_class(tree, "FrontendConfig") if tree is not None else None
+        if cls is None:
+            continue
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                fields.add(node.target.id)
+    if fields:
+        return fields
+    try:
+        import dataclasses
+
+        from ...frontend.config import FrontendConfig
+        return {f.name for f in dataclasses.fields(FrontendConfig)}
+    except Exception:  # pragma: no cover - installed tree always imports
+        return set()
+
+
+def _runtime_resolve(module, local_dotted: str):
+    """Resolve ``a.b.c`` against an imported module's namespace."""
+    obj = module
+    for part in local_dotted.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _check_call(call: ast.Call, ctx: FileContext, module,
+                ) -> Optional[str]:
+    """Error description for a factory call, or None when it binds."""
+    callee = dotted_name(call.func)
+    if callee is None:
+        return "factory callee is not a plain name"
+    if module is not None:
+        try:
+            obj = _runtime_resolve(module, callee)
+        except AttributeError:
+            return (f"factory callee {callee!r} is not importable from "
+                    f"{module.__name__}")
+        if not callable(obj):
+            return f"factory callee {callee!r} is not callable"
+        if any(isinstance(a, ast.Starred) for a in call.args) or \
+                any(k.arg is None for k in call.keywords):
+            return None
+        try:
+            inspect.signature(obj).bind(
+                *[None] * len(call.args),
+                **{k.arg: None for k in call.keywords if k.arg})
+        except TypeError as exc:
+            return f"constructor signature mismatch for {callee}: {exc}"
+        except ValueError:  # pragma: no cover - C callables without sigs
+            return None
+        return None
+    # Static fallback (fixtures, trees that do not import).
+    head = callee.split(".")[0]
+    tree = ctx.tree
+    defn: Optional[Union[ast.ClassDef, ast.FunctionDef]] = None
+    for node in tree.body:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef)) and \
+                node.name == head:
+            defn = node
+            break
+    if defn is None:
+        if head in ctx.imports:
+            return None  # imported from elsewhere: not statically checkable
+        return f"factory callee {callee!r} is not defined or imported"
+    if "." in callee:
+        return None  # attribute access on a local class: give up statically
+    return static_bind(defn, call)
+
+
+@register
+class SchemeFactoryRule(Rule):
+    id = "REG001"
+    name = "scheme-factory"
+    summary = ("a SCHEMES entry whose factory callee does not resolve to "
+               "an importable callable or whose constructor call does "
+               "not bind")
+    scope = "project"
+    facts = ("scheme_registry",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        yield from _check_registry(project, want=self.id)
+
+
+@register
+class SchemeOverrideRule(Rule):
+    id = "REG002"
+    name = "scheme-override-key"
+    summary = ("a SCHEMES override key that is not a FrontendConfig "
+               "field; FrontendConfig(**overrides) would raise at run "
+               "time")
+    scope = "project"
+    facts = ("scheme_registry",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        yield from _check_registry(project, want=self.id)
+
+
+@register
+class SchemeShapeRule(Rule):
+    id = "REG003"
+    name = "scheme-entry-shape"
+    summary = ("a SCHEMES entry that is not a lambda returning "
+               "(prefetcher-or-None, overrides-dict); opaque entries "
+               "cannot be statically verified")
+    scope = "project"
+    facts = ("scheme_registry",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        yield from _check_registry(project, want=self.id)
+
+
+def _check_registry(project: Project, want: str) -> Iterable[Finding]:
+    """Shared walk over every SCHEMES dict; yields only ``want``-rule
+    findings so the three rules stay independently selectable."""
+    facts = project.facts_for("scheme_registry")
+    schemes_files = sorted(r for r, f in facts.items()
+                           if f.get("has_schemes"))
+    if not schemes_files:
+        return
+    config_fields = _config_fields(project)
+    for rel in schemes_files:
+        ctx = project.context(rel)
+        tree = ctx.tree
+        if tree is None:
+            continue
+        module = None
+        mod_name = module_name_for(rel)
+        if mod_name is not None:
+            try:
+                module = importlib.import_module(mod_name)
+            except ImportError:
+                module = None
+        for key, value in _schemes_entries(tree):
+            name = key.value if isinstance(key, ast.Constant) else "?"
+            for finding in _check_entry(name, value, ctx, module,
+                                        config_fields, rel):
+                if finding.rule == want:
+                    yield finding
+
+
+def _schemes_entries(tree: ast.Module
+                     ) -> List[Tuple[ast.AST, ast.AST]]:
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SCHEMES" and \
+                        isinstance(node.value, ast.Dict):
+                    return list(zip(node.value.keys, node.value.values))
+    return []
+
+
+def _check_entry(name: str, value: ast.AST, ctx: FileContext, module,
+                 config_fields: Set[str], rel: str) -> Iterable[Finding]:
+    line, col = value.lineno, value.col_offset + 1
+    if not isinstance(value, ast.Lambda) or \
+            not isinstance(value.body, ast.Tuple) or \
+            len(value.body.elts) != 2:
+        yield Finding(
+            "REG003", rel, line, col,
+            f"scheme {name!r}: entry must be a lambda returning "
+            f"(prefetcher-or-None, overrides-dict)")
+        return
+    factory, overrides = value.body.elts
+
+    if isinstance(factory, ast.Call):
+        error = _check_call(factory, ctx, module)
+        if error is not None:
+            yield Finding("REG001", rel, factory.lineno,
+                          factory.col_offset + 1,
+                          f"scheme {name!r}: {error}")
+    elif not (isinstance(factory, ast.Constant) and factory.value is None):
+        yield Finding(
+            "REG003", rel, factory.lineno, factory.col_offset + 1,
+            f"scheme {name!r}: first element must be None or a "
+            f"constructor call")
+
+    if not isinstance(overrides, ast.Dict):
+        yield Finding(
+            "REG003", rel, overrides.lineno, overrides.col_offset + 1,
+            f"scheme {name!r}: second element must be a dict literal of "
+            f"FrontendConfig overrides")
+        return
+    for key in overrides.keys:
+        if key is None:
+            continue  # **expansion: not statically checkable
+        if not (isinstance(key, ast.Constant) and
+                isinstance(key.value, str)):
+            yield Finding(
+                "REG003", rel, key.lineno, key.col_offset + 1,
+                f"scheme {name!r}: override keys must be string literals")
+            continue
+        if config_fields and key.value not in config_fields:
+            yield Finding(
+                "REG002", rel, key.lineno, key.col_offset + 1,
+                f"scheme {name!r}: override key {key.value!r} is not a "
+                f"FrontendConfig field")

@@ -1,0 +1,202 @@
+"""Telemetry rules (TEL001-TEL002).
+
+The telemetry bus (:class:`repro.frontend.eventlog.EventLog`) validates
+event kinds at *runtime*: an unregistered kind raises under
+``__debug__`` and falls into the ``"unknown"`` bucket otherwise — but
+only once a simulation actually reaches the emit site.  These rules
+move both directions of that contract to lint time:
+
+* **TEL001** every string literal passed as the ``kind`` of an
+  ``emit(...)`` call must be declared in the registry (``KINDS``, the
+  ``UNKNOWN`` bucket, ``register_kind(...)`` literals or
+  ``extra_kinds=(...)`` literals);
+* **TEL002** every registered kind must have at least one static emit
+  site — a kind nothing can emit is dead weight in the registry and,
+  worse, suggests an event stream silently lost in a refactor.
+
+The registry and the emit sites are both collected from the linted file
+set (one extractor pass shared by the two rules), so the rules work on
+fixtures as well as on the real tree; when the linted set declares no
+registry at all, the installed ``repro`` registry is used for TEL001
+and TEL002 is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..astutil import class_constant, dotted_name, string_tuple
+from ..framework import (
+    Facts,
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    fact_extractor,
+    register,
+)
+
+#: Kinds in EventLog.emit's positional signature: (cycle, kind, addr).
+_KIND_ARG_INDEX = 1
+
+
+def _emit_kind_literal(call: ast.Call) -> Optional[Tuple[str, int, int]]:
+    """The (kind, line, col) of an emit call with a literal kind."""
+    node: Optional[ast.AST] = None
+    if len(call.args) > _KIND_ARG_INDEX:
+        node = call.args[_KIND_ARG_INDEX]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "kind":
+                node = kw.value
+                break
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, node.lineno, node.col_offset + 1
+    return None
+
+
+@fact_extractor("telemetry")
+def telemetry_facts(ctx: FileContext) -> Optional[Facts]:
+    """Emit-site literals and registry declarations of one file."""
+    if ctx.tree is None:
+        return None
+    emits: List[Tuple[str, int, int]] = []
+    kinds_decl: List[Tuple[str, int, int]] = []
+    registered: List[Tuple[str, int, int]] = []
+    unknown: List[str] = []
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "emit":
+                literal = _emit_kind_literal(node)
+                if literal is not None:
+                    emits.append(literal)
+            elif tail == "register_kind" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and \
+                        isinstance(arg.value, str):
+                    registered.append((arg.value, arg.lineno,
+                                       arg.col_offset + 1))
+            for kw in node.keywords:
+                if kw.arg == "extra_kinds":
+                    extra = string_tuple(kw.value)
+                    for kind in extra or ():
+                        registered.append((kind, kw.value.lineno,
+                                           kw.value.col_offset + 1))
+        elif isinstance(node, ast.ClassDef):
+            decl = class_constant(node, "KINDS")
+            if decl is not None:
+                kinds = string_tuple(decl)
+                if kinds is not None:
+                    kinds_decl.extend(
+                        (k, decl.lineno, decl.col_offset + 1)
+                        for k in kinds)
+            bucket = class_constant(node, "UNKNOWN")
+            if isinstance(bucket, ast.Constant) and \
+                    isinstance(bucket.value, str):
+                unknown.append(bucket.value)
+
+    if not (emits or kinds_decl or registered or unknown):
+        return None
+    return {"emits": emits, "kinds": kinds_decl,
+            "registered": registered, "unknown": unknown}
+
+
+def _installed_registry() -> Set[str]:
+    """Registry parsed from the installed eventlog module's source."""
+    path = Path(__file__).resolve().parents[2] / "frontend" / "eventlog.py"
+    try:
+        ctx = FileContext(path, path.name)
+        facts = telemetry_facts(ctx) or {}
+    except (OSError, SyntaxError):
+        return set()
+    return ({k for k, _, _ in facts.get("kinds", ())}
+            | {k for k, _, _ in facts.get("registered", ())}
+            | set(facts.get("unknown", ())))
+
+
+def _registry_of(project: Project) -> Tuple[Set[str], bool]:
+    """(registered kinds, declared-in-linted-set?) for the project."""
+    kinds: Set[str] = set()
+    declared = False
+    for facts in project.facts_for("telemetry").values():
+        if facts.get("kinds"):
+            declared = True
+        kinds.update(k for k, _, _ in facts.get("kinds", ()))
+        kinds.update(k for k, _, _ in facts.get("registered", ()))
+        kinds.update(facts.get("unknown", ()))
+    if declared:
+        return kinds, True
+    # No ``KINDS`` declaration in the linted set (e.g. linting tests or
+    # a single module): whatever register_kind/extra_kinds literals it
+    # contains extend the installed registry instead of replacing it.
+    return kinds | _installed_registry(), False
+
+
+@register
+class UnregisteredKindRule(Rule):
+    id = "TEL001"
+    name = "unregistered-event-kind"
+    summary = ("emit(...) with a kind literal not declared in the "
+               "telemetry registry; it would raise under __debug__ and "
+               "fork into the 'unknown' bucket otherwise")
+    scope = "project"
+    facts = ("telemetry",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry, _ = _registry_of(project)
+        if not registry:
+            return
+        for rel in sorted(project.facts_for("telemetry")):
+            facts = project.facts_for("telemetry")[rel]
+            for kind, line, col in facts.get("emits", ()):
+                if kind not in registry:
+                    yield Finding(
+                        self.id, rel, line, col,
+                        f"event kind {kind!r} is not in the telemetry "
+                        f"registry; declare it in EventLog.KINDS, "
+                        f"register_kind(...) or extra_kinds=")
+
+
+@register
+class DeadKindRule(Rule):
+    id = "TEL002"
+    name = "dead-event-kind"
+    summary = ("a registered telemetry kind with no static emit site; "
+               "dead registry entries hide lost event streams")
+    scope = "project"
+    facts = ("telemetry",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry_facts = project.facts_for("telemetry")
+        emitted: Set[str] = set()
+        unknown: Set[str] = set()
+        declarations: Dict[str, Tuple[str, int, int]] = {}
+        declared = False
+        for rel in sorted(registry_facts):
+            facts = registry_facts[rel]
+            emitted.update(k for k, _, _ in facts.get("emits", ()))
+            unknown.update(facts.get("unknown", ()))
+            if facts.get("kinds"):
+                declared = True
+            for kind, line, col in list(facts.get("kinds", ())) + \
+                    list(facts.get("registered", ())):
+                declarations.setdefault(kind, (rel, line, col))
+        if not declared:
+            return  # no registry in the linted set: nothing to check
+        for kind in sorted(declarations):
+            if kind in unknown:
+                continue  # the fallback bucket is emitted only at runtime
+            if kind not in emitted:
+                rel, line, col = declarations[kind]
+                yield Finding(
+                    self.id, rel, line, col,
+                    f"registered event kind {kind!r} has no static emit "
+                    f"site; remove it from the registry or restore the "
+                    f"emitter")

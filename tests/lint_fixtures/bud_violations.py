@@ -1,0 +1,29 @@
+"""Storage-budget fixture: an oversized DisTable and one unfoldable
+geometry constant, with every other Table II line kept at the paper's
+values."""
+
+FIXED_OFFSET_BITS = 4
+
+
+class FrontendConfig:
+    l1i_size: int = 32 * 1024
+    block_size: int = 64
+
+
+class BtbPrefetchBuffer:
+    ENTRY_BITS = 200
+
+
+def entries_from_env():
+    return 32
+
+
+class ProactivePrefetcher:
+    def __init__(self,
+                 seqtable_entries=16 * 1024,
+                 distable_entries=64 * 1024,   # BUD001: 64 KB of tags
+                 distable_tag_bits=4,
+                 rlu_entries=8,
+                 queue_entries=16,
+                 btb_buffer_entries=entries_from_env()):  # BUD003
+        pass

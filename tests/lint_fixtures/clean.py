@@ -1,0 +1,15 @@
+"""A fixture every rule passes: seeded RNG, ordered iteration."""
+
+import numpy as np
+
+
+def histogram(addresses):
+    counts = {}
+    for addr in sorted(set(addresses)):
+        counts[addr] = counts.get(addr, 0) + 1
+    return counts
+
+
+def jitter(seed, n):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 4, size=n)

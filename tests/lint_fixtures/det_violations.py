@@ -1,0 +1,48 @@
+"""Deliberate determinism violations for the DET rule tests.
+
+This directory is excluded from lint discovery (see
+``repro.lint.framework.EXCLUDED_DIRS``); the fixtures are linted only
+when a test names them explicitly.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock_reads():
+    start = time.time()          # DET001 (line 16)
+    stamp = datetime.now()       # DET001 (line 17)
+    return start, stamp
+
+
+def unseeded_rng():
+    a = random.random()                # DET002 (line 22): global stream
+    rng = np.random.default_rng()      # DET002 (line 23): no seed
+    return a, rng
+
+
+def seeded_rng_is_fine(seed):
+    rng = np.random.default_rng(seed)
+    return rng
+
+
+def set_order_leaks(counters):
+    lines = {0x40, 0x80, 0xC0}
+    for line in lines:                 # DET003 (line 34)
+        counters[line] = counters.get(line, 0) + 1
+    return [hex(line) for line in lines]   # DET003 (line 36)
+
+
+def sorted_set_is_fine(counters):
+    for line in sorted({0x40, 0x80}):
+        counters[line] = 0
+
+
+def suppressed_leak(extra):
+    out = []
+    for line in extra | {0}:  # repro: noqa[DET003] -- fixture: suppression
+        out.append(line)
+    return out

@@ -1,0 +1,19 @@
+"""Scheme-registry fixture: shape, factory and override-key breakage."""
+
+
+class FrontendConfig:
+    l1i_size: int = 32 * 1024
+    block_size: int = 64
+
+
+class LocalPrefetcher:
+    def __init__(self, entries=16):
+        self.entries = entries
+
+
+SCHEMES = {
+    "good": lambda: (LocalPrefetcher(entries=32), {"block_size": 32}),
+    "bad_shape": "not even a lambda",                    # REG003 (line 16)
+    "bad_factory": lambda: (LocalPrefetcher(nope=1), {}),  # REG001
+    "bad_override": lambda: (None, {"not_a_field": 1}),    # REG002
+}

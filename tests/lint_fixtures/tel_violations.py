@@ -1,0 +1,15 @@
+"""Telemetry-registry fixture: one typo'd emit, one dead kind."""
+
+
+class EventLog:
+    KINDS = ("demand_hit", "demand_miss", "ghost_kind")  # TEL002: ghost
+    UNKNOWN = "unknown"
+
+    def emit(self, cycle, kind, addr, source=None):
+        pass
+
+
+def run(log):
+    log.emit(1, "demand_hit", 0x40)
+    log.emit(2, "demand_misss", 0x80)   # TEL001 (line 14): typo'd kind
+    log.emit(3, "demand_miss", 0xC0)

@@ -59,13 +59,17 @@ class TestKindValidation:
         log = EventLog(8)       # strict defaults to __debug__ (True here)
         assert log.strict
         with pytest.raises(ValueError, match="unregistered event kind"):
-            log.emit(1, "demand_mis", 0x1000)   # the original typo bug
+            log.emit(  # the original typo bug
+                1, "demand_mis", 0x1000)  # repro: noqa[TEL001] -- the
+            #                                typo'd kind is the point
         assert len(log) == 0
         assert "demand_mis" not in log.counts
 
     def test_nonstrict_counts_under_unknown(self):
         log = EventLog(8, strict=False)
-        log.emit(1, "demand_mis", 0x1000, "ctx")
+        log.emit(
+            1, "demand_mis", 0x1000, "ctx")  # repro: noqa[TEL001] -- the
+        #                                        typo'd kind is the point
         assert log.counts[EventLog.UNKNOWN] == 1
         assert "demand_mis" not in log.counts
         event = log.last(1)[0]

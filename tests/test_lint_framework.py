@@ -1,0 +1,226 @@
+"""Framework-level tests: suppressions, reporters, selection, CLI."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import cli
+from repro.experiments.parallel import parse_count
+from repro.lint import (
+    Finding,
+    LintUsageError,
+    lint_paths,
+    parse_suppressions,
+    render_json,
+    render_sarif,
+    resolve_rules,
+)
+from repro.lint.reporters import SARIF_SCHEMA
+
+FIXTURES = "tests/lint_fixtures"
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        sup = parse_suppressions("x = 1  # repro: noqa[DET001]\n")
+        assert sup[1].rules == ("DET001",)
+        assert sup[1].justification == ""
+
+    def test_multiple_rules_and_justification(self):
+        src = "emit()  # repro: noqa[TEL001, DET003] -- fixture typo\n"
+        sup = parse_suppressions(src)
+        assert sup[1].rules == ("DET003", "TEL001")
+        assert sup[1].justification == "fixture typo"
+
+    def test_colon_separator(self):
+        sup = parse_suppressions("y = 2  # repro: noqa[BUD001]: sweeps\n")
+        assert sup[1].justification == "sweeps"
+
+    def test_docstring_example_is_not_a_suppression(self):
+        src = '"""Usage::\n\n    x  # repro: noqa[DET001] -- why\n"""\n'
+        assert parse_suppressions(src) == {}
+
+    def test_unparsable_source_falls_back_to_line_scan(self):
+        src = "def broken(:\n    pass  # repro: noqa[DET001]\n"
+        sup = parse_suppressions(src)
+        assert sup[2].rules == ("DET001",)
+
+    def test_plain_noqa_comment_is_ignored(self):
+        assert parse_suppressions("x = 1  # noqa: E501\n") == {}
+
+
+class TestFindingRoundTrip:
+    def test_dict_round_trip(self):
+        finding = Finding("DET001", "a/b.py", 3, 7, "msg",
+                          suppressed=True, justification="why")
+        clone = Finding.from_dict(finding.as_dict())
+        assert clone == finding
+
+    def test_json_report_round_trip(self):
+        result = lint_paths([f"{FIXTURES}/det_violations.py"])
+        doc = json.loads(render_json(result))
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["files"] == 1
+        restored = [Finding.from_dict(d) for d in doc["findings"]]
+        assert restored == result.findings
+        assert doc["counts"] == result.counts()
+
+    def test_sarif_essentials(self):
+        result = lint_paths([f"{FIXTURES}/det_violations.py"])
+        doc = json.loads(render_sarif(result))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET001", "TEL001", "BUD002"} <= rule_ids
+        first = run["results"][0]
+        assert first["ruleId"] == result.findings[0].rule
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == result.findings[0].line
+        assert region["startColumn"] == result.findings[0].col
+
+    def test_sarif_suppressed_findings_are_omitted(self):
+        result = lint_paths([f"{FIXTURES}/det_violations.py"])
+        assert result.suppressed
+        doc = json.loads(render_sarif(result))
+        lines = {r["locations"][0]["physicalLocation"]["region"]["startLine"]
+                 for r in doc["runs"][0]["results"]}
+        assert result.suppressed[0].line not in lines
+
+
+class TestRuleSelection:
+    def test_select_exact_id(self):
+        assert [r.id for r in resolve_rules(select=["DET001"])] == ["DET001"]
+
+    def test_select_pack_prefix(self):
+        ids = [r.id for r in resolve_rules(select=["DET"])]
+        assert ids == ["DET001", "DET002", "DET003"]
+
+    def test_ignore_wins_over_select(self):
+        ids = [r.id for r in resolve_rules(select=["DET"],
+                                           ignore=["DET002"])]
+        assert ids == ["DET001", "DET003"]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(LintUsageError, match="unknown rule id 'NOPE'"):
+            resolve_rules(select=["NOPE"])
+
+    def test_select_filters_findings(self):
+        result = lint_paths([f"{FIXTURES}/det_violations.py"],
+                            select=["DET001"])
+        assert {f.rule for f in result.findings} == {"DET001"}
+
+
+class TestStaleSuppressionAndSyntax:
+    def test_unused_suppression_is_lnt001(self, tmp_path):
+        f = tmp_path / "stale.py"
+        f.write_text("x = 1  # repro: noqa[DET001] -- nothing here\n")
+        result = lint_paths([f])
+        assert [(fd.rule, fd.line) for fd in result.findings] == \
+            [("LNT001", 1)]
+
+    def test_partially_used_suppression_reports_unused_rules(self, tmp_path):
+        f = tmp_path / "partial.py"
+        f.write_text("import time\n\n\n"
+                     "def f():\n"
+                     "    return time.time()  "
+                     "# repro: noqa[DET001,TEL001] -- timing\n")
+        result = lint_paths([f])
+        assert [(fd.rule, fd.line) for fd in result.findings] == \
+            [("LNT001", 5)]
+        assert "TEL001" in result.findings[0].message
+        assert [(fd.rule, fd.line) for fd in result.suppressed] == \
+            [("DET001", 5)]
+
+    def test_syntax_error_is_lnt002(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def broken(:\n")
+        result = lint_paths([f])
+        assert result.findings[0].rule == "LNT002"
+        assert result.findings[0].line == 1
+
+
+class TestParallelParity:
+    def test_jobs_do_not_change_the_result(self):
+        paths = [f"{FIXTURES}/det_violations.py",
+                 f"{FIXTURES}/tel_violations.py",
+                 f"{FIXTURES}/reg_violations.py",
+                 f"{FIXTURES}/bud_violations.py",
+                 f"{FIXTURES}/clean.py"]
+        serial = lint_paths(paths, jobs=1)
+        fanned = lint_paths(paths, jobs=2)
+        assert fanned.findings == serial.findings
+        assert fanned.suppressed == serial.suppressed
+        assert fanned.files == serial.files
+
+
+class TestSharedJobsNormalization:
+    """PR-1's REPRO_JOBS audit: env var and every --jobs flag share one
+    normalization path (`parse_count`) and warn identically."""
+
+    def test_parse_count_warns_once_and_returns_none(self):
+        with pytest.warns(RuntimeWarning,
+                          match=r"--jobs='bogus\.5' \(not an integer\)"):
+            assert parse_count("bogus.5", source="--jobs") is None
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")  # second time: deduplicated
+            assert parse_count("bogus.5", source="--jobs") is None
+        assert not record
+
+    def test_parse_count_floors(self):
+        assert parse_count("0", source="--jobs") == 1
+        assert parse_count(" 3 ", source="--jobs") == 3
+
+    def test_invalid_jobs_flag_degrades_to_serial(self, capsys):
+        try:
+            with pytest.warns(RuntimeWarning,
+                              match="--jobs='many!' \\(not an integer\\)"):
+                code = cli.main(["lint", f"{FIXTURES}/clean.py",
+                                 "--jobs", "many!"])
+        finally:
+            cli.set_default_jobs(None)
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestCliExitCodes:
+    def teardown_method(self):
+        cli.set_default_jobs(None)
+
+    def test_clean_file_exits_zero(self, capsys):
+        assert cli.main(["lint", f"{FIXTURES}/clean.py"]) == 0
+        assert "clean: 1 file(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert cli.main(["lint", f"{FIXTURES}/det_violations.py"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "DET003" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        assert cli.main(["lint", "--select", "NOPE"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self):
+        assert cli.main(["lint", "does/not/exist.py"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("DET001", "TEL002", "REG003", "BUD002", "LNT001"):
+            assert rid in out
+
+    def test_sarif_file_written(self, tmp_path, capsys):
+        sarif = tmp_path / "out.sarif"
+        assert cli.main(["lint", f"{FIXTURES}/clean.py",
+                         "--sarif", str(sarif)]) == 0
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+
+    def test_output_file_written(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert cli.main(["lint", f"{FIXTURES}/clean.py",
+                         "--format", "json", "--output", str(out)]) == 0
+        assert json.loads(out.read_text())["ok"] is True

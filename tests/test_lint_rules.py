@@ -1,0 +1,100 @@
+"""Rule-pack tests against the fixture corpus: exact ids and lines.
+
+Each fixture in ``tests/lint_fixtures/`` contains known violations; the
+directory is excluded from lint discovery so the self-hosting pass stays
+clean, and the fixtures are linted here by explicit path.
+"""
+
+from repro.lint import lint_paths
+from repro.lint.framework import EXCLUDED_DIRS
+
+FIXTURES = "tests/lint_fixtures"
+
+
+def findings_of(name, **kwargs):
+    result = lint_paths([f"{FIXTURES}/{name}"], **kwargs)
+    return result, [(f.rule, f.line) for f in result.findings]
+
+
+class TestDeterminismPack:
+    def test_exact_rule_ids_and_lines(self):
+        result, got = findings_of("det_violations.py")
+        assert got == [
+            ("DET001", 16),   # time.time()
+            ("DET001", 17),   # datetime.now()
+            ("DET002", 22),   # random.random()
+            ("DET002", 23),   # np.random.default_rng() without a seed
+            ("DET003", 34),   # for over a set literal binding
+            ("DET003", 36),   # set comprehension source
+        ]
+
+    def test_suppression_is_honoured_and_recorded(self):
+        result, _ = findings_of("det_violations.py")
+        assert [(f.rule, f.line) for f in result.suppressed] == \
+            [("DET003", 46)]
+        assert result.suppressed[0].justification == "fixture: suppression"
+
+
+class TestTelemetryPack:
+    def test_typo_and_dead_kind(self):
+        _, got = findings_of("tel_violations.py")
+        assert got == [
+            ("TEL002", 5),    # 'ghost_kind' declared, never emitted
+            ("TEL001", 14),   # 'demand_misss' emitted, never declared
+        ]
+
+    def test_messages_name_the_kind(self):
+        result, _ = findings_of("tel_violations.py")
+        by_rule = {f.rule: f.message for f in result.findings}
+        assert "'ghost_kind'" in by_rule["TEL002"]
+        assert "'demand_misss'" in by_rule["TEL001"]
+
+
+class TestRegistryPack:
+    def test_shape_factory_and_override(self):
+        _, got = findings_of("reg_violations.py")
+        assert got == [
+            ("REG003", 16),   # entry is a string, not a lambda
+            ("REG001", 17),   # unexpected constructor keyword
+            ("REG002", 18),   # override key not a FrontendConfig field
+        ]
+
+    def test_messages_name_the_scheme(self):
+        result, _ = findings_of("reg_violations.py")
+        by_rule = {f.rule: f.message for f in result.findings}
+        assert "'bad_shape'" in by_rule["REG003"]
+        assert "'nope'" in by_rule["REG001"]
+        assert "'not_a_field'" in by_rule["REG002"]
+
+
+class TestBudgetPack:
+    def test_structure_total_and_unresolved(self):
+        result, got = findings_of("bud_violations.py")
+        assert got == [
+            ("BUD002", 21),   # total over the paper claim, at the class
+            ("BUD001", 24),   # oversized DisTable, at its default
+            ("BUD003", 28),   # unfoldable btb_buffer_entries default
+        ]
+        by_rule = {f.rule: f.message for f in result.findings}
+        assert "65536 B" in by_rule["BUD001"]
+        assert "68202 B" in by_rule["BUD002"]
+        assert "7786 B" in by_rule["BUD002"]
+        assert "'btb_buffer_entries'" in by_rule["BUD003"]
+
+    def test_budget_pack_is_selectable(self):
+        _, got = findings_of("bud_violations.py", select=["BUD"])
+        assert [rule for rule, _ in got] == ["BUD002", "BUD001", "BUD003"]
+
+
+class TestCleanFixture:
+    def test_no_findings(self):
+        result, got = findings_of("clean.py")
+        assert got == []
+        assert result.ok
+
+
+class TestFixtureCorpusIsExcludedFromDiscovery:
+    def test_directory_walk_skips_lint_fixtures(self):
+        assert "lint_fixtures" in EXCLUDED_DIRS
+        result = lint_paths(["tests"])
+        assert not any("lint_fixtures" in f for f in result.files)

@@ -1,0 +1,91 @@
+"""Self-hosting gate: the whole tree lints clean, and the statically
+recomputed storage budget matches the paper's Table II claim."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import storage
+from repro.lint import lint_paths
+from repro.lint.framework import FACT_EXTRACTORS, FileContext, Project
+from repro.lint.rules.budget import (
+    PAPER_TOTAL_BYTES,
+    STRUCTURE_BUDGETS,
+    compute_budget,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_tree_has_zero_unsuppressed_findings():
+    result = lint_paths([REPO / "src" / "repro",
+                         REPO / "tests",
+                         REPO / "benchmarks"])
+    assert result.ok, "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in result.findings)
+    assert len(result.files) > 100
+
+
+def test_every_suppression_in_the_tree_carries_a_justification():
+    result = lint_paths([REPO / "src" / "repro", REPO / "tests"])
+    for finding in result.suppressed:
+        assert finding.justification, \
+            f"{finding.location}: suppressed {finding.rule} without a reason"
+
+
+def budget_project():
+    """A Project over exactly the files the budget rule reads."""
+    root = Path(repro.__file__).resolve().parents[1]
+    files = [root / "repro" / "core" / "proactive.py",
+             root / "repro" / "frontend" / "config.py",
+             root / "repro" / "btb" / "prefetch_buffer.py"]
+    pairs = [(f, f.relative_to(root).as_posix()) for f in files]
+    project = Project(root, pairs)
+    for rel in project.files():
+        facts = FACT_EXTRACTORS["budget"](project.context(rel))
+        if facts:
+            project.facts.setdefault("budget", {})[rel] = facts
+    return project
+
+
+class TestPaperStorageClaim:
+    def test_static_total_matches_table_ii(self):
+        report = compute_budget(budget_project())
+        assert report is not None
+        assert not report.unresolved
+        computed = {item.structure: item.bytes for item in report.items}
+        assert computed == {
+            "seqtable": 2048,             # 16 K x 1 bit
+            "distable": 4096,             # 4 K x 8 bits
+            "btb_prefetch_buffer": 800,   # 32 x 200 bits
+            "l1i_status": 320,            # 512 lines x 5 bits
+            "queues_rlu": 298,            # 3 x 16 x 43 + 8 x 40 bits
+        }
+        assert report.total_bytes == 7562
+        assert report.total_bytes <= PAPER_TOTAL_BYTES
+
+    def test_claim_constant_matches_the_storage_module(self):
+        # The lint rule and repro.analysis.storage must agree on the
+        # paper figure, or one of them drifted.
+        _, total = storage.sn4l_dis_btb_budget()
+        assert total == PAPER_TOTAL_BYTES
+        assert round(PAPER_TOTAL_BYTES / 1024, 1) == 7.6
+
+    def test_every_structure_within_its_line_item(self):
+        report = compute_budget(budget_project())
+        for item in report.items:
+            assert not item.over, (item.structure, item.bytes, item.limit)
+        assert set(STRUCTURE_BUDGETS) == \
+            {item.structure for item in report.items}
+
+
+def test_mypy_typed_islands():
+    """CI runs `python -m mypy` (pyproject [tool.mypy]); locally the
+    test is skipped unless mypy is installed."""
+    api = pytest.importorskip("mypy.api")
+    out, err, status = api.run(
+        ["--config-file", str(REPO / "pyproject.toml"),
+         str(REPO / "src" / "repro" / "lint"),
+         str(REPO / "src" / "repro" / "obs")])
+    assert status == 0, out + err

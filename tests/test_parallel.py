@@ -52,33 +52,33 @@ class TestResolveJobs:
 
     def test_bad_env_ignored(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "many")
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
             assert resolve_jobs() == 1
 
     def test_empty_env_is_serial_and_silent(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "")
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs() == 1
 
     def test_unset_env_is_serial_and_silent(self, monkeypatch):
         monkeypatch.delenv(parallel.ENV_JOBS, raising=False)
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs() == 1
 
     def test_garbage_env_warns_naming_value(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "lots!")
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with pytest.warns(RuntimeWarning, match="REPRO_JOBS='lots!'"):
             assert resolve_jobs() == 1
 
     def test_garbage_env_warns_once_per_value(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "nope")
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with pytest.warns(RuntimeWarning):
             resolve_jobs()
         with warnings.catch_warnings():
@@ -87,7 +87,7 @@ class TestResolveJobs:
 
     def test_negative_env_is_valid_and_floored(self, monkeypatch):
         monkeypatch.setenv(parallel.ENV_JOBS, "-3")
-        monkeypatch.setattr(parallel, "_warned_env_values", set())
+        monkeypatch.setattr(parallel, "_warned_values", set())
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs() == 1      # parses fine, floored to 1
