@@ -63,6 +63,30 @@ class BtbPrefetchBuffer:
             cset[line] = entry
         self.inserts += 1
 
+    def fill_prepared(self, line: int,
+                      prepared: Sequence[BufferedBranch]) -> None:
+        """Store pre-built :class:`BufferedBranch` objects (one access).
+
+        ``line`` is the block index (``block_addr // block_size``) and
+        ``prepared`` is already bounded to :attr:`BRANCHES_PER_ENTRY`.
+        The objects may be shared across fills — nothing in the frontend
+        mutates a BufferedBranch after construction (the BTB copies its
+        fields on promotion) — which lets prefetchers cache the prepared
+        entry per block instead of rebuilding it every pre-decode pass.
+        Semantically identical to :meth:`fill`.
+        """
+        cset = self._sets[line % self.n_sets]
+        existing = cset.get(line)
+        if existing is not None:
+            for branch in prepared:
+                existing[branch.pc] = branch
+            cset.move_to_end(line)
+        else:
+            if len(cset) >= self.assoc:
+                cset.popitem(last=False)
+            cset[line] = {branch.pc: branch for branch in prepared}
+        self.inserts += 1
+
     def lookup(self, pc: int) -> Optional[BufferedBranch]:
         """Probe for a branch at ``pc``; a hit promotes nothing by itself —
         the caller moves the entry into the BTB."""

@@ -21,6 +21,7 @@ from ..isa import (
     VL_BRANCH_MIN_SIZE,
     BranchKind,
     Instruction,
+    PredecodeCaches,
     Predecoder,
     TextSegment,
     block_base,
@@ -51,6 +52,10 @@ class Program:
         self.segment = segment
         self._spans: Dict[int, Tuple[LineSpan, ...]] = {}
         self._branch_offsets: Dict[int, Tuple[int, ...]] = {}
+        # One decode memo per program: every predecoder built from this
+        # Program shares it (the segment is immutable), so back-to-back
+        # simulations skip the cold re-decode of the whole text.
+        self._predecode_caches = PredecodeCaches()
         self._index_lines()
 
     @property
@@ -62,7 +67,8 @@ class Program:
         return self.segment.size
 
     def predecoder(self, **kwargs) -> Predecoder:
-        return Predecoder(self.segment, **kwargs)
+        return Predecoder(self.segment, caches=self._predecode_caches,
+                          **kwargs)
 
     def spans_of(self, bid: int) -> Tuple[LineSpan, ...]:
         """Cache-line spans of a basic block, in fetch order."""

@@ -142,6 +142,7 @@ def _cmd_run(args) -> int:
     print(f"  fscr       {st.fscr_over(base.stats):8.1%}")
     print(f"  accuracy   {st.prefetch_accuracy:8.1%}")
     print(f"  btb misses {st.btb_misses:8d}")
+    print(f"  engine     {st.extra.get('engine_path', 'generic'):>8s}")
     if counts is not None:
         from .obs import reconcile
         mismatches = reconcile(st, counts)
@@ -302,6 +303,7 @@ def _cmd_stats(args) -> int:
                 "n_records": args.records, "scale": args.scale,
                 "per_component": counters.as_dict(),
                 "aggregate": stats.summary(),
+                "engine_path": stats.extra.get("engine_path", "generic"),
             }
         elif args.workload or args.scheme:
             print("need both --workload and --scheme for a component "
@@ -357,7 +359,8 @@ def _cmd_stats(args) -> int:
               f"useful={stats.prefetches_useful} "
               f"useless={stats.prefetches_useless} "
               f"accuracy={stats.prefetch_accuracy:.1%} "
-              f"cmal={stats.cmal:.1%}")
+              f"cmal={stats.cmal:.1%} "
+              f"engine={stats.extra.get('engine_path', 'generic')}")
     elif args.workload or args.scheme:
         print("\nneed both --workload and --scheme for a component "
               "breakdown", file=sys.stderr)

@@ -75,7 +75,22 @@ class SeqTable:
         self._bits[idx] = 0
 
     def next4_status(self, addr: int) -> int:
-        """4-bit status of the four subsequent blocks (bit 0 = next block)."""
+        """4-bit status of the four subsequent blocks (bit 0 = next block).
+
+        One table read in hardware; modelled as a batched 4-bit probe.
+        The common limited, untracked configuration reads the bit array
+        directly (still counting four lookups); reference configurations
+        take the generic per-bit path so conflict telemetry stays exact.
+        """
+        n = self.n_entries
+        if n is not None and not self.track_conflicts:
+            self.lookups += 4
+            bits = self._bits
+            block = addr // self.block_size
+            return (bits[(block + 1) % n]
+                    | bits[(block + 2) % n] << 1
+                    | bits[(block + 3) % n] << 2
+                    | bits[(block + 4) % n] << 3)
         status = 0
         for i in range(1, 5):
             if self.get(addr + i * self.block_size):

@@ -22,13 +22,16 @@ stalls (Table I).
 
 from __future__ import annotations
 
+import gc
 import warnings
+from bisect import bisect_left
 from typing import Optional
 
 from ..btb import BtbPrefetchBuffer, ConventionalBtb, ReturnAddressStack
 from ..cfg import Program
 from ..isa import CACHE_BLOCK_SIZE, BranchKind, Predecoder, block_base
 from ..memory import (
+    CacheLine,
     DynamicallyVirtualizedLlc,
     LastLevelCache,
     LatencyModel,
@@ -36,6 +39,7 @@ from ..memory import (
     SetAssociativeCache,
 )
 from ..workloads import NO_ADDR, Trace
+from ..workloads.soa import engine_view
 from .branch_predictor import DirectionPredictor
 from .config import FrontendConfig
 from .eventlog import ScopedEmitter
@@ -111,6 +115,11 @@ class FrontendSimulator:
         #: True when an explicit ``run(fast=True)`` had to fall back to
         #: the generic loop (also surfaced in ``stats.extra``).
         self.fast_path_downgraded = False
+        self._downgrade_warned = False
+        #: Engine loop the last ``run()`` selected: ``"generic"``,
+        #: ``"vectorized"`` or ``"fast"`` (surfaced in ``stats.extra``).
+        self.engine_path = "generic"
+        self._vector_view = None
         self.prefetcher = prefetcher
         if prefetcher is not None:
             prefetcher.attach(self)
@@ -267,9 +276,18 @@ class FrontendSimulator:
     # demand path
 
     def _demand_access(self, record) -> str:
+        self.stats.demand_accesses += 1
+        self.stats.cache_lookups += 1
+        return self._demand_access_core(record)
+
+    def _demand_access_core(self, record) -> str:
+        """Demand access minus the two leading counter bumps.
+
+        The vectorized span loop performs those bumps itself so its
+        inlined trivial-hit leg and this delegated slow leg stay
+        counter-exact with the generic path.
+        """
         stats = self.stats
-        stats.demand_accesses += 1
-        stats.cache_lookups += 1
         line = record.line
 
         if self.config.perfect_l1i:
@@ -562,6 +580,7 @@ class FrontendSimulator:
                if self.datapath is not None
                else self.config.backend_cpi_extra)
         self.stats.backend_cycles += int(self.stats.instructions * cpi)
+        self.stats.extra["engine_path"] = self.engine_path
         if self.fast_path_downgraded:
             self.stats.extra["fast_path_downgraded"] = 1.0
         return self.stats
@@ -573,36 +592,63 @@ class FrontendSimulator:
         The first ``warmup`` records warm caches, BTB and predictor but
         are excluded from the returned statistics.
 
-        ``fast=None`` (the default) uses a batched fast path for the
-        hot no-prefetcher configuration; it is bit-identical to the
-        generic per-record loop, which ``fast=False`` forces (the
-        throughput microbenchmark uses that to measure the gap).
+        ``fast=None`` (the default) picks the best batched loop the
+        configuration is eligible for — the inlined no-prefetcher fast
+        path, or the vectorized region-stepping loop for prefetcher /
+        observer configurations — both bit-identical to the generic
+        per-record loop, which ``fast=False`` forces (the throughput
+        microbenchmark uses that to measure the gap).
         """
         records = getattr(self.trace, "records", None)
         if records is None:
             records = list(self.trace)
         n = len(records)
-        if fast is None:
-            use_fast = self._fast_path_eligible()
+        if fast is False:
+            path = "generic"
+        elif self._fast_path_eligible():
+            path = "fast"
+        elif self._vector_path_eligible():
+            path = "vectorized"
         else:
-            use_fast = fast and self._fast_path_eligible()
-            if fast and not use_fast:
+            path = "generic"
+            if fast:
                 # An explicit fast=True that cannot be honoured must not
-                # be mistaken for a fast-path measurement downstream.
+                # be mistaken for a batched-path measurement downstream.
                 self.fast_path_downgraded = True
-                warnings.warn(
-                    "fast=True requested but this configuration is not "
-                    "fast-path eligible (a prefetcher, event log, "
-                    "datapath, buffer or wrong-path depth is attached); "
-                    "running the generic per-record loop",
-                    RuntimeWarning, stacklevel=2)
-        span = self._run_span_fast if use_fast else self._run_span
-        if 0 < warmup < n:
-            span(records, 0, warmup)
-            self._reset_measurement()
-            span(records, warmup, n)
+                if not self._downgrade_warned:
+                    self._downgrade_warned = True
+                    warnings.warn(
+                        "fast=True requested but this configuration is "
+                        "not fast-path eligible (a datapath model "
+                        "defeats batching); running the generic "
+                        "per-record loop",
+                        RuntimeWarning, stacklevel=2)
+        self.engine_path = path
+        if path == "fast":
+            span = self._run_span_fast
+        elif path == "vectorized":
+            self._vector_view = engine_view(records, self.l1i.block_size,
+                                            self.l1i.n_sets,
+                                            self.config.fetch_width)
+            span = self._run_span_vector
         else:
-            span(records, 0, n)
+            span = self._run_span
+        # The simulation allocates in refcount-clean patterns (no cycles
+        # survive a record), so the cyclic collector only adds pauses;
+        # park it for the duration and restore the caller's setting.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if 0 < warmup < n:
+                span(records, 0, warmup)
+                self._reset_measurement()
+                span(records, warmup, n)
+            else:
+                span(records, 0, n)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.finalize()
 
     def _fast_path_eligible(self) -> bool:
@@ -616,6 +662,17 @@ class FrontendSimulator:
                 and self.btb_prefetch_buffer is None
                 and self.config.wrong_path_depth == 0
                 and self.runahead_blocked_until == 0)
+
+    def _vector_path_eligible(self) -> bool:
+        """True when the region-stepping vectorized loop applies.
+
+        It supports everything the generic loop does — prefetchers,
+        event logs, component telemetry, prefetch buffers, wrong-path
+        fetch — because all of those fire from the shared slow helpers
+        it delegates to.  Only the datapath model, whose backend hook
+        runs on *every* record, defeats batching.
+        """
+        return self.datapath is None
 
     def _run_span(self, records, start: int, stop: int) -> None:
         """Generic per-record stepping (pre-fast-path behaviour)."""
@@ -748,6 +805,524 @@ class FrontendSimulator:
                 cycle = self.cycle
         self.cycle = cycle
         self.prefetch_clock = rec_start
+
+    def _run_span_vector(self, records, start: int, stop: int) -> None:
+        """Region-stepping batched loop for prefetcher/observer configs.
+
+        Consumes the struct-of-arrays
+        :class:`~repro.workloads.soa.EngineView` built by :meth:`run`
+        and steps the trace region-at-a-time between control-flow
+        events (``branch_positions``): records inside a region take a
+        compact inlined demand/delivery body with precomputed cache
+        keys, set indices and delivery cycles; only the
+        region-terminating branch record pays the branch-handling
+        machinery.  Everything slow or observable — misses, stalls,
+        fills, branch events, prefetcher hooks, telemetry — delegates
+        to the same helpers the generic loop uses, with ``self.cycle``
+        and ``self.prefetch_clock`` synced around each delegation, so
+        counters and event streams are bit-identical to
+        :meth:`_run_span`.  Eligibility: :meth:`_vector_path_eligible`.
+        """
+        view = self._vector_view
+        lines = view.lines
+        keys = view.keys
+        set_idx = view.set_idx
+        n_instr_v = view.n_instr
+        delivery_v = view.delivery
+        kinds = view.kinds
+        taken_v = view.taken
+        bpos = view.branch_positions
+
+        stats = self.stats
+        cfg = self.config
+        perfect = cfg.perfect_l1i
+        l1i = self.l1i
+        sets = l1i._sets
+        mshr = self.mshr
+        mshr_entries = mshr._entries
+        log = self.event_log
+        handle_branch = self._handle_branch
+        demand_core = self._demand_access_core
+        prefetcher = self.prefetcher
+        on_demand = prefetcher.on_demand if prefetcher is not None else None
+        on_retire = (prefetcher.on_branch_retire
+                     if prefetcher is not None else None)
+        if prefetcher is not None and getattr(
+                prefetcher, "branch_retire_noop", False):
+            # The prefetcher declared its retire hook a no-op (e.g.
+            # fixed-length proactive modes): skip the per-branch call.
+            on_retire = None
+        on_fill_hook = prefetcher.on_fill if prefetcher is not None else None
+        on_evict_hook = prefetcher.on_evict if prefetcher is not None else None
+        on_pf_hit = (prefetcher.on_prefetch_hit
+                     if prefetcher is not None else None)
+        hit_outcome = HIT
+        call_k = 3       # BranchKind.CALL
+        return_k = 4     # BranchKind.RETURN
+        indirect_k = 5   # BranchKind.INDIRECT
+        cond_k = 1       # BranchKind.COND
+        # Inline-able fast legs.  Fills: the l1i insert + hooks of
+        # _apply_fill can be replayed locally when nothing observes them
+        # (no event log / component counters / L1 prefetch buffer) and
+        # the l1i is the plain cache whose set_capacity is constant.
+        fill_fast = (log is None and self.component_counters is None
+                     and self.l1_prefetch_buffer is None
+                     and type(l1i) is SetAssociativeCache)
+        l1i_nsets = l1i.n_sets
+        l1i_assoc = l1i.assoc
+        l1i_bs = l1i.block_size
+        # Full demand misses (line absent from L1i and MSHR) inline the
+        # llc access + latency request + stall + fill sequence when the
+        # LLC is the plain variant and fills are inline-able; in-flight
+        # and prefetch-resident cases still delegate.
+        llc = self.llc
+        miss_fast = fill_fast and type(llc) is LastLevelCache
+        # Frame-free CacheLine construction for the inline fill/llc legs.
+        cl_new = CacheLine.__new__
+        llc_sets = llc._sets
+        llc_nsets = llc.n_sets
+        llc_assoc = llc.assoc
+        llc_bs = llc.block_size
+        lat_model = self.latency
+        contention = lat_model.contention
+        ct_times = contention._times
+        ct_popleft = ct_times.popleft
+        lat_cfg = lat_model.config
+        ct_window = lat_cfg.window
+        ct_sat = lat_cfg.saturation_rate
+        ct_gain = lat_cfg.contention_gain
+        ct_expo = lat_cfg.contention_exponent
+        lat_llc_rt = lat_cfg.llc_round_trip
+        lat_mem_rt = lat_cfg.memory_round_trip
+        lat_overhead = lat_cfg.l1_fill_overhead
+        miss_outcome = MISS
+        late_outcome = LATE
+        # Branches: the COND leg of _handle_branch (by far the hottest
+        # kind) inlines when there is no event log; other kinds and the
+        # logged case delegate.
+        predictor_update = self.predictor.update
+        btb_check = self._btb_check
+        wrong_path = self._wrong_path_touch
+        stall = self._stall
+        mispred_pen = cfg.mispredict_penalty
+        cond_fast = log is None
+        # Predictor internals for the inlined COND leg.  The hybrid's
+        # 2-bit tables mutate in place and the global history stores
+        # back eagerly (prefetcher hooks may call predictor.predict
+        # mid-span); only the additive prediction/BTB counters batch
+        # in locals.  TAGE configurations keep the method call.
+        pred = self.predictor
+        pred_fast = cond_fast and type(pred) is DirectionPredictor
+        if pred_fast:
+            bim_c = pred.bimodal._counters
+            gsh_c = pred.gshare._counters
+            cho_c = pred.chooser._counters
+            pred_mask = pred.bimodal._mask
+            hist_mask = pred._hist_mask
+        btb = self.btb
+        btb_fast = type(btb) is ConventionalBtb
+        if btb_fast:
+            btb_sets = btb._sets
+            btb_nsets = btb.n_sets
+        perfect_btb = cfg.perfect_btb
+        btb_miss_slow = self._btb_miss
+        ras = self.ras
+        ras_stack = ras._stack
+        ras_depth = ras.depth
+        no_addr = NO_ADDR
+        jump_k = 2       # BranchKind.JUMP
+        p_preds = p_mis = btb_h = btb_m = 0
+        INF = float("inf")
+        # Hot statistics accumulate in locals and flush once at span end:
+        # nothing reads them mid-span, and every delegated helper only
+        # adds to them, so the final totals are identical.
+        d_acc = d_lkp = d_hit = d_ins = d_del = d_br = 0
+
+        cycle = self.cycle
+        rec_start = self.prefetch_clock
+        bi = bisect_left(bpos, start)
+        nb = len(bpos)
+        idx = start
+        while idx < stop:
+            if bi < nb and bpos[bi] < stop:
+                region_end = bpos[bi]
+                has_branch = True
+            else:
+                region_end = stop
+                has_branch = False
+
+            while True:
+                at_branch = idx >= region_end
+                if at_branch and not has_branch:
+                    break
+                # -- one record: drain, demand, delivery ---------------
+                self._demand_index = idx
+                if mshr_entries and cycle >= mshr._next_ready:
+                    self.cycle = cycle
+                    if fill_fast:
+                        # _drain_fills + _apply_fill inlined: same pop
+                        # order, insert semantics, victim accounting and
+                        # hook sequence (fill_latency -> evict -> fill).
+                        ready = [e for e in mshr_entries.values()
+                                 if e.ready_cycle <= cycle]
+                        for e in ready:
+                            del mshr_entries[e.line]
+                        mshr._next_ready = min(
+                            (e.ready_cycle for e in mshr_entries.values()),
+                            default=INF)
+                        for e in ready:
+                            fline = e.line
+                            fkey = fline // l1i_bs
+                            fcset = sets[fkey % l1i_nsets]
+                            ent = fcset.get(fkey)
+                            victim = None
+                            if ent is not None:
+                                fcset.move_to_end(fkey)
+                                ent.is_prefetch = e.is_prefetch
+                                ent.is_instruction = True
+                            else:
+                                if len(fcset) >= l1i_assoc:
+                                    _k, victim = fcset.popitem(last=False)
+                                ent = cl_new(CacheLine)
+                                ent.addr = fline
+                                ent.is_prefetch = e.is_prefetch
+                                ent.local_status = 0
+                                ent.is_instruction = True
+                                fcset[fkey] = ent
+                            ent.fill_latency = e.ready_cycle - e.issue_cycle
+                            if victim is not None:
+                                if victim.is_prefetch:
+                                    stats.prefetches_useless += 1
+                                if on_evict_hook is not None:
+                                    on_evict_hook(victim, cycle)
+                            if on_fill_hook is not None:
+                                self.prefetch_clock = cycle
+                                on_fill_hook(fline, e.is_prefetch, cycle)
+                    else:
+                        self._drain_fills()
+                    cycle = self.cycle
+                rec_start = cycle
+                record = records[idx]
+                d_acc += 1
+                d_lkp += 1
+                if perfect:
+                    d_hit += 1
+                    if log is not None:
+                        log.emit(cycle, "demand_hit", lines[idx], "perfect")
+                    outcome = hit_outcome
+                else:
+                    key = keys[idx]
+                    cset = sets[set_idx[idx]]
+                    entry = cset.get(key)
+                    if entry is not None and not entry.is_prefetch:
+                        # Trivial hit: LRU touch + counters, no hooks.
+                        cset.move_to_end(key)
+                        d_hit += 1
+                        if log is not None:
+                            log.emit(cycle, "demand_hit", lines[idx])
+                        outcome = hit_outcome
+                    elif entry is not None and fill_fast:
+                        # Demand hit on a resident prefetch: credit the
+                        # prefetch and clear its flag (demand_core's
+                        # resident leg, inlined).
+                        cset.move_to_end(key)
+                        d_hit += 1
+                        stats.prefetches_useful += 1
+                        plat = entry.fill_latency
+                        stats.covered_latency += plat
+                        stats.prefetched_latency += plat
+                        entry.is_prefetch = False
+                        if on_pf_hit is not None:
+                            # The hook may issue prefetches, which read
+                            # the live clocks (e.g. tagged next-line).
+                            self.cycle = cycle
+                            self.prefetch_clock = cycle
+                            on_pf_hit(lines[idx], cycle)
+                        outcome = hit_outcome
+                    elif miss_fast and entry is None:
+                        line = lines[idx]
+                        inflight = mshr_entries.get(line)
+                        if inflight is None:
+                            # Full demand miss: _demand_access_core's
+                            # last leg (llc access, latency request,
+                            # stall, fill) inlined in its exact order.
+                            stats.demand_misses += 1
+                            if record.seq:
+                                stats.seq_misses += 1
+                            else:
+                                stats.disc_misses += 1
+                            # llc.access, inlined (plain LLC only).
+                            lkey = line // llc_bs
+                            lset = llc_sets[lkey % llc_nsets]
+                            if lkey in lset:
+                                lset.move_to_end(lkey)
+                                llc.instruction_hits += 1
+                                base = lat_llc_rt
+                            else:
+                                llc.instruction_misses += 1
+                                if len(lset) >= llc_assoc:
+                                    lset.popitem(last=False)
+                                nl = cl_new(CacheLine)
+                                nl.addr = lkey * llc_bs
+                                nl.is_prefetch = False
+                                nl.local_status = 0
+                                nl.is_instruction = True
+                                nl.fill_latency = 0
+                                lset[lkey] = nl
+                                base = lat_mem_rt
+                            # latency.request at the pre-stall cycle.
+                            ct_times.append(cycle)
+                            contention.total_requests += 1
+                            horizon = cycle - ct_window
+                            while ct_times and ct_times[0] <= horizon:
+                                ct_popleft()
+                            load = (len(ct_times) / ct_window) / ct_sat
+                            if load > 1.0:
+                                load = 1.0
+                            lat = int(round(
+                                base * (1.0 + ct_gain * load ** ct_expo))) \
+                                + lat_overhead
+                            lat_model.llc_latency_sum += lat
+                            lat_model.llc_latency_count += 1
+                            # _stall(lat, "icache_stall_cycles").
+                            stats.icache_stall_cycles += lat
+                            rbu = self.runahead_blocked_until
+                            if cycle < rbu:
+                                gap = rbu - cycle
+                                stats.empty_ftq_stall_cycles += (
+                                    lat if lat < gap else gap)
+                            cycle += lat
+                            fill_lat = lat
+                            outcome = miss_outcome
+                        elif inflight.is_prefetch:
+                            # Late prefetch catches the demand: covered
+                            # fraction credited, remainder stalled
+                            # (demand_core's in-flight-prefetch leg).
+                            remaining = inflight.ready_cycle - cycle
+                            if remaining < 0:
+                                remaining = 0
+                            stats.demand_late_prefetch += 1
+                            if record.seq:
+                                stats.seq_misses += 1
+                            else:
+                                stats.disc_misses += 1
+                            stats.prefetches_useful += 1
+                            fill_lat = (inflight.ready_cycle
+                                        - inflight.issue_cycle)
+                            stats.covered_latency += fill_lat - remaining
+                            stats.prefetched_latency += fill_lat
+                            # mshr.remove: _next_ready may go stale low,
+                            # which pop_ready tolerates.
+                            del mshr_entries[line]
+                            if remaining > 0:
+                                stats.icache_stall_cycles += remaining
+                                rbu = self.runahead_blocked_until
+                                if cycle < rbu:
+                                    gap = rbu - cycle
+                                    stats.empty_ftq_stall_cycles += (
+                                        remaining if remaining < gap
+                                        else gap)
+                                cycle += remaining
+                            outcome = late_outcome
+                        else:
+                            # Wrong-path demand fetch in flight: rare,
+                            # delegate.
+                            self.cycle = cycle
+                            self.prefetch_clock = rec_start
+                            outcome = demand_core(record)
+                            cycle = self.cycle
+                            fill_lat = None
+                        if fill_lat is not None:
+                            # _apply_fill(line, False, fill_lat): the
+                            # line is known absent, so a fresh insert.
+                            victim = None
+                            if len(cset) >= l1i_assoc:
+                                _k, victim = cset.popitem(last=False)
+                            ent = cl_new(CacheLine)
+                            ent.addr = line
+                            ent.is_prefetch = False
+                            ent.local_status = 0
+                            ent.is_instruction = True
+                            cset[key] = ent
+                            ent.fill_latency = fill_lat
+                            if victim is not None:
+                                if victim.is_prefetch:
+                                    stats.prefetches_useless += 1
+                                if on_evict_hook is not None:
+                                    self.cycle = cycle
+                                    on_evict_hook(victim, cycle)
+                            if on_fill_hook is not None:
+                                self.cycle = cycle
+                                self.prefetch_clock = cycle
+                                on_fill_hook(line, False, cycle)
+                            if outcome is late_outcome \
+                                    and on_pf_hit is not None:
+                                self.cycle = cycle
+                                on_pf_hit(line, cycle)
+                    else:
+                        self.cycle = cycle
+                        self.prefetch_clock = rec_start
+                        outcome = demand_core(record)
+                        cycle = self.cycle
+                d_ins += n_instr_v[idx]
+                delivery = delivery_v[idx]
+                d_del += delivery
+                cycle += delivery
+
+                if at_branch:
+                    # -- the region-terminating control-flow event -----
+                    kind = kinds[idx]
+                    if taken_v[idx]:
+                        if kind == call_k or kind == indirect_k:
+                            if self._call_depth < 64:
+                                self._call_depth += 1
+                        elif kind == return_k:
+                            if self._call_depth > 0:
+                                self._call_depth -= 1
+                    self.cycle = cycle
+                    if cond_fast and kind == cond_k:
+                        # _handle_branch's COND leg, inlined (no event
+                        # log): update predictor, charge misprediction,
+                        # BTB-check taken branches.
+                        d_br += 1
+                        bpc = record.branch_pc
+                        taken = record.taken
+                        if pred_fast:
+                            # DirectionPredictor.update, inlined: same
+                            # reads-before-writes on three distinct
+                            # tables, same counter saturation.
+                            k_bim = bpc >> 2
+                            hist = pred._history
+                            i_bim = k_bim & pred_mask
+                            i_gs = (k_bim ^ hist) & pred_mask
+                            c_bim = bim_c[i_bim]
+                            c_gs = gsh_c[i_gs]
+                            p_bim = c_bim >= 2
+                            p_gs = c_gs >= 2
+                            predicted = p_gs if cho_c[i_bim] >= 2 else p_bim
+                            correct = predicted == taken
+                            p_preds += 1
+                            if not correct:
+                                p_mis += 1
+                            if p_bim != p_gs:
+                                cc = cho_c[i_bim]
+                                if p_gs == taken:
+                                    if cc < 3:
+                                        cho_c[i_bim] = cc + 1
+                                elif cc > 0:
+                                    cho_c[i_bim] = cc - 1
+                            if taken:
+                                if c_bim < 3:
+                                    bim_c[i_bim] = c_bim + 1
+                                if c_gs < 3:
+                                    gsh_c[i_gs] = c_gs + 1
+                            else:
+                                if c_bim > 0:
+                                    bim_c[i_bim] = c_bim - 1
+                                if c_gs > 0:
+                                    gsh_c[i_gs] = c_gs - 1
+                            pred._history = ((hist << 1)
+                                             | (1 if taken else 0)) \
+                                & hist_mask
+                        else:
+                            correct = predictor_update(bpc, taken)
+                        if not correct:
+                            stats.mispredicts += 1
+                            stall(mispred_pen, "mispredict_stall_cycles")
+                            wrong_path(record)
+                        if taken and not perfect_btb:
+                            if btb_fast:
+                                # _btb_check + btb.lookup, inlined.
+                                bset = btb_sets[(bpc >> 2) % btb_nsets]
+                                e = bset.get(bpc)
+                                if e is None:
+                                    btb_m += 1
+                                    btb_miss_slow(record)
+                                else:
+                                    bset.move_to_end(bpc)
+                                    btb_h += 1
+                                    if e.target != record.branch_target:
+                                        e.target = record.branch_target
+                            else:
+                                btb_check(record)
+                    elif cond_fast and (kind == jump_k or kind == call_k):
+                        # _handle_branch's JUMP/CALL leg, inlined:
+                        # BTB-check when taken; calls push the RAS.
+                        d_br += 1
+                        if record.taken:
+                            bpc = record.branch_pc
+                            if not perfect_btb:
+                                if btb_fast:
+                                    bset = btb_sets[(bpc >> 2) % btb_nsets]
+                                    e = bset.get(bpc)
+                                    if e is None:
+                                        btb_m += 1
+                                        btb_miss_slow(record)
+                                    else:
+                                        bset.move_to_end(bpc)
+                                        btb_h += 1
+                                        if e.target != record.branch_target:
+                                            e.target = record.branch_target
+                                else:
+                                    btb_check(record)
+                            if kind == call_k:
+                                # ras.push, inlined.
+                                if len(ras_stack) >= ras_depth:
+                                    ras_stack.pop(0)
+                                    ras.overflows += 1
+                                ras_stack.append(bpc + record.branch_size)
+                    elif cond_fast and kind == return_k:
+                        # _handle_branch's RETURN leg, inlined: pop the
+                        # RAS and compare against the actual target.
+                        d_br += 1
+                        if ras_stack:
+                            predicted = ras_stack.pop()
+                        else:
+                            ras.underflows += 1
+                            predicted = None
+                        tgt = record.branch_target
+                        if predicted != tgt and tgt != no_addr:
+                            stats.mispredicts += 1
+                            if not perfect_btb:
+                                stall(mispred_pen,
+                                      "mispredict_stall_cycles")
+                    else:
+                        handle_branch(record)
+                    cycle = self.cycle
+                    if on_demand is not None:
+                        self.prefetch_clock = rec_start
+                        on_demand(idx, record, outcome, rec_start)
+                        cycle = self.cycle
+                        if on_retire is not None:
+                            self.prefetch_clock = cycle
+                            on_retire(record, cycle)
+                            cycle = self.cycle
+                    idx += 1
+                    bi += 1
+                    break
+                if on_demand is not None:
+                    self.cycle = cycle
+                    self.prefetch_clock = rec_start
+                    on_demand(idx, record, outcome, rec_start)
+                    cycle = self.cycle
+                idx += 1
+
+        stats.demand_accesses += d_acc
+        stats.cache_lookups += d_lkp
+        stats.demand_hits += d_hit
+        stats.instructions += d_ins
+        stats.delivery_cycles += d_del
+        stats.branches += d_br
+        if p_preds:
+            pred.predictions += p_preds
+            pred.mispredictions += p_mis
+        if btb_h:
+            btb.hits += btb_h
+        if btb_m:
+            btb.misses += btb_m
+        self.cycle = cycle
+        if prefetcher is None:
+            self.prefetch_clock = rec_start
 
 
 def simulate(trace: Trace, config: Optional[FrontendConfig] = None,

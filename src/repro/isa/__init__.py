@@ -23,12 +23,13 @@ from .instructions import (
     block_offset,
 )
 from .disasm import disassemble_block, disassemble_range, format_instruction
-from .predecoder import Predecoder, PredecodeResult, target_of
+from .predecoder import PredecodeCaches, Predecoder, PredecodeResult, target_of
 
 __all__ = [
     "BranchKind",
     "Instruction",
     "TextSegment",
+    "PredecodeCaches",
     "Predecoder",
     "PredecodeResult",
     "EncodingError",

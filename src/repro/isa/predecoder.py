@@ -38,6 +38,31 @@ class PredecodeResult:
     offset_branch: Optional[Instruction] = None
 
 
+class PredecodeCaches:
+    """Shared decode memos for one immutable text segment.
+
+    A :class:`~repro.cfg.layout.Program` owns one instance and hands it to
+    every Predecoder it builds, so repeated simulations of the same program
+    (e.g. a benchmark matrix) decode each block's bytes once instead of
+    once per simulator.  Instruction objects are frozen dataclasses and the
+    segment never changes, so sharing is safe; per-pass accounting
+    (``blocks_decoded``) stays on the individual Predecoder.
+    """
+
+    __slots__ = ("fixed", "fixed_info", "vl", "prewarmed")
+
+    def __init__(self) -> None:
+        #: block base -> list of branch Instructions (fixed-length ISA)
+        self.fixed: dict = {}
+        #: block base -> (branches tuple, offset -> branch map)
+        self.fixed_info: dict = {}
+        #: pc -> Instruction | None (variable-length ISA)
+        self.vl: dict = {}
+        #: True once :meth:`Predecoder.prewarm_fixed` has decoded the
+        #: whole segment into these memos.
+        self.prewarmed = False
+
+
 class Predecoder:
     """Decodes cache blocks to find branch instructions.
 
@@ -49,15 +74,23 @@ class Predecoder:
     """
 
     def __init__(self, segment: TextSegment, latency: int = 1,
-                 vl_latency: int = 4):
+                 vl_latency: int = 4,
+                 caches: Optional[PredecodeCaches] = None):
         self.segment = segment
         self.latency = vl_latency if segment.variable_length else latency
         self.blocks_decoded = 0
         # Simulation-speed memo: the text segment is immutable, so a
         # block always decodes to the same result.  Hardware re-decodes
         # every pass (``blocks_decoded`` still counts the passes).
-        self._fixed_cache: dict = {}
-        self._vl_cache: dict = {}
+        # ``caches`` lets a Program share the memos across its predecoders.
+        if caches is None:
+            caches = PredecodeCaches()
+        self._caches = caches
+        self._fixed_cache = caches.fixed
+        self._vl_cache = caches.vl
+        # (branches tuple, offset -> branch map) per block, for the
+        # allocation-free fixed-ISA path (fixed_block_info).
+        self._fixed_info = caches.fixed_info
 
     def _block_bounds(self, addr: int) -> range:
         base = block_base(addr)
@@ -109,6 +142,85 @@ class Predecoder:
                 if (instr.pc - base) // FIXED_INSTRUCTION_SIZE == dis_offset:
                     result.offset_branch = instr
                     break
+
+    def fixed_block_info(self, block_addr: int):
+        """Pre-decode a fixed-length block without result-object churn.
+
+        Returns ``(branches, offset_map)``: the block's branch
+        instructions as a tuple and a map from 4-bit instruction offset
+        to the first branch at that offset — the two pieces
+        :meth:`decode_block` would package into a fresh
+        :class:`PredecodeResult` (with a copied list) on every pass.
+        Counts one pre-decode pass like :meth:`decode_block`; callers
+        must not mutate the returned structures.
+        """
+        if self.segment.variable_length:
+            raise EncodingError(
+                "fixed_block_info is only defined for fixed-length ISAs")
+        self.blocks_decoded += 1
+        base = block_base(block_addr)
+        info = self._fixed_info.get(base)
+        if info is None:
+            cached = self._fixed_cache.get(base)
+            if cached is None:
+                cached = []
+                bounds = self._block_bounds(base)
+                for pc in range(bounds.start, bounds.stop,
+                                FIXED_INSTRUCTION_SIZE):
+                    try:
+                        instr = self.segment.decode_at(pc)
+                    except EncodingError:
+                        continue
+                    if instr.is_branch:
+                        cached.append(instr)
+                self._fixed_cache[base] = cached
+            offset_map: dict = {}
+            for instr in cached:
+                offset_map.setdefault(
+                    (instr.pc - base) // FIXED_INSTRUCTION_SIZE, instr)
+            info = (tuple(cached), offset_map)
+            self._fixed_info[base] = info
+        return info
+
+    def prewarm_fixed(self) -> None:
+        """Decode every fixed-ISA block of the segment into the memos.
+
+        Pure cache warming done at construction/attach time: it fills
+        the shared ``fixed_info``/``fixed`` maps without touching
+        ``blocks_decoded`` (per-pass accounting is a property of the
+        passes, not of the memo state), so simulated behaviour and
+        counters are unchanged — only the cold first-decode cost moves
+        off the simulated hot path.  No-op for variable-length
+        segments and when the shared caches were already prewarmed.
+        """
+        if self.segment.variable_length or self._caches.prewarmed:
+            return
+        self._caches.prewarmed = True
+        info = self._fixed_info
+        fixed = self._fixed_cache
+        seg = self.segment
+        start = block_base(seg.base)
+        for base in range(start, seg.end, CACHE_BLOCK_SIZE):
+            if base in info:
+                continue
+            cached = fixed.get(base)
+            if cached is None:
+                cached = []
+                bounds = self._block_bounds(base)
+                for pc in range(bounds.start, bounds.stop,
+                                FIXED_INSTRUCTION_SIZE):
+                    try:
+                        instr = seg.decode_at(pc)
+                    except EncodingError:
+                        continue
+                    if instr.is_branch:
+                        cached.append(instr)
+                fixed[base] = cached
+            offset_map: dict = {}
+            for instr in cached:
+                offset_map.setdefault(
+                    (instr.pc - base) // FIXED_INSTRUCTION_SIZE, instr)
+            info[base] = (tuple(cached), offset_map)
 
     def _decode_one_vl(self, pc: int) -> Optional[Instruction]:
         if pc in self._vl_cache:

@@ -38,6 +38,12 @@ class MshrFile:
         self.capacity = capacity
         self._entries: Dict[int, InFlight] = {}
         self.prefetches_dropped_full = 0
+        #: Earliest ``ready_cycle`` of any outstanding fill — a watermark
+        #: letting :meth:`pop_ready` (called once per fetch record) skip
+        #: the linear scan while nothing can be ready yet.  May go stale
+        #: *low* after :meth:`remove` (costing one wasted scan), never
+        #: stale high (which would delay fills).
+        self._next_ready = float("inf")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,13 +75,38 @@ class MshrFile:
             return None
         entry = InFlight(line, issue_cycle, ready_cycle, is_prefetch)
         self._entries[line] = entry
+        if ready_cycle < self._next_ready:
+            self._next_ready = ready_cycle
         return entry
+
+    def issue_prefetch_unchecked(self, line: int, issue_cycle: int,
+                                 ready_cycle: int) -> bool:
+        """Allocate a prefetch entry the caller has verified is absent.
+
+        Fast-path variant of :meth:`issue` for drain loops that have
+        already tested ``line not in mshr``: skips the existing-entry
+        probe and returns a plain success flag.  Accounting matches
+        :meth:`issue` exactly (a full file drops the prefetch and counts
+        ``prefetches_dropped_full``).
+        """
+        if len(self._entries) >= self.capacity:
+            self.prefetches_dropped_full += 1
+            return False
+        self._entries[line] = InFlight(line, issue_cycle, ready_cycle, True)
+        if ready_cycle < self._next_ready:
+            self._next_ready = ready_cycle
+        return True
 
     def pop_ready(self, cycle: int) -> List[InFlight]:
         """Remove and return every fill whose data has arrived by ``cycle``."""
-        ready = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        if cycle < self._next_ready:
+            return []
+        entries = self._entries
+        ready = [e for e in entries.values() if e.ready_cycle <= cycle]
         for e in ready:
-            del self._entries[e.line]
+            del entries[e.line]
+        self._next_ready = min(
+            (e.ready_cycle for e in entries.values()), default=float("inf"))
         return ready
 
     def remove(self, line: int) -> Optional[InFlight]:

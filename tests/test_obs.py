@@ -13,7 +13,7 @@ from dataclasses import asdict
 import pytest
 
 from repro.experiments import runner, store
-from repro.frontend import FrontendSimulator
+from repro.frontend import FrontendConfig, FrontendSimulator
 from repro.isa import CACHE_BLOCK_SIZE
 from repro.obs import (
     PROFILER,
@@ -144,14 +144,29 @@ class TestComponentCounters:
 
 class TestFastPathDowngrade:
     def test_explicit_fast_on_ineligible_warns(self):
+        # A prefetcher alone no longer defeats batching (the vectorized
+        # loop covers it); only the datapath model forces the generic
+        # loop, so that is the ineligible configuration.
         sim = FrontendSimulator(Trace([rec(1), rec(2)]),
+                                config=FrontendConfig(model_data=True),
                                 prefetcher=NextXLinePrefetcher(1))
         with pytest.warns(RuntimeWarning, match="not.*fast-path eligible"):
             stats = sim.run(fast=True)
         assert sim.fast_path_downgraded
         assert stats.extra.get("fast_path_downgraded") == 1.0
+        assert stats.extra.get("engine_path") == "generic"
         # The run itself is still correct (generic loop).
         assert stats.demand_accesses == 2
+
+    def test_downgrade_warning_fires_once_per_simulator(self):
+        sim = FrontendSimulator(Trace([rec(1), rec(2)]),
+                                config=FrontendConfig(model_data=True))
+        with pytest.warns(RuntimeWarning, match="not.*fast-path eligible"):
+            sim.run(fast=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run(fast=True)      # second run: already warned
+        assert sim.fast_path_downgraded
 
     def test_explicit_fast_on_eligible_is_silent(self):
         sim = FrontendSimulator(Trace([rec(1), rec(2)]))
