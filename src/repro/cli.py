@@ -18,6 +18,8 @@ Commands
 ``lint``                 static analysis of simulator invariants:
                          determinism, telemetry registry, scheme
                          registry, storage budgets (text/JSON/SARIF)
+``serve``                long-running HTTP/JSON API: run/compare/bench
+                         as queued jobs over the shared sharded store
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import arithmetic_mean
@@ -282,6 +285,7 @@ def _cmd_multicore(args) -> int:
 def _cmd_stats(args) -> int:
     from .experiments import store as result_store
     from .obs import PROFILER, component_report
+    from .obs.telemetry import STORE_EVENT_COUNTS
 
     if args.json:
         payload = {"store": {"root": str(result_store.cache_root()),
@@ -290,6 +294,8 @@ def _cmd_stats(args) -> int:
         if st is not None:
             payload["store"].update(st.overview())
             payload["store"]["session_counters"] = st.counters()
+            payload["store"]["events"] = dict(sorted(
+                STORE_EVENT_COUNTS.items()))
             manifests = sorted(st.iter_manifests(),
                                key=lambda m: m.get("written_at", 0.0))
             payload["recent_runs"] = manifests[-args.last:] \
@@ -326,6 +332,13 @@ def _cmd_stats(args) -> int:
         counters = st.counters()
         print("  session     " + "  ".join(
             f"{k}={v}" for k, v in counters.items()))
+        budget = info.get("budget_bytes")
+        if budget is not None:
+            print(f"  budget      {budget} bytes (LRU eviction)")
+        if STORE_EVENT_COUNTS:
+            print("  events      " + "  ".join(
+                f"{k}={v}"
+                for k, v in sorted(STORE_EVENT_COUNTS.items())))
 
         manifests = sorted(st.iter_manifests(),
                            key=lambda m: m.get("written_at", 0.0))
@@ -372,6 +385,51 @@ def _cmd_stats(args) -> int:
         print("profile (this process)")
         print(profile)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .experiments import store as result_store
+    from .service import ReproService
+
+    budget = None
+    if args.budget:
+        budget = result_store.parse_byte_budget(args.budget)
+        if budget is None:
+            print(f"invalid --budget {args.budget!r} "
+                  f"(want e.g. 512m, 2g, or plain bytes)", file=sys.stderr)
+            return 2
+
+    async def run() -> int:
+        service = ReproService(host=args.host, port=args.port,
+                               workers=args.workers,
+                               queue_size=args.queue_size,
+                               budget_bytes=budget)
+        await service.start()
+        host, port = service.address
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(workers={args.workers}, queue={args.queue_size}, "
+              f"cache={result_store.cache_root()})", flush=True)
+        if args.ready_file:
+            ready = Path(args.ready_file)
+            ready.parent.mkdir(parents=True, exist_ok=True)
+            tmp = ready.with_suffix(ready.suffix + ".tmp")
+            tmp.write_text(json.dumps({"host": host, "port": port}) + "\n")
+            tmp.replace(ready)          # atomic: readers never see a torn file
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+        return 0
 
 
 def _cmd_bench(args) -> int:
@@ -667,6 +725,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--jobs", type=_jobs_flag, default=None, metavar="N",
                         help="worker processes for the per-file pass")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve run/compare/bench as jobs over HTTP/JSON")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 binds an ephemeral port (printed on boot)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent simulation workers")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="pending-job bound before 429 backpressure")
+    p_serve.add_argument("--budget", default=None, metavar="BYTES",
+                         help="store byte budget with k/m/g suffix "
+                              "(LRU eviction), e.g. 512m")
+    p_serve.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write {host, port} JSON here once "
+                              "listening (for drivers/CI)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="analytics over JSONL event traces "

@@ -132,6 +132,7 @@ def _worker(payload: Tuple[str, str, Dict]
 
 
 def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
+             progress: Optional[Callable[[RunResult], None]] = None,
              **common) -> List[RunResult]:
     """Run every spec and return results in input order.
 
@@ -140,11 +141,22 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     count of 1 this is exactly a loop over ``run_scheme``; with more, the
     unique specs are distributed over worker processes and the memo cache
     is seeded so later ``run_scheme`` calls in this process hit.
+
+    ``progress``, when given, is called with each spec's result as it
+    lands (input order serially; unique specs only, in completion
+    order, under a pool) — the service's job event stream hangs off
+    this hook.
     """
     normalised = [_normalise(s, common) for s in specs]
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(normalised) <= 1:
-        return [run_scheme(w, s, **p) for w, s, p in normalised]
+        results = []
+        for w, s, p in normalised:
+            result = run_scheme(w, s, **p)
+            if progress is not None:
+                progress(result)
+            results.append(result)
+        return results
 
     # Deduplicate: figure drivers re-request the baseline many times.
     unique: Dict[Tuple, Tuple[str, str, Dict]] = {}
@@ -172,6 +184,8 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
                     PROFILER.record("run_many.worker", elapsed)
                     PROFILER.merge(snap)
                     busy += elapsed
+                    if progress is not None:
+                        progress(result)
             wall = time.perf_counter() - pool_start
             PROFILER.record("run_many.pool", wall)
             # Wall time not covered by (perfectly parallel) worker work:

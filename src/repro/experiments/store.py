@@ -1,4 +1,4 @@
-"""Persistent result + trace store for experiment runs.
+"""Persistent, sharded result + trace store for experiment runs.
 
 The in-process memo cache in :mod:`repro.experiments.runner` only lives
 for one interpreter; every fresh invocation of the figure drivers (CLI,
@@ -21,6 +21,27 @@ name, config overrides, trace length, warmup, seed/sample, …) plus a
 *code salt* hashing the ``repro`` package sources — any code change
 invalidates every cached entry, which keeps "stale cache" bugs
 structurally impossible at the cost of a cold start per code edit.
+
+Layout
+------
+Entries are *sharded* by the first two hex characters of the
+fingerprint — ``results/ab/<fp>.json``, ``traces/ab/<fp>.npz`` — so a
+fleet of clients sweeping a design space never piles tens of thousands
+of files into one directory.  Flat pre-shard entries are still read
+transparently and migrated into their shard on first access.
+
+Eviction
+--------
+With a byte budget configured (``$REPRO_CACHE_BUDGET``, e.g. ``512m``,
+or :meth:`ResultStore.set_budget`) the store evicts least-recently-used
+entries — LRU by file access time, a result and its manifest as one
+unit — after each write until the on-disk total fits the budget.
+Unbudgeted stores never evict (the code salt already bounds staleness).
+
+The store is shared by concurrent *processes* (parallel runner workers,
+``repro serve`` clients) and, within the service, concurrent *threads*:
+writers publish with an atomic rename, readers treat unreadable entries
+as misses, and session counters are lock-protected.
 """
 
 from __future__ import annotations
@@ -28,20 +49,29 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
+import threading
+import warnings
+import zipfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..frontend.stats import FrontendStats
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+ENV_CACHE_BUDGET = "REPRO_CACHE_BUDGET"
 
 #: Bump to invalidate every stored entry regardless of the code salt.
-STORE_VERSION = 1
+#: 2: sharded directory layout (old flat entries remain readable).
+STORE_VERSION = 2
 
 _CODE_SALT: Optional[str] = None
+
+#: Budget strings already warned about (one warning per distinct value).
+_warned_budgets = set()
 
 
 def cache_root() -> Path:
@@ -55,6 +85,41 @@ def cache_root() -> Path:
 def caching_enabled() -> bool:
     """Persistent caching is on unless explicitly disabled."""
     return os.environ.get(ENV_CACHE_DISABLE, "") not in ("1", "true", "yes")
+
+
+_BUDGET_UNITS = {"": 1, "b": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_byte_budget(value) -> Optional[int]:
+    """Parse a byte budget: an int, or a string like ``"512m"``.
+
+    Suffixes ``k``/``m``/``g`` (case-insensitive, optional trailing
+    ``b``) scale by binary powers.  Unparsable values warn once per
+    distinct value and return None (no budget), mirroring how invalid
+    ``REPRO_JOBS`` degrades to serial instead of crashing.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return max(0, int(value))
+    text = str(value).strip().lower()
+    if not text:
+        return None
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)\s*([kmg]?)b?", text)
+    if match is None:
+        if text not in _warned_budgets:
+            _warned_budgets.add(text)
+            warnings.warn(
+                f"ignoring invalid cache byte budget {value!r} "
+                f"(use e.g. 1073741824, '512m' or '2g'); no eviction",
+                RuntimeWarning, stacklevel=2)
+        return None
+    return int(float(match.group(1)) * _BUDGET_UNITS[match.group(2)])
+
+
+def env_byte_budget() -> Optional[int]:
+    """The byte budget configured via ``$REPRO_CACHE_BUDGET``, if any."""
+    return parse_byte_budget(os.environ.get(ENV_CACHE_BUDGET))
 
 
 def code_salt() -> str:
@@ -75,8 +140,20 @@ def code_salt() -> str:
     return _CODE_SALT
 
 
+#: Default ``object.__repr__``-style reprs (and function/method reprs)
+#: embed a per-process memory address: hashing one would silently split
+#: fingerprint-identical runs into distinct cache keys across processes.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
 def _canonical(value: Any) -> Any:
-    """Reduce fingerprint parts to canonical JSON-encodable values."""
+    """Reduce fingerprint parts to canonical JSON-encodable values.
+
+    Unknown object types are encoded as their type name plus their
+    canonicalised instance fields — stable across processes — and
+    anything that would only be distinguishable by memory address
+    raises :class:`TypeError` instead of silently poisoning the key.
+    """
     if is_dataclass(value) and not isinstance(value, type):
         return {"__dataclass__": type(value).__name__,
                 **_canonical(asdict(value))}
@@ -87,7 +164,23 @@ def _canonical(value: Any) -> Any:
         return [_canonical(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    return repr(value)
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    cls = type(value)
+    type_name = f"{cls.__module__}.{cls.__qualname__}"
+    if cls.__repr__ is not object.__repr__:
+        text = repr(value)
+        if _ADDRESS_REPR.search(text):
+            raise TypeError(
+                f"cannot fingerprint {type_name}: repr() embeds a "
+                f"per-process memory address ({text!r})")
+        return {"__repr__": type_name, "value": text}
+    fields = getattr(value, "__dict__", None)
+    if fields:
+        return {"__object__": type_name, **_canonical(dict(fields))}
+    raise TypeError(
+        f"cannot fingerprint {type_name}: no stable repr and no "
+        f"instance fields (the default object repr is per-process)")
 
 
 def fingerprint(parts: Dict[str, Any]) -> str:
@@ -95,6 +188,11 @@ def fingerprint(parts: Dict[str, Any]) -> str:
     payload = json.dumps({"salt": code_salt(), **_canonical(parts)},
                          sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def shard_of(fp: str) -> str:
+    """The two-character shard directory a fingerprint lives in."""
+    return fp[:2] if len(fp) >= 2 else "00"
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
@@ -113,15 +211,41 @@ def _atomic_write(path: Path, data: bytes) -> None:
         raise
 
 
+def _notify(kind: str, **fields) -> None:
+    """Forward a store lifecycle event to the telemetry listeners.
+
+    Imported lazily: :mod:`repro.obs` depends on this module, so the
+    hookup must happen at call time, and a store must keep working even
+    if the observability layer is unimportable.
+    """
+    try:
+        from ..obs.telemetry import store_event
+    except ImportError:                      # pragma: no cover - bootstrap
+        return
+    store_event(kind, **fields)
+
+
+#: Exceptions that mean "entry exists but is garbage" for .npz traces:
+#: truncated archives raise BadZipFile/EOFError, header corruption
+#: surfaces as KeyError/ValueError from the column reads.
+_TRACE_CORRUPTION = (OSError, ValueError, KeyError, EOFError,
+                     zipfile.BadZipFile)
+
+
 class ResultStore:
     """On-disk store of simulation results and fetch traces.
 
-    Concurrent-safe for the parallel runner: writers publish with an
-    atomic rename, readers treat any unreadable entry as a miss.
+    Concurrent-safe for the parallel runner and the async service:
+    writers publish with an atomic rename, readers treat any unreadable
+    entry as a miss, and session counters are guarded by a lock (the
+    service shares one store across request-handler threads).
     """
 
-    def __init__(self, root: Optional[Path] = None):
+    def __init__(self, root: Optional[Path] = None,
+                 budget_bytes: Optional[int] = None):
         self._root = Path(root) if root is not None else None
+        self._budget = budget_bytes
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -130,24 +254,100 @@ class ResultStore:
         self.corrupt = 0
         #: Entries removed by :meth:`clear`.
         self.invalidations = 0
+        #: Entries removed by the LRU byte-budget policy.
+        self.evicted = 0
+        #: Flat legacy entries moved into their shard on access.
+        self.migrated = 0
 
     @property
     def root(self) -> Path:
         return self._root if self._root is not None else cache_root()
 
-    # -- results -------------------------------------------------------
+    def _bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    # -- byte budget ---------------------------------------------------
+
+    def byte_budget(self) -> Optional[int]:
+        """Effective eviction budget: explicit, else the environment."""
+        return self._budget if self._budget is not None else env_byte_budget()
+
+    def set_budget(self, budget_bytes: Optional[int]) -> None:
+        """Pin the eviction budget (overrides ``$REPRO_CACHE_BUDGET``)."""
+        self._budget = budget_bytes
+
+    # -- layout --------------------------------------------------------
 
     def result_path(self, fp: str) -> Path:
-        return self.root / "results" / f"{fp}.json"
+        return self.root / "results" / shard_of(fp) / f"{fp}.json"
+
+    def manifest_path(self, fp: str) -> Path:
+        return self.root / "results" / shard_of(fp) / f"{fp}.manifest.json"
+
+    def trace_path(self, fp: str) -> Path:
+        return self.root / "traces" / shard_of(fp) / f"{fp}.npz"
+
+    def _legacy_path(self, sharded: Path) -> Path:
+        """Where the same entry lived before the sharded layout."""
+        return sharded.parent.parent / sharded.name
+
+    def _migrate(self, legacy: Path, sharded: Path) -> bool:
+        """Move a flat entry into its shard (best-effort, counted)."""
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, sharded)
+        except OSError:
+            return False
+        self._bump("migrated")
+        return True
+
+    def _iter_files(self, sub: str, pattern: str) -> Iterator[Path]:
+        """Every entry file of one kind, flat legacy and sharded alike."""
+        folder = self.root / sub
+        try:
+            flat = sorted(folder.glob(pattern))
+            sharded = sorted(folder.glob(f"*/{pattern}"))
+        except OSError:
+            return
+        for path in flat:
+            if path.is_file():
+                yield path
+        for path in sharded:
+            if path.is_file():
+                yield path
+
+    # -- results -------------------------------------------------------
+
+    def _read_entry_text(self, fp: str) -> Optional[str]:
+        """Raw bytes of a result entry, migrating flat legacy files.
+
+        Returns None when the entry is absent under both layouts; any
+        other OSError is re-raised for the caller to classify.
+        """
+        path = self.result_path(fp)
+        try:
+            return path.read_text()
+        except FileNotFoundError:
+            pass
+        legacy = self._legacy_path(path)
+        try:
+            text = legacy.read_text()
+        except FileNotFoundError:
+            return None
+        self._migrate(legacy, path)
+        return text
 
     def load_result(self, fp: str
                     ) -> Optional[Tuple[FrontendStats, Dict[str, float]]]:
         """Return ``(stats, extra)`` for a fingerprint, or None on miss."""
-        path = self.result_path(fp)
         try:
-            text = path.read_text()
+            text = self._read_entry_text(fp)
         except OSError:
-            self.misses += 1
+            self._bump("misses")
+            return None
+        if text is None:
+            self._bump("misses")
             return None
         try:
             payload = json.loads(text)
@@ -156,10 +356,11 @@ class ResultStore:
         except (ValueError, KeyError, TypeError):
             # Truncated/garbage entry (e.g. a torn concurrent write):
             # indistinguishable from a miss for the caller, but tracked.
-            self.corrupt += 1
-            self.misses += 1
+            self._bump("corrupt")
+            self._bump("misses")
+            _notify("corrupt", entry="result", fingerprint=fp)
             return None
-        self.hits += 1
+        self._bump("hits")
         return stats, extra
 
     def save_result(self, fp: str, stats: FrontendStats,
@@ -168,13 +369,11 @@ class ResultStore:
         payload = {"version": STORE_VERSION, "stats": asdict(stats),
                    "extra": dict(extra)}
         _atomic_write(path, json.dumps(payload).encode())
-        self.writes += 1
+        self._bump("writes")
+        self._maybe_evict(protect=(path, self.manifest_path(fp)))
         return path
 
     # -- run manifests -------------------------------------------------
-
-    def manifest_path(self, fp: str) -> Path:
-        return self.root / "results" / f"{fp}.manifest.json"
 
     def save_manifest(self, fp: str, manifest: Dict[str, Any]) -> Path:
         """Write the machine-readable run manifest next to a result."""
@@ -184,19 +383,17 @@ class ResultStore:
         return path
 
     def load_manifest(self, fp: str) -> Optional[Dict[str, Any]]:
-        try:
-            return json.loads(self.manifest_path(fp).read_text())
-        except (OSError, ValueError):
-            return None
+        path = self.manifest_path(fp)
+        for candidate in (path, self._legacy_path(path)):
+            try:
+                return json.loads(candidate.read_text())
+            except (OSError, ValueError):
+                continue
+        return None
 
     def iter_manifests(self):
         """Yield every readable run manifest (unordered)."""
-        folder = self.root / "results"
-        try:
-            entries = sorted(folder.glob("*.manifest.json"))
-        except OSError:
-            return
-        for path in entries:
+        for path in self._iter_files("results", "*.manifest.json"):
             try:
                 yield json.loads(path.read_text())
             except (OSError, ValueError):
@@ -204,22 +401,31 @@ class ResultStore:
 
     # -- traces --------------------------------------------------------
 
-    def trace_path(self, fp: str) -> Path:
-        return self.root / "traces" / f"{fp}.npz"
-
     def load_trace(self, fp: str):
         from ..workloads.serialize import load_trace
         path = self.trace_path(fp)
-        if not path.exists():
-            self.misses += 1
-            return None
-        try:
-            trace = load_trace(path)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
+        legacy = self._legacy_path(path)
+        # No exists() probe: open both candidates and classify the
+        # failure, so a file vanishing between check and use (TOCTOU)
+        # reads as the plain miss it is.
+        for candidate in (path, legacy):
+            try:
+                trace = load_trace(candidate)
+            except FileNotFoundError:
+                continue
+            except _TRACE_CORRUPTION:
+                # The entry exists but failed to parse: corrupt, not a
+                # plain miss — same accounting as load_result.
+                self._bump("corrupt")
+                self._bump("misses")
+                _notify("corrupt", entry="trace", fingerprint=fp)
+                return None
+            if candidate is legacy:
+                self._migrate(legacy, path)
+            self._bump("hits")
+            return trace
+        self._bump("misses")
+        return None
 
     def save_trace(self, fp: str, trace) -> Path:
         from ..workloads.serialize import save_trace
@@ -238,8 +444,89 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.writes += 1
+        self._bump("writes")
+        self._maybe_evict(protect=(path,))
         return path
+
+    # -- eviction ------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, Tuple[Path, ...]]]:
+        """Evictable units: ``(atime, bytes, paths)`` per entry.
+
+        A result and its manifest form one unit (evicting a result
+        without its manifest would strand an unreadable orphan); traces
+        stand alone.  Entries that vanish mid-scan are skipped.
+        """
+        units: List[Tuple[float, int, Tuple[Path, ...]]] = []
+        for path in self._iter_files("results", "*.json"):
+            if path.name.endswith(".manifest.json"):
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            size = st.st_size
+            group = [path]
+            manifest = path.with_name(
+                path.name[:-len(".json")] + ".manifest.json")
+            try:
+                size += manifest.stat().st_size
+                group.append(manifest)
+            except OSError:
+                pass
+            units.append((st.st_atime, size, tuple(group)))
+        for path in self._iter_files("traces", "*.npz"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            units.append((st.st_atime, st.st_size, (path,)))
+        return units
+
+    def evict(self, budget_bytes: Optional[int] = None,
+              protect: Sequence[Path] = ()) -> int:
+        """Remove least-recently-used entries until under the budget.
+
+        Returns the number of entries (result+manifest units or traces)
+        removed.  ``protect`` paths — typically the entry that was just
+        written — are never evicted, so a budget smaller than one entry
+        cannot evict the write it is trying to make room for.
+        """
+        budget = budget_bytes if budget_bytes is not None \
+            else self.byte_budget()
+        if budget is None:
+            return 0
+        units = self._entries()
+        total = sum(size for _, size, _ in units)
+        if total <= budget:
+            return 0
+        protected = {Path(p) for p in protect}
+        removed = 0
+        freed = 0
+        for _, size, group in sorted(units, key=lambda u: u[0]):
+            if total - freed <= budget:
+                break
+            if any(path in protected for path in group):
+                continue
+            gone = False
+            for path in group:
+                try:
+                    path.unlink()
+                    gone = True
+                except OSError:
+                    pass        # another process evicted it first
+            if gone:
+                freed += size
+                removed += 1
+        if removed:
+            self._bump("evicted", removed)
+            _notify("evict", entries=removed, freed_bytes=freed,
+                    budget_bytes=budget)
+        return removed
+
+    def _maybe_evict(self, protect: Sequence[Path] = ()) -> None:
+        if self.byte_budget() is not None:
+            self.evict(protect=protect)
 
     # -- maintenance ---------------------------------------------------
 
@@ -248,7 +535,8 @@ class ResultStore:
 
         Safe against concurrent modification: entries that vanish
         between listing and unlinking (or a directory removed wholesale
-        by another process) are simply skipped.
+        by another process) are simply skipped.  Emptied shard
+        directories are pruned best-effort.
         """
         removed = 0
         for sub in ("results", "traces"):
@@ -259,45 +547,79 @@ class ResultStore:
                 entries = list(folder.iterdir())
             except OSError:
                 continue        # directory vanished mid-listing
+            shards: List[Path] = []
             for entry in entries:
+                if entry.is_dir():
+                    shards.append(entry)
+                    try:
+                        files = list(entry.iterdir())
+                    except OSError:
+                        continue
+                    for path in files:
+                        try:
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass        # entry vanished first
+                else:
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass            # entry vanished first: same outcome
+            for shard in shards:
                 try:
-                    entry.unlink()
-                    removed += 1
+                    shard.rmdir()
                 except OSError:
-                    pass        # entry vanished first: same outcome
-        self.invalidations += removed
+                    pass                # non-empty or already gone
+        self._bump("invalidations", removed)
         return removed
 
     def reset_counters(self) -> None:
-        self.hits = self.misses = self.writes = 0
-        self.corrupt = self.invalidations = 0
+        with self._lock:
+            self.hits = self.misses = self.writes = 0
+            self.corrupt = self.invalidations = 0
+            self.evicted = self.migrated = 0
+
+    def adopt_counters(self, other: "ResultStore") -> None:
+        """Carry another store's session counters into this one.
+
+        Used when the process-wide singleton is re-pointed at a new
+        cache directory: the session totals keep accumulating instead
+        of silently resetting to zero.
+        """
+        theirs = other.counters()
+        with self._lock:
+            for name, value in sorted(theirs.items()):
+                setattr(self, name, getattr(self, name) + value)
 
     def counters(self) -> Dict[str, int]:
-        """Session counters: hit/miss/corrupt/write/invalidation."""
-        return {"hits": self.hits, "misses": self.misses,
-                "corrupt": self.corrupt, "writes": self.writes,
-                "invalidations": self.invalidations}
+        """Session counters: hit/miss/corrupt/write/evict/..."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "corrupt": self.corrupt, "writes": self.writes,
+                    "invalidations": self.invalidations,
+                    "evicted": self.evicted, "migrated": self.migrated}
 
     def overview(self) -> Dict[str, Any]:
         """On-disk inventory: entry counts and byte totals per kind."""
         info: Dict[str, Any] = {"root": str(self.root)}
-        for kind, pattern in (("results", "*.json"),
-                              ("manifests", "*.manifest.json"),
-                              ("traces", "*.npz")):
-            sub = "traces" if kind == "traces" else "results"
-            folder = self.root / sub
+        for kind, sub, pattern in (("results", "results", "*.json"),
+                                   ("manifests", "results",
+                                    "*.manifest.json"),
+                                   ("traces", "traces", "*.npz")):
             count = size = 0
-            if folder.is_dir():
-                for path in folder.glob(pattern):
-                    if kind == "results" and path.name.endswith(
-                            ".manifest.json"):
-                        continue
-                    try:
-                        size += path.stat().st_size
-                        count += 1
-                    except OSError:
-                        continue
+            for path in self._iter_files(sub, pattern):
+                if kind == "results" and path.name.endswith(
+                        ".manifest.json"):
+                    continue
+                try:
+                    size += path.stat().st_size
+                    count += 1
+                except OSError:
+                    continue
             info[kind] = {"count": count, "bytes": size}
+        info["budget_bytes"] = self.byte_budget()
         return info
 
 
@@ -322,15 +644,24 @@ def bench_history_path() -> Path:
 def append_jsonl(path: Path, record: Dict[str, Any]) -> Path:
     """Append one JSON object as a line to ``path`` (created on demand).
 
-    A single ``write`` of one newline-terminated line: concurrent
-    appenders may interleave *lines* but never bytes within a line on
-    POSIX, and readers skip any line that fails to parse.
+    The encoded line goes out as a single ``os.write`` on an
+    ``O_APPEND`` descriptor: the kernel serialises appends to a regular
+    file per write call, so concurrent appenders may interleave *lines*
+    but never bytes within a line.  (A buffered text-mode ``write`` has
+    no such guarantee — lines longer than the stdio buffer are flushed
+    in chunks and tear under concurrency.)  Readers skip any line that
+    fails to parse.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    line = json.dumps(record, sort_keys=True,
-                      separators=(",", ":")) + "\n"
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(line)
+    data = (json.dumps(record, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
+    try:
+        view = memoryview(data)
+        while view:             # a partial write of a regular file is
+            view = view[os.write(fd, view):]    # possible only on e.g.
+    finally:                                    # ENOSPC; never silent
+        os.close(fd)
     return path
 
 
@@ -357,12 +688,25 @@ _STORE: Optional[ResultStore] = None
 
 
 def get_store() -> Optional[ResultStore]:
-    """Process-wide store singleton, or None when caching is disabled."""
+    """Process-wide store singleton, or None when caching is disabled.
+
+    The singleton's root is pinned at creation; when ``REPRO_CACHE_DIR``
+    changes mid-process the store is re-pointed at the new directory,
+    the session counters carry over, and a ``repoint`` telemetry event
+    records the move (they used to silently reset to zero).
+    """
     global _STORE
     if not caching_enabled():
         return None
-    if _STORE is None or _STORE.root != cache_root():
-        _STORE = ResultStore()
+    root = cache_root()
+    if _STORE is None:
+        _STORE = ResultStore(root)
+    elif _STORE.root != root:
+        old = _STORE
+        _STORE = ResultStore(root)
+        _STORE.adopt_counters(old)
+        _notify("repoint", old_root=str(old.root), new_root=str(root),
+                carried=old.counters())
     return _STORE
 
 

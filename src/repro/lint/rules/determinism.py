@@ -59,8 +59,10 @@ ENTROPY_CALLS = frozenset({
 })
 
 #: Path segments whose files legitimately read clocks (measurement,
-#: manifests, benchmark harness) — exempt from DET001 only.
-CLOCK_EXEMPT_SEGMENTS = frozenset({"obs", "experiments", "benchmarks"})
+#: manifests, benchmark harness, the job service's timestamps and
+#: polling deadlines) — exempt from DET001 only.
+CLOCK_EXEMPT_SEGMENTS = frozenset({"obs", "experiments", "benchmarks",
+                                   "service"})
 
 
 def _calls(tree: ast.AST) -> Iterator[ast.Call]:

@@ -32,9 +32,13 @@ from .profile import PROFILER, Profiler, SpanStats
 from .regress import Verdict, check_record, check_records, markdown_report
 from .telemetry import (
     RECONCILED_COUNTERS,
+    STORE_EVENT_COUNTS,
     ComponentCounters,
+    add_store_listener,
     component_report,
     reconcile,
+    remove_store_listener,
+    store_event,
 )
 from .traceql import diff_traces, query_trace, summarize_trace
 from .tracing import JsonlTraceLog, read_trace, trace_run
@@ -45,6 +49,10 @@ __all__ = [
     "SpanStats",
     "ComponentCounters",
     "RECONCILED_COUNTERS",
+    "STORE_EVENT_COUNTS",
+    "add_store_listener",
+    "remove_store_listener",
+    "store_event",
     "reconcile",
     "component_report",
     "JsonlTraceLog",

@@ -1,6 +1,6 @@
 """Per-component telemetry and event/counter reconciliation.
 
-Two concerns live here:
+Three concerns live here:
 
 * :class:`ComponentCounters` — attribution of prefetch outcomes to the
   *component* that issued them (``sn4l``, ``dis``, a baseline
@@ -15,12 +15,56 @@ Two concerns live here:
   number of emitted events of the paired kind must equal the counter
   exactly.  CI's trace smoke job asserts this for every registered
   scheme.
+* :func:`store_event` — the persistent store's lifecycle bus.  The
+  store (:mod:`repro.experiments.store`) reports corrupt entries,
+  evictions and singleton re-points here; listeners registered with
+  :func:`add_store_listener` (the ``repro serve`` job event stream,
+  tests) observe them without the store importing any consumer.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+#: A store lifecycle listener: called as ``listener(kind, fields)``.
+StoreListener = Callable[[str, Dict[str, Any]], None]
+
+_STORE_LISTENERS: List[StoreListener] = []
+
+#: Store lifecycle events seen this process, by kind ("corrupt",
+#: "evict", "repoint", ...) — a cheap aggregate surface (``repro
+#: stats``) even when no listener is registered.
+STORE_EVENT_COUNTS: Counter = Counter()
+
+
+def add_store_listener(listener: StoreListener) -> StoreListener:
+    """Register a callback for persistent-store lifecycle events."""
+    _STORE_LISTENERS.append(listener)
+    return listener
+
+
+def remove_store_listener(listener: StoreListener) -> None:
+    """Unregister a listener (no-op if it was never added)."""
+    try:
+        _STORE_LISTENERS.remove(listener)
+    except ValueError:
+        pass
+
+
+def store_event(kind: str, **fields: Any) -> None:
+    """Publish one store lifecycle event to every listener.
+
+    Listeners must never break the store: exceptions are swallowed
+    (a cache layer failing because an observer crashed would invert
+    the dependency the bus exists to avoid).
+    """
+    STORE_EVENT_COUNTS[kind] += 1
+    for listener in list(_STORE_LISTENERS):
+        try:
+            listener(kind, dict(fields))
+        except Exception:       # noqa: BLE001 - observers are best-effort
+            pass
 
 #: event kind -> FrontendStats attribute that must match its count.
 RECONCILED_COUNTERS: Tuple[Tuple[str, str], ...] = (

@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: the ``repro serve`` HTTP/JSON API.
+
+The CLI runs one simulation per process; this package runs them as a
+*service*: a long-lived asyncio HTTP server exposing run/compare/bench
+as queued jobs, backed by the parallel runner and the sharded persistent
+store, so a fleet of clients sweeping the same design space pays for
+each fingerprint-identical simulation exactly once.
+
+* :mod:`repro.service.httpio` — a minimal HTTP/1.1 request/response
+  layer over asyncio streams (JSON bodies only; no third-party deps);
+* :mod:`repro.service.jobs` — the job queue: bounded backpressure,
+  worker tasks, cancellation, per-job JSONL event streams, and
+  cross-client in-flight dedupe (two concurrent submissions of the same
+  fingerprint trigger exactly one simulation — the second awaits the
+  first's published result);
+* :mod:`repro.service.server` — :class:`ReproService`, the endpoint
+  routing (``/jobs``, ``/storez``, ``/healthz``, …) and the job
+  executors that fan out through
+  :func:`repro.experiments.parallel.run_many`;
+* :mod:`repro.service.client` — a small blocking client
+  (submit / poll / wait / events / storez) used by tests, CI and
+  scripts.
+
+Everything is standard library: the service must boot in the same
+environment the simulator runs in.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobQueue, QueueFullError
+from .server import ReproService, serve_in_thread
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "serve_in_thread",
+]

@@ -1,0 +1,132 @@
+"""A small blocking client for the ``repro serve`` API.
+
+Used by the tests, the CI smoke job and scripts; one
+``http.client.HTTPConnection`` per request because the server answers
+``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client: submit jobs, poll, read counters.
+
+    >>> client = ServiceClient("127.0.0.1", 8787)     # doctest: +SKIP
+    ... job_id = client.submit("run", workload="web_apache",
+    ...                        scheme="sn4l_dis_btb")
+    ... job = client.wait(job_id)
+    ... job["result"]["speedup"]
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"{method} {path} failed: {exc}") from exc
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError as exc:
+                raise ServiceError(
+                    f"{method} {path}: non-JSON response "
+                    f"({response.status})", response.status) from exc
+            if response.status >= 400:
+                detail = parsed.get("error", raw.decode("utf-8", "replace")) \
+                    if isinstance(parsed, dict) else raw.decode(
+                        "utf-8", "replace")
+                raise ServiceError(f"{method} {path}: {response.status} "
+                                   f"{detail}", response.status)
+            return parsed
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def storez(self) -> Dict[str, Any]:
+        return self.request("GET", "/storez")
+
+    def schemes(self) -> List[str]:
+        return self.request("GET", "/schemes")["schemes"]
+
+    def workloads(self) -> List[str]:
+        return self.request("GET", "/workloads")["workloads"]
+
+    def submit(self, kind: str, **params: Any) -> str:
+        """Submit a job; returns its id (raises on 4xx/5xx)."""
+        response = self.request("POST", "/jobs",
+                                {"kind": kind, "params": params})
+        return response["job"]["id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        return self.request("GET", f"/jobs/{job_id}/events")["events"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    # -- polling -------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`ServiceError` on timeout or a failed job.
+        """
+        from .jobs import TERMINAL_STATES
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                if job["state"] == "failed":
+                    raise ServiceError(
+                        f"job {job_id} failed: {job.get('error')}")
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)
+
+    def run_roundtrip(self, **params: Any) -> Tuple[str, Dict[str, Any]]:
+        """Submit a run job and wait for it (id, finished job)."""
+        job_id = self.submit("run", **params)
+        return job_id, self.wait(job_id)

@@ -1,0 +1,126 @@
+"""Minimal HTTP/1.1 over asyncio streams (JSON in, JSON out).
+
+The service speaks just enough HTTP for its JSON API: request line,
+headers, optional ``Content-Length`` body, one response per connection
+(``Connection: close``).  No third-party dependency — the container
+that runs simulations has the standard library and nothing else — and
+no chunked encoding, pipelining or TLS: clients that need those sit a
+reverse proxy in front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Refuse request bodies beyond this (a job submission is ~1 KiB).
+MAX_BODY_BYTES = 8 << 20
+
+#: Refuse unreasonably long request lines / header blocks.
+MAX_LINE_BYTES = 64 << 10
+
+_PHRASES = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request: the connection is answered 400 and closed."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"request body is not JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request from the stream; None on a clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None                 # client closed without a request
+        raise ProtocolError("truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request line too long") from exc
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            raise ProtocolError("truncated header block") from exc
+        total += len(raw)
+        if total > MAX_LINE_BYTES:
+            raise ProtocolError("header block too large")
+        text = raw.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"refusing body of {length} bytes")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("truncated request body") from exc
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method=method.upper(), target=target,
+                   path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """Serialise one complete ``Connection: close`` JSON response."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+    phrase = _PHRASES.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n").encode("latin-1")
+    return head + body

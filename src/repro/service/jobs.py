@@ -1,0 +1,289 @@
+"""The service's job queue: bounded, deduplicated, observable.
+
+A :class:`JobQueue` owns a fixed pool of asyncio worker tasks draining
+a bounded queue.  Simulation work itself is synchronous (the engine is
+pure Python), so each worker pushes the execution into a thread via
+``asyncio.to_thread`` and the event loop stays responsive for status
+polls while simulations run.
+
+Three properties the tests pin down:
+
+* **Backpressure** — the queue is bounded; submitting to a full queue
+  raises :class:`QueueFullError` (the server answers 429) instead of
+  buffering unboundedly.
+* **Cancellation** — a queued job can be cancelled; a running one
+  cannot (simulations are not interruptible mid-trace) and the caller
+  is told so.
+* **Single-flight dedupe** — jobs carry a content fingerprint; when a
+  job's fingerprint is already executing, the duplicate *awaits the
+  leader's published result* instead of simulating again.  Two clients
+  sweeping the same design space concurrently pay for each
+  fingerprint-identical simulation exactly once, and both observe
+  bit-identical results.
+
+Every job appends lifecycle events (``queued``, ``started``, progress,
+``done``/``failed``/``cancelled``) to its own JSONL stream under
+``<cache root>/service/jobs/``, written through the same torn-write-safe
+:func:`~repro.experiments.store.append_jsonl` as the bench history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..experiments.store import append_jsonl, iter_jsonl
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity; retry later."""
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its observable lifecycle."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    fingerprint: str
+    state: str = QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: True when this job awaited another in-flight job's result
+    #: instead of executing (cross-client single-flight dedupe).
+    deduped: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    events_path: Optional[Path] = None
+
+    def as_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "deduped": self.deduped,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            info["error"] = self.error
+        if include_result and self.result is not None:
+            info["result"] = self.result
+        return info
+
+
+#: Executor signature: runs in a worker *thread*; ``emit`` appends a
+#: progress event to the job's JSONL stream.
+Executor = Callable[[Job, Callable[..., None]], Dict[str, Any]]
+
+
+class JobQueue:
+    """Bounded asyncio job queue with single-flight dedupe.
+
+    All public methods except the worker loop are meant to be called
+    from the event-loop thread (the HTTP handlers).  ``execute`` runs
+    in a thread and must be thread-safe across concurrent jobs.
+    """
+
+    def __init__(self, execute: Executor, workers: int = 2,
+                 queue_size: int = 64,
+                 events_dir: Optional[Path] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._execute = execute
+        self._workers = workers
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue(maxsize=queue_size)
+        self._jobs: Dict[str, Job] = {}
+        #: fingerprint -> future resolving to ("ok", result) | ("error",
+        #: message).  Plain result tuples, not set_exception: a leader
+        #: failure with no follower must not warn about an unretrieved
+        #: future exception.
+        self._inflight: Dict[str, "asyncio.Future[Tuple[str, Any]]"] = {}
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._events_dir = events_dir
+        self._seq = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.deduped = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        for index in range(self._workers):
+            self._tasks.append(loop.create_task(
+                self._worker(), name=f"repro-job-worker-{index}"))
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+
+    # -- submission / inspection ---------------------------------------
+
+    def submit(self, kind: str, params: Dict[str, Any],
+               fingerprint: str) -> Job:
+        """Enqueue a job; raises :class:`QueueFullError` at capacity."""
+        self._seq += 1
+        job = Job(id=f"job-{self._seq:06d}", kind=kind,
+                  params=dict(params), fingerprint=fingerprint)
+        if self._events_dir is not None:
+            job.events_path = self._events_dir / f"{job.id}.jsonl"
+        try:
+            self._queue.put_nowait(job.id)
+        except asyncio.QueueFull:
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} pending); "
+                f"retry later") from None
+        self._jobs[job.id] = job
+        self.submitted += 1
+        self._emit(job, "queued", kind=kind, fingerprint=fingerprint)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in submission order."""
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> str:
+        """Try to cancel a job; returns the resulting state.
+
+        ``"cancelled"`` when the job was still queued, ``"missing"``
+        for an unknown id, otherwise the job's current state (a running
+        or finished job is not cancellable).
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            return "missing"
+        if job.state == QUEUED:
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self.cancelled += 1
+            self._emit(job, "cancelled")
+            return CANCELLED
+        return job.state
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's JSONL event stream, parsed (empty when unknown)."""
+        job = self._jobs.get(job_id)
+        if job is None or job.events_path is None:
+            return []
+        return list(iter_jsonl(job.events_path))
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate queue counters for ``/storez``."""
+        states = {state: 0 for state in
+                  (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "deduped": self.deduped,
+            "inflight": len(self._inflight),
+            "capacity": self._queue.maxsize,
+            **{f"state_{state}": count
+               for state, count in sorted(states.items())},
+        }
+
+    # -- internals -----------------------------------------------------
+
+    def _emit(self, job: Job, event: str, **fields: Any) -> None:
+        """Append one lifecycle event to the job's JSONL stream."""
+        if job.events_path is None:
+            return
+        record = {"ts": round(time.time(), 6), "job": job.id,
+                  "event": event, **fields}
+        try:
+            append_jsonl(job.events_path, record)
+        except OSError:
+            pass                # events are observability, never fatal
+
+    def _thread_emit(self, job: Job) -> Callable[..., None]:
+        """The progress emitter handed to the executor thread."""
+        def emit(event: str, **fields: Any) -> None:
+            self._emit(job, event, **fields)
+        return emit
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            try:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != QUEUED:
+                    continue            # cancelled while queued
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = RUNNING
+        job.started_at = time.time()
+        leader_fut = self._inflight.get(job.fingerprint)
+        if leader_fut is None:
+            # Leader: execute, then publish to any waiting followers.
+            loop = asyncio.get_running_loop()
+            fut: "asyncio.Future[Tuple[str, Any]]" = loop.create_future()
+            self._inflight[job.fingerprint] = fut
+            self._emit(job, "started", role="leader")
+            try:
+                result = await asyncio.to_thread(
+                    self._execute, job, self._thread_emit(job))
+            except Exception as exc:
+                outcome: Tuple[str, Any] = (
+                    "error", f"{type(exc).__name__}: {exc}")
+                self._emit(job, "traceback",
+                           text=traceback.format_exc(limit=8))
+            else:
+                outcome = ("ok", result)
+            finally:
+                self._inflight.pop(job.fingerprint, None)
+            fut.set_result(outcome)
+        else:
+            # Follower: the same fingerprint is already simulating —
+            # await the leader's published result instead of re-running.
+            job.deduped = True
+            self.deduped += 1
+            self._emit(job, "started", role="follower")
+            outcome = await leader_fut
+        status, payload = outcome
+        job.finished_at = time.time()
+        if status == "ok":
+            job.state = DONE
+            job.result = payload
+            self.completed += 1
+            self._emit(job, "done", deduped=job.deduped)
+        else:
+            job.state = FAILED
+            job.error = str(payload)
+            self.failed += 1
+            self._emit(job, "failed", error=job.error)
