@@ -285,7 +285,7 @@ def _cmd_multicore(args) -> int:
 def _cmd_stats(args) -> int:
     from .experiments import store as result_store
     from .obs import PROFILER, component_report
-    from .obs.telemetry import STORE_EVENT_COUNTS
+    from .obs.telemetry import store_event_counts
 
     if args.json:
         payload = {"store": {"root": str(result_store.cache_root()),
@@ -294,8 +294,7 @@ def _cmd_stats(args) -> int:
         if st is not None:
             payload["store"].update(st.overview())
             payload["store"]["session_counters"] = st.counters()
-            payload["store"]["events"] = dict(sorted(
-                STORE_EVENT_COUNTS.items()))
+            payload["store"]["events"] = store_event_counts()
             manifests = sorted(st.iter_manifests(),
                                key=lambda m: m.get("written_at", 0.0))
             payload["recent_runs"] = manifests[-args.last:] \
@@ -335,10 +334,10 @@ def _cmd_stats(args) -> int:
         budget = info.get("budget_bytes")
         if budget is not None:
             print(f"  budget      {budget} bytes (LRU eviction)")
-        if STORE_EVENT_COUNTS:
+        events = store_event_counts()
+        if events:
             print("  events      " + "  ".join(
-                f"{k}={v}"
-                for k, v in sorted(STORE_EVENT_COUNTS.items())))
+                f"{k}={v}" for k, v in events.items()))
 
         manifests = sorted(st.iter_manifests(),
                            key=lambda m: m.get("written_at", 0.0))
@@ -555,7 +554,8 @@ def _cmd_lint(args) -> int:
             args.paths or None,
             select=args.select.split(",") if args.select else None,
             ignore=args.ignore.split(",") if args.ignore else None,
-            jobs=args.jobs)
+            jobs=args.jobs,
+            changed_only=args.changed_only)
     except LintUsageError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -724,6 +724,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalogue and exit")
     p_lint.add_argument("--jobs", type=_jobs_flag, default=None, metavar="N",
                         help="worker processes for the per-file pass")
+    p_lint.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed since the merge-base "
+                             "with main (plus untracked files); outside a "
+                             "git checkout everything is linted")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_serve = sub.add_parser(

@@ -43,9 +43,19 @@ class LintUsageError(ValueError):
     """Bad lint invocation (unknown rule id, missing path)."""
 
 
+#: One step of an interprocedural evidence chain: (path, line, col, note).
+Related = Tuple[str, int, int, str]
+
+
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``related`` carries the evidence chain of interprocedural findings
+    (e.g. the call path from an ``async def`` down to the blocking
+    sink): each entry is a secondary location plus a note, rendered as
+    ``relatedLocations`` in SARIF and indented ``via`` lines in text.
+    """
 
     rule: str
     path: str            # posix path relative to the lint root
@@ -54,6 +64,7 @@ class Finding:
     message: str
     suppressed: bool = False
     justification: str = ""
+    related: Tuple[Related, ...] = ()
 
     @property
     def location(self) -> str:
@@ -68,15 +79,23 @@ class Finding:
             d["suppressed"] = True
             if self.justification:
                 d["justification"] = self.justification
+        if self.related:
+            d["related"] = [
+                {"path": p, "line": line, "col": col, "note": note}
+                for p, line, col, note in self.related]
         return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "Finding":
+        related = tuple(
+            (str(r["path"]), int(r["line"]), int(r["col"]), str(r["note"]))
+            for r in d.get("related", ()))  # type: ignore[union-attr]
         return cls(rule=str(d["rule"]), path=str(d["path"]),
                    line=int(d["line"]), col=int(d["col"]),  # type: ignore[arg-type]
                    message=str(d["message"]),
                    suppressed=bool(d.get("suppressed", False)),
-                   justification=str(d.get("justification", "")))
+                   justification=str(d.get("justification", "")),
+                   related=related)
 
 
 #: Matches a comment of the form ``repro: noqa[DET001,TEL002] -- why``
@@ -266,6 +285,7 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)    # unsuppressed
     suppressed: List[Finding] = field(default_factory=list)
     rules: Tuple[str, ...] = ()      # active rule ids
+    skipped: int = 0                 # files dropped by --changed-only
 
     @property
     def ok(self) -> bool:
@@ -308,6 +328,41 @@ def _expand(paths: Sequence[Path]) -> List[Path]:
             seen.add(r)
             unique.append(r)
     return unique
+
+
+def changed_files(root: Path) -> Optional[Set[Path]]:
+    """Files differing from ``git merge-base HEAD main``, resolved.
+
+    Includes committed, staged, unstaged and untracked changes — the
+    working set a pre-commit run cares about.  Returns ``None`` when
+    ``root`` is not inside a git checkout (or git is unusable), in
+    which case callers lint everything.
+    """
+    import subprocess
+
+    def git(*args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(root), *args],
+                capture_output=True, text=True, timeout=60)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    top = git("rev-parse", "--show-toplevel")
+    if top is None or not top.strip():
+        return None
+    toplevel = Path(top.strip())
+    base = git("merge-base", "HEAD", "main")
+    # No ``main`` (detached checkout, differently named trunk): diff
+    # against HEAD so the working tree still narrows the run.
+    base_rev = base.strip() if base and base.strip() else "HEAD"
+    diff = git("diff", "--name-only", "-z", base_rev, "--")
+    if diff is None:
+        return None
+    untracked = git("ls-files", "--others", "--exclude-standard", "-z") or ""
+    names = [n for n in diff.split("\0") + untracked.split("\0") if n]
+    return {(toplevel / name).resolve() for name in names}
 
 
 def resolve_rules(select: Optional[Sequence[str]] = None,
@@ -379,12 +434,18 @@ def lint_paths(paths: Optional[Sequence] = None,
                select: Optional[Sequence[str]] = None,
                ignore: Optional[Sequence[str]] = None,
                jobs: Optional[int] = None,
-               root: Optional[Path] = None) -> LintResult:
+               root: Optional[Path] = None,
+               changed_only: bool = False) -> LintResult:
     """Run the active rules over ``paths`` (default: the repro package).
 
     ``jobs`` follows the same resolution as every other subcommand
     (explicit argument, then ``REPRO_JOBS``, else serial); the per-file
     pass fans out to worker processes, cross-file rules stay local.
+
+    ``changed_only`` keeps only files differing from ``git merge-base
+    HEAD main`` (committed, staged, unstaged or untracked) — the fast
+    pre-commit mode.  Outside a git checkout every file is kept, so the
+    flag degrades to a full run rather than an empty one.
     """
     from . import rules as _rules  # noqa: F401  (registers the packs)
     from ..experiments.parallel import map_parallel, resolve_jobs
@@ -403,6 +464,14 @@ def lint_paths(paths: Optional[Sequence] = None,
         else:
             root = Path(*os.path.commonprefix([f.parts for f in files]))
     root = root.resolve()
+
+    skipped = 0
+    if changed_only:
+        changed = changed_files(root)
+        if changed is not None:
+            kept_files = [f for f in files if f in changed]
+            skipped = len(files) - len(kept_files)
+            files = kept_files
 
     def rel_of(f: Path) -> str:
         try:
@@ -455,7 +524,8 @@ def lint_paths(paths: Optional[Sequence] = None,
             muted.append(Finding(
                 finding.rule, finding.path, finding.line, finding.col,
                 finding.message, suppressed=True,
-                justification=sup.justification))
+                justification=sup.justification,
+                related=finding.related))
         else:
             kept.append(finding)
 
@@ -474,4 +544,5 @@ def lint_paths(paths: Optional[Sequence] = None,
     return LintResult(root=str(root), files=[rel for _, rel in pairs],
                       findings=sorted(kept, key=key),
                       suppressed=sorted(muted, key=key),
-                      rules=tuple(r.id for r in active))
+                      rules=tuple(r.id for r in active),
+                      skipped=skipped)

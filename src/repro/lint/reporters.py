@@ -22,6 +22,8 @@ def render_text(result: LintResult) -> str:
     lines: List[str] = []
     for finding in result.findings:
         lines.append(f"{finding.location}: {finding.rule} {finding.message}")
+        for path, line, col, note in finding.related:
+            lines.append(f"    via {path}:{line}:{col}: {note}")
     counts = result.counts()
     if counts:
         per_rule = ", ".join(f"{rid} x{n}" for rid, n in sorted(counts.items()))
@@ -31,6 +33,9 @@ def render_text(result: LintResult) -> str:
     else:
         lines.append(f"clean: {len(result.files)} file(s), "
                      f"{len(result.suppressed)} suppressed finding(s)")
+    if result.skipped:
+        lines.append(f"({result.skipped} unchanged file(s) skipped by "
+                     f"--changed-only)")
     return "\n".join(lines)
 
 
@@ -40,6 +45,7 @@ def result_as_dict(result: LintResult) -> Dict[str, object]:
         "ok": result.ok,
         "root": result.root,
         "files": len(result.files),
+        "skipped": result.skipped,
         "rules": list(result.rules),
         "counts": result.counts(),
         "findings": [f.as_dict() for f in result.findings],
@@ -70,7 +76,7 @@ def render_sarif(result: LintResult) -> str:
     results = []
     for finding in result.findings:
         rule = RULES.get(finding.rule)
-        results.append({
+        entry: Dict[str, object] = {
             "ruleId": finding.rule,
             "level": rule.level if rule is not None else "error",
             "message": {"text": finding.message},
@@ -81,7 +87,16 @@ def render_sarif(result: LintResult) -> str:
                                "startColumn": finding.col},
                 },
             }],
-        })
+        }
+        if finding.related:
+            entry["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": line, "startColumn": col},
+                },
+                "message": {"text": note},
+            } for path, line, col, note in finding.related]
+        results.append(entry)
     doc = {
         "$schema": SARIF_SCHEMA,
         "version": "2.1.0",

@@ -10,10 +10,23 @@ scheme registry   REG001-3   SCHEMES factories importable and
                              signature-correct, override keys valid
 storage budget    BUD001-3   Table II geometry within the paper's
                              7.6 KB storage claim
+asyncio hygiene   ASY001-4   no blocking calls on the event loop
+                             (interprocedural), coroutines awaited,
+                             task refs kept, no await under lock
+lock discipline   LCK001-2   guarded attributes stay guarded, lock
+                             nesting order globally consistent
+resource safety   RES001-2   handles closed on all paths, raw fds
+                             never leaked across a raise
 framework         LNT001-2   no stale suppressions, files parse
 ================  =========  =====================================
 """
 
-from . import budget, determinism, registry, telemetry  # noqa: F401
+from . import (  # noqa: F401
+    budget,
+    concurrency,
+    determinism,
+    registry,
+    telemetry,
+)
 
-__all__ = ["budget", "determinism", "registry", "telemetry"]
+__all__ = ["budget", "concurrency", "determinism", "registry", "telemetry"]

@@ -1,0 +1,943 @@
+"""Concurrency and resource-safety rules (ASY/LCK/RES packs).
+
+PR 6 turned the reproduction into a long-running concurrent system —
+an asyncio event loop (``repro serve``) cooperating with ``to_thread``
+worker threads over a lock-protected sharded store — and every bug it
+fixed by hand belongs to a statically detectable class.  These packs
+fence those classes at lint time:
+
+* **ASY001** blocking call inside an ``async def``, either directly or
+  transitively reachable through the call graph, without an
+  ``asyncio.to_thread`` offload.  Interprocedural: the per-file pass
+  extracts call edges as picklable facts, the project pass merges them
+  into a call graph and searches for a sync path from every call site
+  in a coroutine down to a known blocking leaf (``open``,
+  ``time.sleep``, ``subprocess.run``, ...).  The finding carries the
+  evidence chain as related locations.
+* **ASY002** coroutine called but never awaited or scheduled — the
+  body silently never runs.
+* **ASY003** ``create_task``/``ensure_future`` result dropped: the
+  event loop keeps only a weak reference, so the task can be
+  garbage-collected mid-flight.
+* **ASY004** ``await`` while a *synchronously* acquired lock is held
+  (``with self._lock: ... await ...``): the thread lock is pinned
+  across the suspension and blocks every other coroutine that needs
+  it.  ``async with`` locks are exempt — that is what they are for.
+
+* **LCK001** inferred lock discipline: attributes a class accesses
+  under ``with self._lock`` form its guarded set; any access to a
+  guarded attribute outside a lock region is exactly the unlocked
+  store-counter race PR 6 fixed by hand.
+* **LCK002** inconsistent nested lock acquisition order across the
+  project (``A then B`` in one place, ``B then A`` in another) — the
+  textbook deadlock shape.
+
+* **RES001** acquired file/socket handle that is neither closed on
+  any path nor escapes the function (returned, stored, passed on).
+* **RES002** raw fd from ``os.open``/``tempfile.mkstemp`` not handed
+  to ``os.close``/``os.fdopen`` immediately or under ``try``: any
+  exception in between leaks the descriptor.
+
+The facts model deliberately resolves calls conservatively: a call
+edge is followed only when its target resolves unambiguously (same
+scope chain, import origin, ``self.`` method, or an annotated
+attribute/constructor type).  Unresolved calls are dropped rather than
+guessed, so the packs stay quiet instead of crying wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
+
+from ..astutil import dotted_name, resolve_dotted
+from ..framework import (
+    Facts,
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    fact_extractor,
+    register,
+)
+
+#: Calls that block the calling thread (and with it the event loop).
+#: ``os.open``/``os.write`` are deliberately absent: the JSONL event
+#: tap appends one small record to an O_APPEND fd, which the service
+#: accepts on the loop by design — flagging it would bury the real
+#: multi-megabyte reads these rules exist to catch.
+BLOCKING_CALLS = frozenset({
+    "open", "io.open",
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "urllib.request.urlopen",
+    "select.select",
+    "os.system", "os.popen", "os.waitpid",
+    "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+    "shutil.move", "shutil.rmtree",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.head", "requests.request",
+})
+
+#: Wrappers that hand a coroutine to the loop: calling one *is*
+#: scheduling, and the wrapper call itself never blocks.
+SCHEDULING_CALLS = frozenset({
+    "asyncio.create_task", "asyncio.ensure_future", "asyncio.gather",
+    "asyncio.wait", "asyncio.wait_for", "asyncio.shield", "asyncio.run",
+    "asyncio.run_coroutine_threadsafe", "asyncio.as_completed",
+    "asyncio.Task", "asyncio.timeout",
+})
+SCHEDULING_ATTRS = frozenset({
+    "create_task", "ensure_future", "run_until_complete",
+    "run_coroutine_threadsafe", "add_done_callback", "gather",
+})
+
+#: Wrappers that move work *off* the loop thread.
+OFFLOAD_CALLS = frozenset({"asyncio.to_thread"})
+OFFLOAD_ATTRS = frozenset({"to_thread", "run_in_executor"})
+
+#: The two task spawners whose dropped result is a GC hazard (ASY003).
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Acquisitions RES001 tracks: each returns a handle that must be
+#: closed (``os.open``/``mkstemp`` return raw fds and belong to RES002).
+RESOURCE_CALLS = frozenset({
+    "open", "io.open", "gzip.open", "bz2.open", "lzma.open",
+    "socket.socket", "socket.create_connection",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile",
+})
+
+#: Attribute accesses on a handle that count as releasing it.
+_CLOSE_ATTRS = frozenset({"close", "release", "__exit__"})
+
+#: Methods allowed to touch guarded attributes without the lock: the
+#: object is not shared yet (or no longer shared) while they run.
+_LCK_EXEMPT_METHODS = frozenset({
+    "__init__", "__post_init__", "__new__", "__del__"})
+
+
+def module_of(rel: str) -> str:
+    """Dotted module name of a repo-relative path (``src/`` stripped)."""
+    parts = list(PurePath(rel).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if parts and parts[0] == "src":
+        parts.pop(0)
+    return ".".join(parts) or "module"
+
+
+def _type_of_annotation(ann: Optional[ast.AST]) -> Optional[str]:
+    """The nominal class of an annotation: ``Optional[JobQueue]`` ->
+    ``JobQueue``, ``"asyncio.Queue[str]"`` -> ``asyncio.Queue``."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.Subscript):
+        base = dotted_name(ann.value)
+        if base in ("Optional", "typing.Optional", "Final",
+                    "typing.Final"):
+            return _type_of_annotation(ann.slice)
+        return base
+    return dotted_name(ann)
+
+
+def _is_lockish(name: str) -> bool:
+    low = name.lower()
+    return "lock" in low or "mutex" in low
+
+
+class _Model:
+    """Everything the concurrency rules need from one file."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        #: qname -> {"line", "col", "async", "calls": [call record]}
+        self.functions: Dict[str, Dict[str, Any]] = {}
+        #: (outer lock, inner lock, line, col) nested-acquisition pairs.
+        self.lock_pairs: List[Tuple[str, str, int, int]] = []
+        #: {"name", "accesses": [(attr, line, col, lock-or-"", method)]}
+        self.classes: List[Dict[str, Any]] = []
+        self.asy3: List[Tuple[int, int, str]] = []
+        self.asy4: List[Tuple[int, int, str]] = []
+        self.res1: List[Tuple[int, int, str]] = []
+        self.res2: List[Tuple[int, int, str]] = []
+
+
+class _FileVisitor(ast.NodeVisitor):
+    """One pass over a module collecting the :class:`_Model`."""
+
+    def __init__(self, model: _Model, imports: Dict[str, str],
+                 parents: Dict[ast.AST, ast.AST]) -> None:
+        self.model = model
+        self.imports = imports
+        self.parents = parents
+        self.scope_names: List[str] = []
+        self.scope_kinds: List[str] = []       # "class" | "func"
+        self.class_stack: List[Dict[str, Any]] = []
+        self.method_stack: List[str] = []
+        self.func_stack: List[Dict[str, Any]] = []
+        #: (display name, acquired-via-self?, sync ``with``?) held locks.
+        self.lock_stack: List[Tuple[str, bool, bool]] = []
+        self.var_types: List[Dict[str, str]] = []
+
+    # -- scopes --------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info: Dict[str, Any] = {
+            "name": node.name, "accesses": [], "attr_types": {}}
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AnnAssign):
+                target = sub.target
+                tname = _type_of_annotation(sub.annotation)
+                if tname is None:
+                    continue
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    info["attr_types"].setdefault(target.attr, tname)
+                elif isinstance(target, ast.Name):
+                    info["attr_types"].setdefault(target.id, tname)
+        self.class_stack.append(info)
+        self.scope_names.append(node.name)
+        self.scope_kinds.append("class")
+        saved_locks, self.lock_stack = self.lock_stack, []
+        self.generic_visit(node)
+        self.lock_stack = saved_locks
+        self.scope_kinds.pop()
+        self.scope_names.pop()
+        self.class_stack.pop()
+        self.model.classes.append(info)
+
+    def _visit_func(self, node, is_async: bool) -> None:
+        qname = ".".join(self.scope_names + [node.name])
+        record: Dict[str, Any] = {
+            "line": node.lineno, "col": node.col_offset + 1,
+            "async": is_async, "calls": []}
+        self.model.functions[qname] = record
+        is_method = bool(self.scope_kinds) and self.scope_kinds[-1] == "class"
+        if is_method:
+            self.method_stack.append(node.name)
+            ctor_types = self.class_stack[-1]["attr_types"]
+            if node.name == "__init__":
+                # ``self.x = SomeClass(...)`` pins x's type as well.
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Assign) and \
+                            len(sub.targets) == 1 and \
+                            isinstance(sub.targets[0], ast.Attribute) and \
+                            isinstance(sub.targets[0].value, ast.Name) and \
+                            sub.targets[0].value.id == "self" and \
+                            isinstance(sub.value, ast.Call):
+                        tname = dotted_name(sub.value.func)
+                        if tname and \
+                                tname.rpartition(".")[2][:1].isupper():
+                            ctor_types.setdefault(
+                                sub.targets[0].attr, tname)
+        self.func_stack.append(record)
+        self.scope_names.append(node.name)
+        self.scope_kinds.append("func")
+        self.var_types.append({})
+        saved_locks, self.lock_stack = self.lock_stack, []
+        self.generic_visit(node)
+        self.lock_stack = saved_locks
+        self.var_types.pop()
+        self.scope_kinds.pop()
+        self.scope_names.pop()
+        self.func_stack.pop()
+        if is_method:
+            self.method_stack.pop()
+        _check_resources(node, self.imports, self.model)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, is_async=True)
+
+    # -- locks ---------------------------------------------------------
+
+    def _lock_of(self, expr: ast.AST) -> Optional[Tuple[str, bool]]:
+        node = expr.func if isinstance(expr, ast.Call) else expr
+        name = dotted_name(node)
+        if name is None:
+            return None
+        tail = name.rsplit(".", 1)[-1]
+        if not _is_lockish(tail) and \
+                resolve_dotted(node, self.imports) not in (
+                    "threading.Lock", "threading.RLock"):
+            return None
+        selfish = name.startswith("self.")
+        if selfish and self.class_stack:
+            cls = self.class_stack[-1]["name"]
+            return f"{cls}{name[4:]}", True
+        return name, selfish
+
+    def _visit_with(self, node, is_async: bool) -> None:
+        acquired: List[Tuple[str, bool, bool]] = []
+        for item in node.items:
+            lock = self._lock_of(item.context_expr)
+            if lock is None:
+                continue
+            name, selfish = lock
+            for held, _, held_sync in self.lock_stack:
+                if held != name:
+                    self.model.lock_pairs.append(
+                        (held, name, item.context_expr.lineno,
+                         item.context_expr.col_offset + 1))
+            acquired.append((name, selfish, not is_async))
+        self.lock_stack.extend(acquired)
+        self.generic_visit(node)
+        if acquired:
+            del self.lock_stack[-len(acquired):]
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node, is_async=False)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node, is_async=True)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        held = [name for name, _, sync in self.lock_stack if sync]
+        if held and self.func_stack and self.func_stack[-1]["async"]:
+            self.model.asy4.append(
+                (node.lineno, node.col_offset + 1, held[-1]))
+        self.generic_visit(node)
+
+    # -- attribute discipline (LCK001) ---------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self" \
+                and self.class_stack and not _is_lockish(node.attr):
+            parent = self.parents.get(node)
+            is_invocation = isinstance(parent, ast.Call) and \
+                parent.func is node
+            if not is_invocation:
+                lock = ""
+                for name, selfish, _ in self.lock_stack:
+                    if selfish:
+                        lock = name
+                        break
+                method = self.method_stack[-1] if self.method_stack else ""
+                self.class_stack[-1]["accesses"].append(
+                    (node.attr, node.lineno, node.col_offset + 1,
+                     lock, method))
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+
+    def _class_path(self) -> List[str]:
+        for i in range(len(self.scope_kinds) - 1, -1, -1):
+            if self.scope_kinds[i] == "class":
+                return self.scope_names[:i + 1]
+        return []
+
+    def _type_candidates(self, tname: Optional[str],
+                         meth: str) -> List[Tuple[str, bool]]:
+        if not tname:
+            return []
+        head, _, rest = tname.partition(".")
+        origin = self.imports.get(head)
+        if origin is not None:
+            base = f"{origin}.{rest}" if rest else origin
+            return [(f"{base}.{meth}", True)]
+        return [(f"{self.model.module}.{tname}.{meth}", False),
+                (f"{tname}.{meth}", True)]
+
+    def _var_type(self, name: str) -> Optional[str]:
+        for scope in reversed(self.var_types):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _candidates(self, func: ast.AST) -> List[Tuple[str, bool]]:
+        """(qname candidate, suffix-match allowed?) in resolution order."""
+        module = self.model.module
+        if isinstance(func, ast.Name):
+            if func.id in self.imports:
+                return [(self.imports[func.id], True)]
+            return [
+                (".".join([module] + self.scope_names[:i] + [func.id]),
+                 False)
+                for i in range(len(self.scope_names), -1, -1)]
+        if isinstance(func, ast.Attribute):
+            base, meth = func.value, func.attr
+            if isinstance(base, ast.Name) and base.id == "self" and \
+                    self.class_stack:
+                path = self._class_path()
+                return [(".".join([module] + path + [meth]), False)]
+            if isinstance(base, ast.Attribute) and \
+                    isinstance(base.value, ast.Name) and \
+                    base.value.id == "self" and self.class_stack:
+                attr_types = self.class_stack[-1]["attr_types"]
+                return self._type_candidates(attr_types.get(base.attr),
+                                             meth)
+            if isinstance(base, ast.Name):
+                tname = self._var_type(base.id)
+                if tname:
+                    return self._type_candidates(tname, meth)
+            resolved = resolve_dotted(func, self.imports)
+            return [(resolved, True)] if resolved else []
+        return []
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.var_types and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                isinstance(node.value, ast.Call):
+            tname = dotted_name(node.value.func)
+            if tname is not None:
+                self.var_types[-1][node.targets[0].id] = tname
+        self.generic_visit(node)
+
+    def _wrapper_kind(self, call: ast.Call) -> Tuple[bool, bool]:
+        """(is scheduling wrapper, is offload wrapper) for ``call``."""
+        func = call.func
+        tail = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        resolved = resolve_dotted(func, self.imports)
+        sched = resolved in SCHEDULING_CALLS or tail in SCHEDULING_ATTRS
+        offload = resolved in OFFLOAD_CALLS or tail in OFFLOAD_ATTRS
+        return sched, offload
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.func_stack:
+            self._record_call(node)
+        self.generic_visit(node)
+
+    def _record_call(self, node: ast.Call) -> None:
+        resolved = resolve_dotted(node.func, self.imports)
+        display = dotted_name(node.func) or (
+            node.func.attr if isinstance(node.func, ast.Attribute)
+            else "<call>")
+        sched_wrap, offload = self._wrapper_kind(node)
+
+        parent = self.parents.get(node)
+        awaited = isinstance(parent, ast.Await)
+        stmt = self.parents.get(parent) if awaited else parent
+        discarded = isinstance(stmt, ast.Expr)
+        scheduled = False
+        if isinstance(parent, ast.Call) and parent.func is not node:
+            in_args = node in parent.args or \
+                any(kw.value is node for kw in parent.keywords)
+            if in_args:
+                p_sched, p_offload = self._wrapper_kind(parent)
+                scheduled = p_sched or p_offload
+
+        tail = node.func.attr if isinstance(node.func, ast.Attribute) \
+            else (node.func.id if isinstance(node.func, ast.Name) else "")
+        if sched_wrap and tail in _TASK_SPAWNERS and discarded:
+            self.model.asy3.append(
+                (node.lineno, node.col_offset + 1, display))
+
+        self.func_stack[-1]["calls"].append({
+            "cands": self._candidates(node.func),
+            "dotted": resolved,
+            "name": display,
+            "line": node.lineno,
+            "col": node.col_offset + 1,
+            "awaited": awaited,
+            "discarded": discarded,
+            "scheduled": scheduled,
+            "wrap": sched_wrap,
+            "offload": offload,
+        })
+
+
+# -- resource safety (RES001/RES002), per function ----------------------
+
+def _local_nodes(fn: ast.AST) -> Iterable[ast.AST]:
+    """Nodes of ``fn`` excluding nested function/class/lambda bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _consumes_fd(stmt: ast.AST, name: str,
+                 imports: Dict[str, str]) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and \
+                resolve_dotted(node.func, imports) in ("os.close",
+                                                       "os.fdopen"):
+            if any(isinstance(a, ast.Name) and a.id == name
+                   for a in node.args):
+                return True
+    return False
+
+
+def _mentions(stmt: ast.AST, name: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(stmt))
+
+
+def _fd_acquisition(stmt: ast.AST,
+                    imports: Dict[str, str]) -> Optional[str]:
+    if not (isinstance(stmt, ast.Assign) and
+            isinstance(stmt.value, ast.Call)):
+        return None
+    resolved = resolve_dotted(stmt.value.func, imports)
+    if resolved == "os.open" and len(stmt.targets) == 1 and \
+            isinstance(stmt.targets[0], ast.Name):
+        return stmt.targets[0].id
+    if resolved == "tempfile.mkstemp" and len(stmt.targets) == 1 and \
+            isinstance(stmt.targets[0], ast.Tuple) and \
+            stmt.targets[0].elts and \
+            isinstance(stmt.targets[0].elts[0], ast.Name):
+        return stmt.targets[0].elts[0].id
+    return None
+
+
+def _check_fd_lifetimes(fn: ast.AST, imports: Dict[str, str],
+                        model: _Model) -> None:
+    #: (statement list, cleanup statements that also guard it) — an
+    #: acquisition inside a try body whose finally/except closes the fd
+    #: is exception-safe by construction.
+    units: List[Tuple[List[ast.stmt], List[ast.stmt]]] = []
+    for node in [fn] + list(_local_nodes(fn)):
+        if isinstance(node, ast.Try):
+            guards = list(node.finalbody) + \
+                [s for h in node.handlers for s in h.body]
+            units.append((node.body, guards))
+            units.append((node.orelse, guards))
+            units.append((node.finalbody, []))
+        elif isinstance(node, ast.ExceptHandler):
+            units.append((node.body, []))
+        else:
+            for field in ("body", "orelse"):
+                stmts = getattr(node, field, None)
+                if isinstance(stmts, list) and stmts and \
+                        isinstance(stmts[0], ast.stmt):
+                    units.append((stmts, []))
+    for stmts, guards in units:
+        for i, stmt in enumerate(stmts):
+            name = _fd_acquisition(stmt, imports)
+            if name is None:
+                continue
+            rest = stmts[i + 1:]
+            if any(_consumes_fd(s, name, imports) for s in guards):
+                continue        # closed in finally/except: safe
+            if rest and _consumes_fd(rest[0], name, imports):
+                # Closed (or wrapped by os.fdopen) in the very next
+                # statement — if that statement is a try block, the
+                # close is exception-safe by construction.
+                continue
+            line, col = stmt.lineno, stmt.col_offset + 1
+            if any(_consumes_fd(s, name, imports) for s in rest):
+                model.res2.append((line, col, (
+                    f"fd {name!r} is closed only after intervening "
+                    f"statements; an exception in between leaks it — "
+                    f"close it in the next statement or a try/finally")))
+            elif not any(_mentions(s, name)
+                         for s in rest + guards):
+                model.res2.append((line, col, (
+                    f"fd {name!r} from os.open/mkstemp is never passed "
+                    f"to os.close or os.fdopen; the descriptor leaks")))
+
+
+def _check_resources(fn: ast.AST, imports: Dict[str, str],
+                     model: _Model) -> None:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fn):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    for node in _local_nodes(fn):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            resolved = resolve_dotted(node.value.func, imports)
+            if resolved in RESOURCE_CALLS:
+                model.res1.append((
+                    node.value.lineno, node.value.col_offset + 1,
+                    f"{resolved}(...) result is discarded; the handle "
+                    f"is never closed"))
+            continue
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            continue
+        resolved = resolve_dotted(node.value.func, imports)
+        if resolved not in RESOURCE_CALLS:
+            continue
+        name = node.targets[0].id
+        closes = escapes = False
+        for occ in ast.walk(fn):
+            if not (isinstance(occ, ast.Name) and occ.id == name):
+                continue
+            if occ is node.targets[0]:
+                continue
+            parent = parents.get(occ)
+            if isinstance(parent, ast.withitem):
+                closes = True
+            elif isinstance(parent, ast.Attribute):
+                if parent.attr in _CLOSE_ATTRS:
+                    closes = True
+            elif isinstance(parent, ast.Call):
+                if parent.func is not occ:
+                    target = resolve_dotted(parent.func, imports) or ""
+                    if target.rsplit(".", 1)[-1] in ("closing", "fdopen"):
+                        closes = True
+                    else:
+                        escapes = True
+            elif isinstance(parent, (ast.Return, ast.Yield,
+                                     ast.YieldFrom, ast.keyword,
+                                     ast.Starred, ast.Tuple, ast.List,
+                                     ast.Set, ast.Dict)):
+                escapes = True
+            elif isinstance(parent, ast.Assign) and occ is parent.value:
+                escapes = True
+        if not closes and not escapes:
+            model.res1.append((
+                node.lineno, node.col_offset + 1,
+                f"{resolved}(...) bound to {name!r} is never closed and "
+                f"never escapes this function; open it in a 'with' or "
+                f"close it on all paths"))
+
+    _check_fd_lifetimes(fn, imports, model)
+
+
+# -- model cache and fact extraction ------------------------------------
+
+def _model_of(ctx: FileContext) -> _Model:
+    model = getattr(ctx, "_concurrency_model", None)
+    if model is None:
+        model = _Model(module_of(ctx.rel))
+        if ctx.tree is not None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(ctx.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            _FileVisitor(model, ctx.imports, parents).visit(ctx.tree)
+        ctx._concurrency_model = model  # type: ignore[attr-defined]
+    return model
+
+
+@fact_extractor("concurrency")
+def concurrency_facts(ctx: FileContext) -> Optional[Facts]:
+    """Call edges and lock-order pairs of one file, picklable."""
+    model = _model_of(ctx)
+    if not model.functions and not model.lock_pairs:
+        return None
+    return {"module": model.module,
+            "functions": model.functions,
+            "lock_pairs": model.lock_pairs}
+
+
+# -- the merged call graph ----------------------------------------------
+
+#: One interprocedural hop: (rel path, line, col, note).
+_Hop = Tuple[str, int, int, str]
+
+
+class _CallGraph:
+    def __init__(self, facts: Dict[str, Facts]) -> None:
+        self.funcs: Dict[str, Dict[str, Any]] = {}
+        self.by_tail: Dict[str, List[str]] = {}
+        for rel in sorted(facts):
+            module = str(facts[rel]["module"])
+            functions = cast(Dict[str, Dict[str, Any]],
+                             facts[rel]["functions"])
+            for qname in sorted(functions):
+                record = dict(functions[qname])
+                record["rel"] = rel
+                full = f"{module}.{qname}"
+                self.funcs[full] = record
+                tail = full.rsplit(".", 1)[-1]
+                self.by_tail.setdefault(tail, []).append(full)
+        self._chains: Dict[str, Optional[Tuple[List[_Hop], str]]] = {}
+
+    def resolve(self, cands: Sequence[Tuple[str, bool]]) -> Optional[str]:
+        for cand, allow_suffix in cands:
+            if cand in self.funcs:
+                return cand
+            if allow_suffix:
+                tail = cand.rsplit(".", 1)[-1]
+                matches = [full for full in self.by_tail.get(tail, ())
+                           if full.endswith("." + cand)]
+                if len(matches) == 1:
+                    return matches[0]
+        return None
+
+    def blocking_chain(self, full: str, visiting: Set[str]
+                       ) -> Optional[Tuple[List[_Hop], str]]:
+        """Call path from ``full`` down to a blocking leaf, or None.
+
+        Each hop is ``(rel, line, col, note)``; the second element of
+        the result names the blocking sink.  Async callees are skipped:
+        a coroutine's own blocking calls are its own ASY001 finding.
+        """
+        if full in self._chains:
+            return self._chains[full]
+        if full in visiting:
+            return None
+        visiting.add(full)
+        record = self.funcs[full]
+        tail = full.rsplit(".", 1)[-1]
+        chain: Optional[Tuple[List[_Hop], str]] = None
+        for call in record["calls"]:
+            if call["wrap"] or call["offload"]:
+                continue
+            if call["dotted"] in BLOCKING_CALLS:
+                chain = ([(str(record["rel"]), call["line"], call["col"],
+                           f"{tail} calls blocking {call['dotted']}()")],
+                         str(call["dotted"]))
+                break
+        if chain is None:
+            for call in record["calls"]:
+                if call["wrap"] or call["offload"]:
+                    continue
+                target = self.resolve(call["cands"])
+                if target is None or target == full:
+                    continue
+                target_rec = self.funcs[target]
+                if target_rec["async"]:
+                    continue
+                sub = self.blocking_chain(target, visiting)
+                if sub is not None:
+                    hops, sink = sub
+                    target_tail = target.rsplit(".", 1)[-1]
+                    chain = ([(str(record["rel"]), call["line"],
+                               call["col"],
+                               f"{tail} calls {target_tail}")] + hops,
+                             sink)
+                    break
+        visiting.discard(full)
+        self._chains[full] = chain
+        return chain
+
+
+# -- ASY: asyncio hygiene ----------------------------------------------
+
+@register
+class BlockingInCoroutineRule(Rule):
+    id = "ASY001"
+    name = "blocking-call-in-coroutine"
+    summary = ("a call inside 'async def' blocks the event loop, "
+               "directly or through the call graph; wrap the blocking "
+               "leaf in asyncio.to_thread(...)")
+    scope = "project"
+    facts = ("concurrency",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = _CallGraph(project.facts_for("concurrency"))
+        for full in sorted(graph.funcs):
+            record = graph.funcs[full]
+            if not record["async"]:
+                continue
+            tail = full.rsplit(".", 1)[-1]
+            for call in record["calls"]:
+                if call["wrap"] or call["offload"]:
+                    continue
+                if call["dotted"] in BLOCKING_CALLS:
+                    yield Finding(
+                        self.id, str(record["rel"]),
+                        call["line"], call["col"],
+                        f"blocking call {call['dotted']}() inside async "
+                        f"function {tail}; it stalls the event loop — "
+                        f"wrap it in asyncio.to_thread(...)")
+                    continue
+                target = graph.resolve(call["cands"])
+                if target is None:
+                    continue
+                if graph.funcs[target]["async"]:
+                    continue
+                chain = graph.blocking_chain(target, set())
+                if chain is None:
+                    continue
+                hops, sink = chain
+                yield Finding(
+                    self.id, str(record["rel"]),
+                    call["line"], call["col"],
+                    f"call to {call['name']}() inside async function "
+                    f"{tail} reaches blocking {sink}() through the call "
+                    f"graph; route the blocking leaf through "
+                    f"asyncio.to_thread(...)",
+                    related=tuple(hops))
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    id = "ASY002"
+    name = "unawaited-coroutine"
+    summary = ("a coroutine function is called but the coroutine is "
+               "neither awaited nor scheduled; its body never runs")
+    scope = "project"
+    facts = ("concurrency",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = _CallGraph(project.facts_for("concurrency"))
+        for full in sorted(graph.funcs):
+            record = graph.funcs[full]
+            for call in record["calls"]:
+                if call["awaited"] or call["scheduled"] or call["wrap"] \
+                        or call["offload"] or not call["discarded"]:
+                    continue
+                target = graph.resolve(call["cands"])
+                if target is not None and graph.funcs[target]["async"]:
+                    yield Finding(
+                        self.id, str(record["rel"]),
+                        call["line"], call["col"],
+                        f"{call['name']}() is a coroutine function but "
+                        f"the result is discarded without await or "
+                        f"create_task; the body will never execute",
+                        related=((str(graph.funcs[target]["rel"]),
+                                  graph.funcs[target]["line"],
+                                  graph.funcs[target]["col"],
+                                  f"{target} is declared async here"),))
+
+
+@register
+class DroppedTaskRule(Rule):
+    id = "ASY003"
+    name = "dropped-task-reference"
+    summary = ("create_task/ensure_future result discarded: the loop "
+               "holds only a weak reference, so the task can be "
+               "garbage-collected before it finishes")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for line, col, name in _model_of(ctx).asy3:
+            yield Finding(
+                self.id, ctx.rel, line, col,
+                f"result of {name}(...) is dropped; keep a reference "
+                f"(e.g. a task set) so the task cannot be "
+                f"garbage-collected mid-flight")
+
+
+@register
+class AwaitUnderLockRule(Rule):
+    id = "ASY004"
+    name = "await-under-thread-lock"
+    summary = ("'await' while holding a synchronously acquired lock "
+               "pins the lock across the suspension and can deadlock "
+               "the loop against the worker threads")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for line, col, lock in _model_of(ctx).asy4:
+            yield Finding(
+                self.id, ctx.rel, line, col,
+                f"await while holding {lock!r}: the thread lock stays "
+                f"held across the suspension; release it before "
+                f"awaiting (or use asyncio.Lock with 'async with')")
+
+
+# -- LCK: lock discipline ----------------------------------------------
+
+@register
+class UnguardedAttributeRule(Rule):
+    id = "LCK001"
+    name = "unguarded-shared-attribute"
+    summary = ("attribute accessed under 'with self._lock' elsewhere in "
+               "the class but touched here without the lock — the "
+               "unlocked shared-counter race")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in _model_of(ctx).classes:
+            guarded: Dict[str, str] = {}
+            for attr, _, _, lock, _ in cls["accesses"]:
+                if lock:
+                    guarded.setdefault(attr, lock)
+            if not guarded:
+                continue
+            for attr, line, col, lock, method in cls["accesses"]:
+                if lock or attr not in guarded:
+                    continue
+                if not method or method in _LCK_EXEMPT_METHODS:
+                    continue
+                yield Finding(
+                    self.id, ctx.rel, line, col,
+                    f"self.{attr} is accessed under 'with "
+                    f"self.{guarded[attr].split('.', 1)[-1]}' elsewhere "
+                    f"in {cls['name']} but {method}() touches it without "
+                    f"the lock; concurrent updates race")
+
+
+@register
+class LockOrderRule(Rule):
+    id = "LCK002"
+    name = "inconsistent-lock-order"
+    summary = ("two locks are nested in opposite orders in different "
+               "places; the classic ABBA deadlock")
+    scope = "project"
+    facts = ("concurrency",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        edges: Dict[Tuple[str, str], Tuple[str, int, int]] = {}
+        for rel in sorted(project.facts_for("concurrency")):
+            facts = project.facts_for("concurrency")[rel]
+            pairs = cast(List[Tuple[str, str, int, int]],
+                         facts.get("lock_pairs", []))
+            for outer, inner, line, col in pairs:
+                edges.setdefault((outer, inner), (rel, line, col))
+        reported: Set[FrozenSet[str]] = set()
+        for outer, inner in sorted(edges):
+            if (inner, outer) not in edges:
+                continue
+            pair = frozenset((outer, inner))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            here = edges[(outer, inner)]
+            there = edges[(inner, outer)]
+            # Report at the site that sorts later; point at the other.
+            if (here[0], here[1]) < (there[0], there[1]):
+                here, there = there, here
+                outer, inner = inner, outer
+            yield Finding(
+                self.id, here[0], here[1], here[2],
+                f"{inner!r} is acquired while holding {outer!r}, but "
+                f"elsewhere the same locks nest in the opposite order; "
+                f"pick one global order to avoid an ABBA deadlock",
+                related=((there[0], there[1], there[2],
+                          f"opposite nesting: {outer!r} acquired while "
+                          f"holding {inner!r}"),))
+
+
+# -- RES: resource safety ----------------------------------------------
+
+@register
+class UnclosedResourceRule(Rule):
+    id = "RES001"
+    name = "unclosed-resource"
+    summary = ("an acquired file/socket handle is neither closed on any "
+               "path nor escapes the function; use 'with' or close it")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for line, col, message in _model_of(ctx).res1:
+            yield Finding(self.id, ctx.rel, line, col, message)
+
+
+@register
+class LeakedFdRule(Rule):
+    id = "RES002"
+    name = "fd-leaked-across-raise"
+    summary = ("a raw fd from os.open/mkstemp is not closed immediately "
+               "or under try; an exception in between leaks it")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for line, col, message in _model_of(ctx).res2:
+            yield Finding(self.id, ctx.rel, line, col, message)

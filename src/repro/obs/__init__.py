@@ -39,6 +39,7 @@ from .telemetry import (
     reconcile,
     remove_store_listener,
     store_event,
+    store_event_counts,
 )
 from .traceql import diff_traces, query_trace, summarize_trace
 from .tracing import JsonlTraceLog, read_trace, trace_run
@@ -53,6 +54,7 @@ __all__ = [
     "add_store_listener",
     "remove_store_listener",
     "store_event",
+    "store_event_counts",
     "reconcile",
     "component_report",
     "JsonlTraceLog",

@@ -24,6 +24,7 @@ Three concerns live here:
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
 from typing import Any, Callable, Dict, List, Mapping, Tuple
 
@@ -34,22 +35,36 @@ _STORE_LISTENERS: List[StoreListener] = []
 
 #: Store lifecycle events seen this process, by kind ("corrupt",
 #: "evict", "repoint", ...) — a cheap aggregate surface (``repro
-#: stats``) even when no listener is registered.
+#: stats``) even when no listener is registered.  The service publishes
+#: store events from ``to_thread`` executor threads *and* the loop
+#: thread concurrently, so the counter and the listener list are
+#: guarded by :data:`_BUS_LOCK`; read snapshots via
+#: :func:`store_event_counts`.
 STORE_EVENT_COUNTS: Counter = Counter()
+
+_BUS_LOCK = threading.Lock()
 
 
 def add_store_listener(listener: StoreListener) -> StoreListener:
     """Register a callback for persistent-store lifecycle events."""
-    _STORE_LISTENERS.append(listener)
+    with _BUS_LOCK:
+        _STORE_LISTENERS.append(listener)
     return listener
 
 
 def remove_store_listener(listener: StoreListener) -> None:
     """Unregister a listener (no-op if it was never added)."""
-    try:
-        _STORE_LISTENERS.remove(listener)
-    except ValueError:
-        pass
+    with _BUS_LOCK:
+        try:
+            _STORE_LISTENERS.remove(listener)
+        except ValueError:
+            pass
+
+
+def store_event_counts() -> Dict[str, int]:
+    """A consistent snapshot of the event counts, sorted by kind."""
+    with _BUS_LOCK:
+        return dict(sorted(STORE_EVENT_COUNTS.items()))
 
 
 def store_event(kind: str, **fields: Any) -> None:
@@ -57,10 +72,16 @@ def store_event(kind: str, **fields: Any) -> None:
 
     Listeners must never break the store: exceptions are swallowed
     (a cache layer failing because an observer crashed would invert
-    the dependency the bus exists to avoid).
+    the dependency the bus exists to avoid).  The count bump and the
+    listener snapshot happen under the bus lock — ``Counter.__iadd__``
+    is a read-modify-write, and the service's worker threads publish
+    concurrently with the loop — but the listeners themselves run
+    outside it, so a slow observer cannot stall every other publisher.
     """
-    STORE_EVENT_COUNTS[kind] += 1
-    for listener in list(_STORE_LISTENERS):
+    with _BUS_LOCK:
+        STORE_EVENT_COUNTS[kind] += 1
+        listeners = list(_STORE_LISTENERS)
+    for listener in listeners:
         try:
             listener(kind, dict(fields))
         except Exception:       # noqa: BLE001 - observers are best-effort

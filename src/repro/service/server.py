@@ -285,7 +285,7 @@ class ReproService:
             if request is None:
                 return
             try:
-                status, payload = self._route(request)
+                status, payload = await self._route(request)
             except BadRequest as exc:
                 status, payload = 400, {"error": str(exc)}
             except QueueFullError as exc:
@@ -308,7 +308,12 @@ class ReproService:
 
     # -- routing -------------------------------------------------------
 
-    def _route(self, request: Request) -> Tuple[int, Any]:
+    async def _route(self, request: Request) -> Tuple[int, Any]:
+        # Runs on the event loop: anything that touches the disk (the
+        # JSONL event streams, the store's counters and on-disk
+        # overview, fingerprint hashing over params) is pushed to a
+        # worker thread, while every queue mutation stays on the loop —
+        # asyncio.Queue is not thread-safe.
         method, path = request.method, request.path.rstrip("/") or "/"
         parts = [p for p in path.split("/") if p]
 
@@ -316,7 +321,7 @@ class ReproService:
             if path == "/healthz":
                 return 200, {"ok": True}
             if path == "/storez":
-                return 200, self._storez()
+                return 200, await self._storez()
             if path == "/schemes":
                 return 200, {"schemes": sorted(scheme_names())}
             if path == "/workloads":
@@ -330,15 +335,16 @@ class ReproService:
             if len(parts) == 3 and parts[0] == "jobs" \
                     and parts[2] == "events":
                 assert self.queue is not None
-                if self.queue.get(parts[1]) is None:
+                queue = self.queue
+                if queue.get(parts[1]) is None:
                     return 404, {"error": f"no such job {parts[1]!r}"}
-                return 200, {"job": parts[1],
-                             "events": self.queue.events(parts[1])}
+                events = await asyncio.to_thread(queue.events, parts[1])
+                return 200, {"job": parts[1], "events": events}
             return 404, {"error": f"no such endpoint {path!r}"}
 
         if method == "POST":
             if path == "/jobs":
-                return self._submit(request)
+                return await self._submit(request)
             return 404, {"error": f"no such endpoint {path!r}"}
 
         if method == "DELETE":
@@ -348,14 +354,16 @@ class ReproService:
 
         return 405, {"error": f"method {method} not allowed"}
 
-    def _submit(self, request: Request) -> Tuple[int, Any]:
+    async def _submit(self, request: Request) -> Tuple[int, Any]:
         assert self.queue is not None
         body = request.json()
         if not isinstance(body, dict):
             raise BadRequest('body must be {"kind": ..., "params": {...}}')
         kind = body.get("kind")
         params = normalise_params(kind, body.get("params") or {})
-        fingerprint = job_fingerprint(kind, params)
+        # The fingerprint folds a salt over the simulator sources into
+        # the hash, which means reading files — not loop work.
+        fingerprint = await asyncio.to_thread(job_fingerprint, kind, params)
         job = self.queue.submit(kind, params, fingerprint)
         return 202, {"job": job.as_dict(include_result=False)}
 
@@ -376,8 +384,11 @@ class ReproService:
         return 409, {"error": f"job {job_id} is {outcome}; only queued "
                               f"jobs can be cancelled", "state": outcome}
 
-    def _storez(self) -> Dict[str, Any]:
-        from ..obs.telemetry import STORE_EVENT_COUNTS
+    @staticmethod
+    def _store_info() -> Dict[str, Any]:
+        """Store counters plus the on-disk overview; runs off-loop —
+        ``overview()`` stats every cache entry."""
+        from ..obs.telemetry import store_event_counts
         store = result_store.get_store()
         info: Dict[str, Any] = {
             "enabled": store is not None,
@@ -386,7 +397,11 @@ class ReproService:
         if store is not None:
             info["counters"] = store.counters()
             info["overview"] = store.overview()
-        info["events"] = dict(sorted(STORE_EVENT_COUNTS.items()))
+        info["events"] = store_event_counts()
+        return info
+
+    async def _storez(self) -> Dict[str, Any]:
+        info = await asyncio.to_thread(self._store_info)
         assert self.queue is not None
         return {"store": info, "jobs": self.queue.stats()}
 

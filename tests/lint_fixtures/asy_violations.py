@@ -1,0 +1,73 @@
+"""Fixture: asyncio-hygiene violations (ASY001-ASY004).
+
+Deliberate violations with pinned line numbers; linted explicitly by
+the tests, never imported.  Each block also carries a clean twin so
+the tests prove the rules do not over-fire.
+"""
+
+import asyncio
+import subprocess
+import threading
+
+
+def run_probe():
+    subprocess.run(["true"], check=False)
+
+
+async def read_config(path):
+    return open(path).read()                 # line 18: ASY001 (direct)
+
+
+async def probe():
+    run_probe()                              # line 22: ASY001 (transitive)
+
+
+async def job():
+    await asyncio.sleep(0)
+
+
+def kickoff():
+    job()                                    # line 30: ASY002
+
+
+async def spawn():
+    asyncio.create_task(job())               # line 34: ASY003
+
+
+async def spawn_kept():
+    task = asyncio.create_task(job())
+    await task
+
+
+class Flusher:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def flush(self):
+        with self._lock:
+            await asyncio.sleep(0)           # line 48: ASY004
+
+
+async def offloaded():
+    return await asyncio.to_thread(run_probe)
+
+
+class EventSource:
+    def tail(self, job_id):
+        return open(job_id).read()
+
+
+class Server:
+    def __init__(self):
+        self.source: EventSource = EventSource()
+
+    async def handle(self, job_id):
+        return self.source.tail(job_id)      # line 65: ASY001 (attr type)
+
+
+def suppressed_kickoff():
+    job()   # repro: noqa[ASY002] -- fixture: suppression
+
+
+def stale():
+    return 1   # repro: noqa[ASY001] -- fixture: stale suppression

@@ -1,0 +1,42 @@
+"""Fixture: lock-discipline violations (LCK001, LCK002).
+
+Deliberate violations with pinned line numbers; linted explicitly by
+the tests, never imported.
+"""
+
+import threading
+
+
+class Meter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+            self.misses += 1
+
+    def snapshot(self):
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+    def bump_unlocked(self):
+        self.hits += 1                       # line 26: LCK001
+
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def backward():
+    with LOCK_B:
+        with LOCK_A:                         # line 41: LCK002
+            pass

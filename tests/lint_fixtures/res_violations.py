@@ -1,0 +1,65 @@
+"""Fixture: resource-safety violations (RES001, RES002).
+
+Deliberate violations with pinned line numbers; linted explicitly by
+the tests, never imported.  The clean twins prove the rules accept
+'with' blocks, immediate closes, try/finally ownership and escaping
+handles.
+"""
+
+import os
+import tempfile
+
+
+def leak_handle(path):
+    fh = open(path, "r", encoding="utf-8")   # line 14: RES001
+    return fh.read()
+
+
+def discard_handle(path):
+    open(path, "w")                          # line 19: RES001
+
+
+def closed_handle(path):
+    fh = open(path)
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def with_handle(path):
+    fh = open(path)
+    with fh:
+        return fh.read()
+
+
+def escaping_handle(path):
+    fh = open(path)
+    return fh
+
+
+def leak_fd_across_raise(path, payload):
+    fd = os.open(path, os.O_WRONLY)          # line 42: RES002 (gap)
+    encoded = payload.encode("utf-8")
+    os.write(fd, encoded)
+    os.close(fd)
+
+
+def never_closed_fd():
+    fd, tmp = tempfile.mkstemp()             # line 49: RES002 (leak)
+    return tmp
+
+
+def safe_fd(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)
+
+
+def safe_fdopen():
+    fd, tmp = tempfile.mkstemp()
+    with os.fdopen(fd, "w") as fh:
+        fh.write("ok")
+    return tmp

@@ -1,0 +1,35 @@
+"""Fixture: the pre-PR-6 store counter race, pinned by LCK001.
+
+Before the sharded-store PR routed every counter bump through the
+locked ``_bump`` helper, the store incremented ``self.hits`` and
+``self.misses`` directly on the load path while ``counters()`` read
+them under ``self._lock``.  With the service sharing one store across
+``to_thread`` worker threads, the unlocked read-modify-write loses
+updates — the exact bug class LCK001 exists to catch before it ships.
+This module replays that shape verbatim; the test asserts LCK001 pins
+both unlocked bumps at these exact lines.
+"""
+
+import threading
+
+
+class RacyResultStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, key, entries):
+        if key in entries:
+            self.hits += 1                   # line 24: LCK001
+            return entries[key]
+        self.misses += 1                     # line 26: LCK001
+        return None
+
+    def counters(self):
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+    def reset_counters(self):
+        with self._lock:
+            self.hits = self.misses = 0

@@ -1,0 +1,226 @@
+"""Concurrency & resource-safety pack tests: exact ids, lines, chains.
+
+The ASY/LCK/RES packs are interprocedural: the per-file pass extracts
+picklable facts, the project pass merges them into a call graph.  These
+tests pin the fixture findings exactly (rule id + line), assert the
+evidence chains surface in every reporter, and exercise the
+``--changed-only`` git filter against throwaway repositories.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.framework import Finding, changed_files
+from repro.lint.reporters import render_sarif, render_text, result_as_dict
+
+FIXTURES = "tests/lint_fixtures"
+
+
+def findings_of(name, **kwargs):
+    result = lint_paths([f"{FIXTURES}/{name}"], **kwargs)
+    return result, [(f.rule, f.line) for f in result.findings]
+
+
+class TestAsyncioPack:
+    def test_exact_rule_ids_and_lines(self):
+        _, got = findings_of("asy_violations.py")
+        assert got == [
+            ("ASY001", 18),   # open() directly in async def
+            ("ASY001", 22),   # blocking reached through run_probe()
+            ("ASY002", 30),   # coroutine called, result discarded
+            ("ASY003", 34),   # create_task result dropped
+            ("ASY004", 48),   # await under threading.Lock
+            ("ASY001", 65),   # blocking via annotated self.source
+            ("LNT001", 73),   # stale noqa[ASY001]
+        ]
+
+    def test_transitive_finding_carries_the_chain(self):
+        result, _ = findings_of("asy_violations.py")
+        transitive = [f for f in result.findings
+                      if f.rule == "ASY001" and f.line == 22]
+        assert len(transitive) == 1
+        (related,) = transitive[0].related
+        path, line, col, note = related
+        assert line == 14
+        assert "subprocess.run" in note
+        assert "run_probe" in transitive[0].message
+
+    def test_attribute_type_inference_resolves_the_callee(self):
+        result, _ = findings_of("asy_violations.py")
+        attr = [f for f in result.findings
+                if f.rule == "ASY001" and f.line == 65]
+        assert len(attr) == 1
+        assert "self.source.tail" in attr[0].message
+        assert attr[0].related[0][1] == 57   # EventSource.tail's open()
+
+    def test_unawaited_coroutine_points_at_the_declaration(self):
+        result, _ = findings_of("asy_violations.py")
+        (f,) = [f for f in result.findings if f.rule == "ASY002"]
+        assert "job()" in f.message
+        assert f.related[0][1] == 25   # async def job
+        assert "declared async" in f.related[0][3]
+
+    def test_suppression_is_honoured_and_recorded(self):
+        result, _ = findings_of("asy_violations.py")
+        assert [(f.rule, f.line) for f in result.suppressed] == \
+            [("ASY002", 69)]
+        assert result.suppressed[0].justification == "fixture: suppression"
+
+
+class TestLockPack:
+    def test_exact_rule_ids_and_lines(self):
+        _, got = findings_of("lck_violations.py")
+        assert got == [
+            ("LCK001", 26),   # self.hits bumped outside the lock
+            ("LCK002", 41),   # LOCK_B -> LOCK_A inversion
+        ]
+
+    def test_lck001_names_the_class_and_method(self):
+        result, _ = findings_of("lck_violations.py")
+        (f,) = [f for f in result.findings if f.rule == "LCK001"]
+        assert "self.hits" in f.message
+        assert "Meter" in f.message
+        assert "bump_unlocked" in f.message
+
+    def test_lck002_relates_the_opposite_nesting(self):
+        result, _ = findings_of("lck_violations.py")
+        (f,) = [f for f in result.findings if f.rule == "LCK002"]
+        assert f.related[0][1] == 35
+        assert "opposite" in f.related[0][3]
+
+
+class TestStoreCounterRaceFixture:
+    """The pre-sharded-store counter race, pinned by LCK001."""
+
+    def test_both_unlocked_bumps_are_pinned(self):
+        _, got = findings_of("store_counter_race.py")
+        assert got == [
+            ("LCK001", 24),   # self.hits += 1 on the load path
+            ("LCK001", 26),   # self.misses += 1 on the load path
+        ]
+
+    def test_message_names_the_racy_method(self):
+        result, _ = findings_of("store_counter_race.py")
+        for f in result.findings:
+            assert "RacyResultStore" in f.message
+            assert "load()" in f.message
+
+
+class TestResourcePack:
+    def test_exact_rule_ids_and_lines(self):
+        _, got = findings_of("res_violations.py")
+        assert got == [
+            ("RES001", 14),   # handle bound, never closed, never escapes
+            ("RES001", 19),   # handle discarded outright
+            ("RES002", 42),   # os.close only after intervening work
+            ("RES002", 49),   # mkstemp fd never consumed
+        ]
+
+    def test_clean_twins_do_not_fire(self):
+        result, _ = findings_of("res_violations.py")
+        lines = {f.line for f in result.findings}
+        # closed_handle / with_handle / escaping_handle / safe_fd /
+        # safe_fdopen all start after line 21 and must stay silent.
+        assert lines == {14, 19, 42, 49}
+
+
+class TestEvidenceChainReporting:
+    @pytest.fixture()
+    def result(self):
+        return lint_paths([f"{FIXTURES}/asy_violations.py"])
+
+    def test_text_renders_via_lines(self, result):
+        text = render_text(result)
+        assert "    via tests/lint_fixtures/asy_violations.py:14:5: " \
+            "run_probe calls blocking subprocess.run()" in text
+
+    def test_json_round_trips_related(self, result):
+        payload = json.loads(json.dumps(result_as_dict(result)))
+        chained = [f for f in payload["findings"]
+                   if f["rule"] == "ASY001" and f["line"] == 22]
+        assert chained[0]["related"][0]["line"] == 14
+        restored = Finding.from_dict(chained[0])
+        assert restored.related[0][1] == 14
+
+    def test_sarif_related_locations(self, result):
+        sarif = json.loads(render_sarif(result))
+        results = sarif["runs"][0]["results"]
+        chained = [r for r in results if r["ruleId"] == "ASY001"
+                   and r["locations"][0]["physicalLocation"]["region"]
+                   ["startLine"] == 22]
+        related = chained[0]["relatedLocations"]
+        assert related[0]["physicalLocation"]["region"]["startLine"] == 14
+        assert "subprocess.run" in related[0]["message"]["text"]
+
+
+class TestParallelFactExtraction:
+    def test_jobs_parity_on_interprocedural_packs(self):
+        """Facts must be picklable: fan-out equals serial exactly."""
+        paths = [f"{FIXTURES}/asy_violations.py",
+                 f"{FIXTURES}/lck_violations.py",
+                 f"{FIXTURES}/res_violations.py",
+                 f"{FIXTURES}/store_counter_race.py"]
+        serial = lint_paths(paths)
+        fanned = lint_paths(paths, jobs=2)
+        assert [f.as_dict() for f in serial.findings] == \
+            [f.as_dict() for f in fanned.findings]
+        assert serial.files == fanned.files
+
+
+def _git(cwd, *args):
+    subprocess.run(["git", *args], cwd=str(cwd), check=True,
+                   capture_output=True)
+
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestChangedOnly:
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        _git(repo, "init")
+        _git(repo, "config", "user.email", "lint@example.com")
+        _git(repo, "config", "user.name", "lint")
+        (repo / "committed.py").write_text(VIOLATION)
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-m", "seed")
+        _git(repo, "branch", "-M", "main")
+        return repo
+
+    def test_untracked_and_modified_files_are_kept(self, repo):
+        (repo / "fresh.py").write_text(VIOLATION)
+        (repo / "committed.py").write_text(VIOLATION + "\n# touched\n")
+        result = lint_paths([repo], root=repo, changed_only=True)
+        assert sorted(result.files) == ["committed.py", "fresh.py"]
+        assert result.skipped == 0
+        assert {f.path for f in result.findings} == \
+            {"committed.py", "fresh.py"}
+
+    def test_unchanged_files_are_skipped(self, repo):
+        (repo / "fresh.py").write_text(VIOLATION)
+        result = lint_paths([repo], root=repo, changed_only=True)
+        assert result.files == ["fresh.py"]
+        assert result.skipped == 1
+        assert [(f.rule, f.path) for f in result.findings] == \
+            [("DET001", "fresh.py")]
+
+    def test_clean_tree_lints_nothing(self, repo):
+        result = lint_paths([repo], root=repo, changed_only=True)
+        assert result.files == []
+        assert result.skipped == 1
+        assert result.findings == []
+
+    def test_outside_git_falls_back_to_everything(self, tmp_path):
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        (plain / "a.py").write_text(VIOLATION)
+        assert changed_files(plain) is None
+        result = lint_paths([plain], root=plain, changed_only=True)
+        assert result.files == ["a.py"]
+        assert result.skipped == 0
+        assert [f.rule for f in result.findings] == ["DET001"]

@@ -87,5 +87,7 @@ def test_mypy_typed_islands():
     out, err, status = api.run(
         ["--config-file", str(REPO / "pyproject.toml"),
          str(REPO / "src" / "repro" / "lint"),
-         str(REPO / "src" / "repro" / "obs")])
+         str(REPO / "src" / "repro" / "obs"),
+         str(REPO / "src" / "repro" / "service"),
+         str(REPO / "src" / "repro" / "experiments" / "store.py")])
     assert status == 0, out + err

@@ -29,6 +29,7 @@ from repro.service import (
 from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING
 from repro.service.server import (
     BadRequest,
+    ReproService,
     job_fingerprint,
     normalise_params,
 )
@@ -392,3 +393,45 @@ class TestServiceControlPlane:
         listing = {j["id"]: j["state"] for j in client.jobs()}
         assert listing[running] == "done"
         assert listing[queued] == "cancelled"
+
+
+class TestRoutingStaysOffLoop:
+    """Regression for the ASY001 finding: ``_route`` reached blocking
+    ``open()`` (event tails, fingerprinting, store overview) on the
+    event loop.  The router is async now and offloads blocking leaves
+    to worker threads; queue mutations stay on the loop."""
+
+    def test_blocking_routes_are_coroutines(self):
+        assert asyncio.iscoroutinefunction(ReproService._route)
+        assert asyncio.iscoroutinefunction(ReproService._submit)
+        assert asyncio.iscoroutinefunction(ReproService._storez)
+        # The blocking half of /storez lives in a plain function so
+        # asyncio.to_thread can carry it off the loop.
+        assert not asyncio.iscoroutinefunction(ReproService._store_info)
+
+    def test_control_plane_responds_while_executor_is_pinned(
+            self, fresh_cache):
+        """Event tails and /storez answer while the sole worker blocks —
+        the file-reading routes must not ride on the loop thread."""
+        release = threading.Event()
+
+        def execute(job, emit):
+            emit("pinned")
+            assert release.wait(timeout=60)
+            return {"ran": job.kind}
+
+        with serve_in_thread(workers=1, queue_size=4,
+                             execute=execute) as handle:
+            host, port = handle.address
+            client = ServiceClient(host, port, timeout=30.0)
+            try:
+                running = client.submit("run", n_records=RECORDS)
+                for _ in range(10):
+                    events = [e["event"] for e in client.events(running)]
+                    assert events[0] == "queued"
+                    payload = client.storez()
+                    assert payload["jobs"]["submitted"] >= 1
+                assert client.job(running)["state"] in (QUEUED, RUNNING)
+            finally:
+                release.set()
+            assert client.wait(running, timeout=60)["state"] == DONE

@@ -320,3 +320,33 @@ class TestStoreEventBus:
 
     def test_remove_unknown_listener_is_noop(self):
         telemetry.remove_store_listener(lambda kind, fields: None)
+
+    def test_concurrent_events_count_exactly(self):
+        """Regression for the unlocked ``Counter.__iadd__`` bump: the
+        service publishes store events from ``to_thread`` workers while
+        the loop thread reads, so increments must not lose updates."""
+        import threading
+
+        kind = "unit-test-race-kind"
+        before = telemetry.store_event_counts().get(kind, 0)
+        n_threads, n_events = 8, 250
+
+        def hammer():
+            for _ in range(n_events):
+                telemetry.store_event(kind)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts = telemetry.store_event_counts()
+        assert counts[kind] == before + n_threads * n_events
+
+    def test_counts_snapshot_is_sorted_copy(self):
+        telemetry.store_event("unit-test-kind")
+        counts = telemetry.store_event_counts()
+        assert list(counts) == sorted(counts)
+        counts["unit-test-kind"] = -1   # mutating the copy is harmless
+        assert telemetry.store_event_counts()["unit-test-kind"] >= 1
