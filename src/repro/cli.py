@@ -287,6 +287,14 @@ def _cmd_stats(args) -> int:
     from .obs import PROFILER, component_report
     from .obs.telemetry import store_event_counts
 
+    if args.metrics:
+        # The same Prometheus text a served process exposes at
+        # /metricsz, rendered from this process's registry (the store
+        # gauges are refreshed by their collector at render time).
+        from .obs.metrics import render_metrics
+        sys.stdout.write(render_metrics())
+        return 0
+
     if args.json:
         payload = {"store": {"root": str(result_store.cache_root()),
                              "enabled": result_store.caching_enabled()}}
@@ -326,8 +334,14 @@ def _cmd_stats(args) -> int:
         info = st.overview()
         for kind in ("results", "manifests", "traces"):
             entry = info[kind]
+            shards = entry.get("shards") or {}
+            spread = ""
+            if shards:
+                counts = [c["count"] for c in shards.values()]
+                spread = (f" in {len(shards)} shards "
+                          f"(max {max(counts)}/min {min(counts)})")
             print(f"  {kind:11s} {entry['count']:6d} entries "
-                  f"({entry['bytes'] / 1024:.1f} KiB)")
+                  f"({entry['bytes'] / 1024:.1f} KiB){spread}")
         counters = st.counters()
         print("  session     " + "  ".join(
             f"{k}={v}" for k, v in counters.items()))
@@ -429,6 +443,13 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down", file=sys.stderr)
         return 0
+
+
+def _cmd_top(args) -> int:
+    from .service.top import run_top
+
+    return run_top(args.host, args.port, interval=args.interval,
+                   iterations=1 if args.once else None)
 
 
 def _cmd_bench(args) -> int:
@@ -672,6 +693,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable output (store, manifests, "
                               "components, profile)")
+    p_stats.add_argument("--metrics", action="store_true",
+                         help="print this process's metrics registry as "
+                              "Prometheus text (same format as the "
+                              "service's /metricsz) and exit")
     p_stats.set_defaults(func=_cmd_stats)
 
     from .obs.bench import matrix_names
@@ -747,6 +772,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write {host, port} JSON here once "
                               "listening (for drivers/CI)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live view of a running service: queue depth, "
+                    "cache hit rates, shard skew, latency percentiles "
+                    "(scrapes /metricsz + /storez)")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, required=True,
+                       help="the served port (printed by `repro serve`)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between frames (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (scripts, CI)")
+    p_top.set_defaults(func=_cmd_top)
 
     p_trace = sub.add_parser(
         "trace", help="analytics over JSONL event traces "

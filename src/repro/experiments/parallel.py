@@ -33,6 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from . import runner
 from .runner import RunResult, run_scheme
 from ..obs.profile import PROFILER
+from ..obs.tracing import TRACER, TraceContext
 
 ENV_JOBS = "REPRO_JOBS"
 
@@ -104,21 +105,39 @@ def _normalise(spec: RunSpec, common: Dict) -> Tuple[str, str, Dict]:
     return workload, scheme, merged
 
 
-def _worker(payload: Tuple[str, str, Dict]
-            ) -> Tuple[Tuple, RunResult, float, Dict]:
+#: The trace leg of a worker payload: ``(trace_id, parent_span_id,
+#: worker_span_id)``, or None when the submitting side has no active
+#: trace.  The *parent* pre-allocates the worker's span id (ids fold a
+#: per-process counter, and the workers' counters all restart at zero —
+#: two workers naming their own spans would collide).
+TraceLeg = Optional[Tuple[str, str, str]]
+
+
+def _worker(payload: Tuple[str, str, Dict, TraceLeg]
+            ) -> Tuple[Tuple, RunResult, float, Dict, List[Dict]]:
     """Executed in a worker process: one slim simulation run.
 
-    Returns the memo key, the result, the worker-side wall time and the
-    worker's profiler snapshot for this task, so the parent can profile
-    per-worker cost vs pool overhead *and* fold the worker's counters
-    and spans into its own profiler.  The worker profiler is reset at
-    task start because pool processes are reused across tasks — each
-    snapshot must cover exactly one task.
+    Returns the memo key, the result, the worker-side wall time, the
+    worker's profiler snapshot and its trace-span snapshot for this
+    task, so the parent can profile per-worker cost vs pool overhead
+    *and* fold the worker's counters and spans into its own profiler
+    and tracer.  Both are reset at task start because pool processes
+    are reused across tasks — each snapshot must cover exactly one
+    task.
     """
-    workload, scheme, params = payload
+    workload, scheme, params, leg = payload
     PROFILER.reset()
+    TRACER.reset()
     start = time.perf_counter()
-    result = run_scheme(workload, scheme, **params)
+    if leg is not None:
+        trace_id, parent_span_id, worker_span_id = leg
+        with TRACER.span("run_many.worker",
+                         parent=TraceContext(trace_id, parent_span_id),
+                         span_id=worker_span_id,
+                         attrs={"workload": workload, "scheme": scheme}):
+            result = run_scheme(workload, scheme, **params)
+    else:
+        result = run_scheme(workload, scheme, **params)
     elapsed = time.perf_counter() - start
     key = runner.cache_key(
         workload, scheme,
@@ -128,7 +147,7 @@ def _worker(payload: Tuple[str, str, Dict]
         variable_length=params.get("variable_length", False),
         config_overrides=params.get("config_overrides"),
         cache_key_extra=params.get("cache_key_extra"))
-    return key, result, elapsed, PROFILER.snapshot()
+    return key, result, elapsed, PROFILER.snapshot(), TRACER.snapshot()
 
 
 def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
@@ -172,17 +191,30 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     todo = {k: v for k, v in unique.items() if k not in runner._CACHE}
 
     if todo:
-        payloads = list(todo.values())
+        # Crossing the process boundary is the one explicit propagation
+        # hop: the current context (the job.run span when running under
+        # the service) travels inside each payload, with the worker's
+        # span id pre-allocated here so sibling workers never collide.
+        ctx = TRACER.current()
+        payloads = []
+        for w, s, p in todo.values():
+            leg: TraceLeg = None
+            if ctx is not None:
+                leg = (ctx.trace_id, ctx.span_id,
+                       TRACER.new_span_id(ctx.trace_id, ctx.span_id,
+                                          "run_many.worker"))
+            payloads.append((w, s, p, leg))
         pool_start = time.perf_counter()
         try:
             with ProcessPoolExecutor(
                     max_workers=min(n_jobs, len(payloads))) as pool:
                 busy = 0.0
-                for key, result, elapsed, snap in pool.map(_worker,
-                                                           payloads):
+                for key, result, elapsed, snap, spans in pool.map(
+                        _worker, payloads):
                     runner.seed_cache(key, result)
                     PROFILER.record("run_many.worker", elapsed)
                     PROFILER.merge(snap)
+                    TRACER.merge(spans)
                     busy += elapsed
                     if progress is not None:
                         progress(result)
@@ -198,7 +230,7 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             # Worker crashed (e.g. fork-hostile environment): degrade to
             # serial execution rather than failing the experiment.
             PROFILER.incr("run_many.broken_pools")
-            for w, s, p in payloads:
+            for w, s, p, _leg in payloads:
                 run_scheme(w, s, **p)
 
     return [run_scheme(w, s, **p) for w, s, p in normalised]

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from . import store as result_store
+from ..obs.metrics import inc, observe
 from ..obs.profile import PROFILER
+from ..obs.tracing import TRACER
 
 from ..core import ProactivePrefetcher, Sn4lPrefetcher, dis_only, sn4l_dis, sn4l_dis_btb
 from ..frontend import FrontendConfig, FrontendSimulator, FrontendStats
@@ -275,9 +277,21 @@ def run_scheme(workload: str, scheme: str,
     simulations_run += 1
     PROFILER.incr("run_scheme.simulations")
     sim_start = time.perf_counter()
-    stats = sim.run(warmup=warmup)
+    # The innermost span of a service trace (client -> http -> queue ->
+    # worker -> engine); standalone CLI runs start their own root here.
+    with TRACER.span("engine.run_scheme",
+                     seed=f"{workload}|{scheme}|{n_records}|{scale}",
+                     attrs={"workload": workload,
+                            "scheme": scheme}) as eng_span:
+        stats = sim.run(warmup=warmup)
     sim_elapsed = time.perf_counter() - sim_start
     PROFILER.record("run_scheme.simulate", sim_elapsed)
+    inc("repro_runs_total")
+    inc("repro_records_simulated_total", float(n_records))
+    observe("repro_run_seconds", sim_elapsed,
+            exemplar=({"trace_id": eng_span.trace_id,
+                       "span_id": eng_span.span_id}
+                      if eng_span is not None else None))
 
     result = RunResult(workload=workload, scheme=scheme, stats=stats)
     result.extra["llc_avg_latency"] = sim.latency.average_latency

@@ -602,23 +602,39 @@ class ResultStore:
                     "evicted": self.evicted, "migrated": self.migrated}
 
     def overview(self) -> Dict[str, Any]:
-        """On-disk inventory: entry counts and byte totals per kind."""
+        """On-disk inventory: entry counts and byte totals per kind.
+
+        Each kind also reports per-shard occupancy (``shards``: shard
+        directory -> ``{"count", "bytes"}``; flat legacy entries count
+        under ``"-"``) — the surface ``repro stats``, ``/storez`` and
+        ``repro top`` use to show how evenly the fingerprint space is
+        spreading across shard directories.
+        """
         info: Dict[str, Any] = {"root": str(self.root)}
         for kind, sub, pattern in (("results", "results", "*.json"),
                                    ("manifests", "results",
                                     "*.manifest.json"),
                                    ("traces", "traces", "*.npz")):
             count = size = 0
+            shards: Dict[str, Dict[str, int]] = {}
             for path in self._iter_files(sub, pattern):
                 if kind == "results" and path.name.endswith(
                         ".manifest.json"):
                     continue
                 try:
-                    size += path.stat().st_size
-                    count += 1
+                    nbytes = path.stat().st_size
                 except OSError:
                     continue
-            info[kind] = {"count": count, "bytes": size}
+                size += nbytes
+                count += 1
+                shard = path.parent.name if path.parent.name != sub \
+                    else "-"
+                cell = shards.setdefault(shard,
+                                         {"count": 0, "bytes": 0})
+                cell["count"] += 1
+                cell["bytes"] += nbytes
+            info[kind] = {"count": count, "bytes": size,
+                          "shards": dict(sorted(shards.items()))}
         info["budget_bytes"] = self.byte_budget()
         return info
 

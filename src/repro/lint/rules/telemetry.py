@@ -1,4 +1,4 @@
-"""Telemetry rules (TEL001-TEL002).
+"""Telemetry rules (TEL001-TEL004).
 
 The telemetry bus (:class:`repro.frontend.eventlog.EventLog`) validates
 event kinds at *runtime*: an unregistered kind raises under
@@ -19,6 +19,19 @@ set (one extractor pass shared by the two rules), so the rules work on
 fixtures as well as on the real tree; when the linted set declares no
 registry at all, the installed ``repro`` registry is used for TEL001
 and TEL002 is skipped.
+
+The *metrics* registry (:mod:`repro.obs.metrics`) has the same
+declare/observe contract — observing an undeclared metric raises under
+``__debug__`` and declares implicitly under ``-O`` — and so gets the
+same two lint-time directions:
+
+* **TEL003** every metric name literal passed to ``inc(...)``,
+  ``set_gauge(...)`` or ``observe(...)`` must be declared somewhere
+  (``declare_counter``/``declare_gauge``/``declare_histogram`` literals
+  in the linted set, or the installed catalogue);
+* **TEL004** every metric declared in the linted set must have at least
+  one static observation site — a metric nothing updates renders as an
+  eternally-zero series that looks like a real measurement.
 """
 
 from __future__ import annotations
@@ -200,3 +213,132 @@ class DeadKindRule(Rule):
                     f"registered event kind {kind!r} has no static emit "
                     f"site; remove it from the registry or restore the "
                     f"emitter")
+
+
+# -- metrics registry (TEL003-TEL004) ---------------------------------------
+
+#: Call tails that declare a metric / observe one, respectively.
+_METRIC_DECLARE_TAILS = frozenset(
+    {"declare_counter", "declare_gauge", "declare_histogram"})
+_METRIC_OBSERVE_TAILS = frozenset({"inc", "set_gauge", "observe"})
+
+
+def _metric_name_literal(call: ast.Call) -> Optional[Tuple[str, int, int]]:
+    """The (name, line, col) of a metric call with a literal name.
+
+    Both the declare and the observe APIs take the metric name first
+    (or as ``name=``); calls passing a variable are skipped — the
+    runtime check still covers them, lint only pins the literal sites.
+    """
+    node: Optional[ast.AST] = None
+    if call.args:
+        node = call.args[0]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "name":
+                node = kw.value
+                break
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, node.lineno, node.col_offset + 1
+    return None
+
+
+@fact_extractor("metrics")
+def metrics_facts(ctx: FileContext) -> Optional[Facts]:
+    """Metric declaration and observation literals of one file."""
+    if ctx.tree is None:
+        return None
+    declared: List[Tuple[str, int, int]] = []
+    observed: List[Tuple[str, int, int]] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _METRIC_DECLARE_TAILS:
+            literal = _metric_name_literal(node)
+            if literal is not None:
+                declared.append(literal)
+        elif tail in _METRIC_OBSERVE_TAILS:
+            literal = _metric_name_literal(node)
+            if literal is not None:
+                observed.append(literal)
+    if not (declared or observed):
+        return None
+    return {"declared": declared, "observed": observed}
+
+
+def _installed_metric_names() -> Set[str]:
+    """Catalogue parsed from the installed metrics module's source."""
+    path = Path(__file__).resolve().parents[2] / "obs" / "metrics.py"
+    try:
+        ctx = FileContext(path, path.name)
+        facts = metrics_facts(ctx) or {}
+    except (OSError, SyntaxError):
+        return set()
+    return {name for name, _, _ in facts.get("declared", ())}
+
+
+@register
+class UndeclaredMetricRule(Rule):
+    id = "TEL003"
+    name = "undeclared-metric"
+    summary = ("inc/set_gauge/observe with a metric name never declared; "
+               "it would raise under __debug__ and declare an un-helped "
+               "metric implicitly under -O")
+
+    scope = "project"
+    facts = ("metrics",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        # Unlike the event-kind registry (a closed class declaration),
+        # the metric catalogue is open — any module may declare — so
+        # linted-set declarations *extend* the installed catalogue
+        # rather than replacing it.
+        declared: Set[str] = _installed_metric_names()
+        metric_facts = project.facts_for("metrics")
+        for facts in metric_facts.values():
+            declared.update(n for n, _, _ in facts.get("declared", ()))
+        for rel in sorted(metric_facts):
+            for name, line, col in metric_facts[rel].get("observed", ()):
+                if name not in declared:
+                    yield Finding(
+                        self.id, rel, line, col,
+                        f"metric {name!r} is observed but never declared; "
+                        f"declare_counter/declare_gauge/declare_histogram "
+                        f"it next to the catalogue")
+
+
+@register
+class DeadMetricRule(Rule):
+    id = "TEL004"
+    name = "dead-metric"
+    summary = ("a declared metric with no static observation site; it "
+               "renders as an eternally-zero series that looks like a "
+               "real measurement")
+
+    scope = "project"
+    facts = ("metrics",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        metric_facts = project.facts_for("metrics")
+        observed: Set[str] = set()
+        declarations: Dict[str, Tuple[str, int, int]] = {}
+        for rel in sorted(metric_facts):
+            facts = metric_facts[rel]
+            observed.update(n for n, _, _ in facts.get("observed", ()))
+            for name, line, col in facts.get("declared", ()):
+                declarations.setdefault(name, (rel, line, col))
+        # Mirrors TEL002's gating: only declarations in the linted set
+        # are checked, so linting a leaf module that merely *observes*
+        # the installed catalogue stays quiet.
+        for name in sorted(declarations):
+            if name not in observed:
+                rel, line, col = declarations[name]
+                yield Finding(
+                    self.id, rel, line, col,
+                    f"metric {name!r} is declared but never observed; "
+                    f"remove the declaration or restore the "
+                    f"inc/set_gauge/observe site")

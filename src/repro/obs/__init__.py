@@ -28,21 +28,49 @@ preserved).
 """
 
 from .bench import BenchCell, MATRICES, run_cell, run_matrix
+from .metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    declare_counter,
+    declare_gauge,
+    declare_histogram,
+    inc,
+    log_spaced_buckets,
+    observe,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_metrics,
+    set_gauge,
+)
 from .profile import PROFILER, Profiler, SpanStats
 from .regress import Verdict, check_record, check_records, markdown_report
 from .telemetry import (
     RECONCILED_COUNTERS,
+    SPAN_EVENT_COUNTS,
     STORE_EVENT_COUNTS,
     ComponentCounters,
+    add_span_listener,
     add_store_listener,
     component_report,
     reconcile,
+    remove_span_listener,
     remove_store_listener,
+    span_event,
+    span_event_counts,
     store_event,
     store_event_counts,
 )
 from .traceql import diff_traces, query_trace, summarize_trace
-from .tracing import JsonlTraceLog, read_trace, trace_run
+from .tracing import (
+    TRACER,
+    JsonlTraceLog,
+    Span,
+    TraceContext,
+    Tracer,
+    read_trace,
+    read_trace_spans,
+    trace_run,
+)
 
 __all__ = [
     "PROFILER",
@@ -60,6 +88,28 @@ __all__ = [
     "JsonlTraceLog",
     "read_trace",
     "trace_run",
+    "TRACER",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "read_trace_spans",
+    "REGISTRY",
+    "MetricsRegistry",
+    "declare_counter",
+    "declare_gauge",
+    "declare_histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    "render_metrics",
+    "parse_prometheus_text",
+    "quantile_from_buckets",
+    "log_spaced_buckets",
+    "SPAN_EVENT_COUNTS",
+    "add_span_listener",
+    "remove_span_listener",
+    "span_event",
+    "span_event_counts",
     "BenchCell",
     "MATRICES",
     "run_cell",

@@ -20,6 +20,11 @@ Three concerns live here:
   evictions and singleton re-points here; listeners registered with
   :func:`add_store_listener` (the ``repro serve`` job event stream,
   tests) observe them without the store importing any consumer.
+* :func:`span_event` — the same bus pattern for *finished trace spans*
+  (:mod:`repro.obs.tracing`): every span record is published to
+  listeners registered with :func:`add_span_listener`, and
+  :data:`SPAN_EVENT_COUNTS` aggregates finished spans by name even when
+  nobody listens.
 """
 
 from __future__ import annotations
@@ -86,6 +91,58 @@ def store_event(kind: str, **fields: Any) -> None:
             listener(kind, dict(fields))
         except Exception:       # noqa: BLE001 - observers are best-effort
             pass
+
+#: A span listener: called with one finished span record (a dict with
+#: trace_id/span_id/parent_id/name/start_ts/duration_s keys).
+SpanListener = Callable[[Dict[str, Any]], None]
+
+_SPAN_LISTENERS: List[SpanListener] = []
+
+#: Finished spans seen this process, by span name — the cheap aggregate
+#: surface mirroring :data:`STORE_EVENT_COUNTS`.  Shares
+#: :data:`_BUS_LOCK`: spans finish on the service's loop thread,
+#: ``to_thread`` executor threads and pool-merge paths concurrently.
+SPAN_EVENT_COUNTS: Counter = Counter()
+
+
+def add_span_listener(listener: SpanListener) -> SpanListener:
+    """Register a callback for finished trace spans."""
+    with _BUS_LOCK:
+        _SPAN_LISTENERS.append(listener)
+    return listener
+
+
+def remove_span_listener(listener: SpanListener) -> None:
+    """Unregister a span listener (no-op if it was never added)."""
+    with _BUS_LOCK:
+        try:
+            _SPAN_LISTENERS.remove(listener)
+        except ValueError:
+            pass
+
+
+def span_event_counts() -> Dict[str, int]:
+    """A consistent snapshot of finished-span counts by span name."""
+    with _BUS_LOCK:
+        return dict(sorted(SPAN_EVENT_COUNTS.items()))
+
+
+def span_event(record: Dict[str, Any]) -> None:
+    """Publish one finished span to every span listener.
+
+    Same contract as :func:`store_event`: the count bump happens under
+    the bus lock, listeners run outside it, and listener exceptions are
+    swallowed — tracing must never fail the request it observes.
+    """
+    with _BUS_LOCK:
+        SPAN_EVENT_COUNTS[record.get("name", "unknown")] += 1
+        listeners = list(_SPAN_LISTENERS)
+    for listener in listeners:
+        try:
+            listener(dict(record))
+        except Exception:       # noqa: BLE001 - observers are best-effort
+            pass
+
 
 #: event kind -> FrontendStats attribute that must match its count.
 RECONCILED_COUNTERS: Tuple[Tuple[str, str], ...] = (

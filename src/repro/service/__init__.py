@@ -18,8 +18,12 @@ each fingerprint-identical simulation exactly once.
   executors that fan out through
   :func:`repro.experiments.parallel.run_many`;
 * :mod:`repro.service.client` — a small blocking client
-  (submit / poll / wait / events / storez) used by tests, CI and
-  scripts.
+  (submit / poll / wait / events / storez / metricsz) used by tests,
+  CI and scripts; submissions open a trace propagated via the
+  ``X-Repro-Trace`` header;
+* :mod:`repro.service.top` — the ``repro top`` live view: scrape
+  ``/metricsz`` + ``/storez``, render queue depth, cache hit rates,
+  shard skew and latency percentiles.
 
 Everything is standard library: the service must boot in the same
 environment the simulator runs in.
@@ -28,6 +32,7 @@ environment the simulator runs in.
 from .client import ServiceClient, ServiceError
 from .jobs import Job, JobQueue, QueueFullError
 from .server import ReproService, serve_in_thread
+from .top import build_snapshot, render_top, run_top, snapshot_top
 
 __all__ = [
     "Job",
@@ -37,4 +42,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "serve_in_thread",
+    "build_snapshot",
+    "render_top",
+    "run_top",
+    "snapshot_top",
 ]

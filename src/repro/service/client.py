@@ -12,6 +12,8 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.tracing import TRACE_HEADER, TRACER
+
 
 class ServiceError(RuntimeError):
     """An error response (or transport failure) from the service."""
@@ -39,31 +41,38 @@ class ServiceClient:
     # -- transport -----------------------------------------------------
 
     def request(self, method: str, path: str,
-                payload: Optional[Dict[str, Any]] = None) -> Any:
+                payload: Optional[Dict[str, Any]] = None,
+                headers: Optional[Dict[str, str]] = None,
+                raw: bool = False) -> Any:
         body = None
-        headers = {}
+        send_headers = dict(headers) if headers else {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            send_headers["Content-Type"] = "application/json"
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(method, path, body=body, headers=send_headers)
                 response = conn.getresponse()
-                raw = response.read()
+                raw_body = response.read()
             except (OSError, http.client.HTTPException) as exc:
                 raise ServiceError(
                     f"{method} {path} failed: {exc}") from exc
+            if raw and response.status < 400:
+                # Non-JSON endpoint (/metricsz): hand back the text.
+                return raw_body.decode("utf-8", "replace")
             try:
-                parsed = json.loads(raw.decode("utf-8")) if raw else None
+                parsed = json.loads(raw_body.decode("utf-8")) \
+                    if raw_body else None
             except ValueError as exc:
                 raise ServiceError(
                     f"{method} {path}: non-JSON response "
                     f"({response.status})", response.status) from exc
             if response.status >= 400:
-                detail = parsed.get("error", raw.decode("utf-8", "replace")) \
-                    if isinstance(parsed, dict) else raw.decode(
+                detail = parsed.get("error",
+                                    raw_body.decode("utf-8", "replace")) \
+                    if isinstance(parsed, dict) else raw_body.decode(
                         "utf-8", "replace")
                 raise ServiceError(f"{method} {path}: {response.status} "
                                    f"{detail}", response.status)
@@ -79,6 +88,10 @@ class ServiceClient:
     def storez(self) -> Dict[str, Any]:
         return self.request("GET", "/storez")
 
+    def metricsz(self) -> str:
+        """The service's raw Prometheus text exposition."""
+        return self.request("GET", "/metricsz", raw=True)
+
     def schemes(self) -> List[str]:
         return self.request("GET", "/schemes")["schemes"]
 
@@ -87,8 +100,24 @@ class ServiceClient:
 
     def submit(self, kind: str, **params: Any) -> str:
         """Submit a job; returns its id (raises on 4xx/5xx)."""
-        response = self.request("POST", "/jobs",
-                                {"kind": kind, "params": params})
+        # The submission opens the trace: a deterministic root span
+        # seeded from the request content, propagated to the service
+        # via the X-Repro-Trace header.  When sampling is off (or this
+        # call is already inside some other span) the span context does
+        # the right thing — no span means no header, and the server
+        # serves the request untraced.
+        seed = json.dumps({"kind": kind, "params": params},
+                          sort_keys=True, default=str)
+        with TRACER.span("client.submit", seed=seed,
+                         attrs={"kind": kind}) as span:
+            headers = None
+            if span is not None:
+                headers = {TRACE_HEADER: span.context.to_header()}
+            response = self.request("POST", "/jobs",
+                                    {"kind": kind, "params": params},
+                                    headers=headers)
+            if span is not None:
+                span.attrs["job"] = response["job"]["id"]
         return response["job"]["id"]
 
     def job(self, job_id: str) -> Dict[str, Any]:
@@ -116,6 +145,11 @@ class ServiceClient:
         while True:
             job = self.job(job_id)
             if job["state"] in TERMINAL_STATES:
+                if job.get("trace_id"):
+                    # Flush this client's spans (the client.submit
+                    # root) into the same per-trace stream the service
+                    # persisted its spans to; best-effort by contract.
+                    TRACER.persist(job["trace_id"])
                 if job["state"] == "failed":
                     raise ServiceError(
                         f"job {job_id} failed: {job.get('error')}")

@@ -113,14 +113,36 @@ async def read_request(reader: asyncio.StreamReader
                    headers=headers, body=body)
 
 
+@dataclass
+class TextBody:
+    """A non-JSON payload a route can return (``/metricsz``).
+
+    The router serialises ``TextBody`` results with
+    :func:`text_response` instead of :func:`json_response`; everything
+    else on the API stays JSON.
+    """
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _head(status: int, content_type: str, length: int) -> bytes:
+    phrase = _PHRASES.get(status, "Unknown")
+    return (f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {length}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n").encode("latin-1")
+
+
 def json_response(status: int, payload: Any) -> bytes:
     """Serialise one complete ``Connection: close`` JSON response."""
     body = json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8") + b"\n"
-    phrase = _PHRASES.get(status, "Unknown")
-    head = (f"HTTP/1.1 {status} {phrase}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n"
-            f"\r\n").encode("latin-1")
-    return head + body
+    return _head(status, "application/json", len(body)) + body
+
+
+def text_response(status: int, body: TextBody) -> bytes:
+    """Serialise one complete plain-text response (Prometheus scrape)."""
+    encoded = body.text.encode("utf-8")
+    return _head(status, body.content_type, len(encoded)) + encoded

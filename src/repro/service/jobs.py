@@ -37,6 +37,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..experiments.store import append_jsonl, iter_jsonl
+from ..obs.metrics import inc, observe
+from ..obs.tracing import TRACER, TraceContext
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -70,6 +72,11 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     events_path: Optional[Path] = None
+    #: The submitting request's trace context (the HTTP span); job
+    #: spans — queue wait, the run itself — hang off it.
+    trace: Optional[TraceContext] = None
+    #: Span id of this job's ``job.run`` span (histogram exemplars).
+    run_span_id: Optional[str] = None
 
     def as_dict(self, include_result: bool = True) -> Dict[str, Any]:
         info: Dict[str, Any] = {
@@ -83,6 +90,8 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.trace is not None:
+            info["trace_id"] = self.trace.trace_id
         if self.error is not None:
             info["error"] = self.error
         if include_result and self.result is not None:
@@ -147,21 +156,30 @@ class JobQueue:
     # -- submission / inspection ---------------------------------------
 
     def submit(self, kind: str, params: Dict[str, Any],
-               fingerprint: str) -> Job:
-        """Enqueue a job; raises :class:`QueueFullError` at capacity."""
+               fingerprint: str,
+               trace: Optional[TraceContext] = None) -> Job:
+        """Enqueue a job; raises :class:`QueueFullError` at capacity.
+
+        ``trace``, when given, is the submitting request's span context
+        (propagated from the client's ``X-Repro-Trace`` header): the
+        job's queue-wait and run spans become its children.
+        """
         self._seq += 1
         job = Job(id=f"job-{self._seq:06d}", kind=kind,
-                  params=dict(params), fingerprint=fingerprint)
+                  params=dict(params), fingerprint=fingerprint,
+                  trace=trace)
         if self._events_dir is not None:
             job.events_path = self._events_dir / f"{job.id}.jsonl"
         try:
             self._queue.put_nowait(job.id)
         except asyncio.QueueFull:
+            inc("repro_jobs_rejected_total")
             raise QueueFullError(
                 f"job queue is full ({self._queue.maxsize} pending); "
                 f"retry later") from None
         self._jobs[job.id] = job
         self.submitted += 1
+        inc("repro_jobs_submitted_total")
         self._emit(job, "queued", kind=kind, fingerprint=fingerprint)
         return job
 
@@ -186,6 +204,7 @@ class JobQueue:
             job.state = CANCELLED
             job.finished_at = time.time()
             self.cancelled += 1
+            inc("repro_jobs_cancelled_total")
             self._emit(job, "cancelled")
             return CANCELLED
         return job.state
@@ -248,6 +267,14 @@ class JobQueue:
     async def _run_job(self, job: Job) -> None:
         job.state = RUNNING
         job.started_at = time.time()
+        queue_wait = max(0.0, job.started_at - job.submitted_at)
+        # The queue-wait span is measured externally (submit to pickup)
+        # rather than opened live: it ended the moment this line runs.
+        TRACER.record_span("job.queue_wait", job.trace, queue_wait,
+                           start_ts=job.submitted_at,
+                           attrs={"job": job.id})
+        observe("repro_job_queue_wait_seconds", queue_wait,
+                exemplar=self._exemplar(job))
         leader_fut = self._inflight.get(job.fingerprint)
         if leader_fut is None:
             # Leader: execute, then publish to any waiting followers.
@@ -256,8 +283,17 @@ class JobQueue:
             self._inflight[job.fingerprint] = fut
             self._emit(job, "started", role="leader")
             try:
-                result = await asyncio.to_thread(
-                    self._execute, job, self._thread_emit(job))
+                # The span's context variable rides into the executor
+                # thread with asyncio.to_thread (it copies the caller's
+                # context), which is how run_many and the engine see
+                # this job as their parent span.
+                with TRACER.span("job.run", parent=job.trace,
+                                 attrs={"job": job.id,
+                                        "kind": job.kind}) as run_span:
+                    if run_span is not None:
+                        job.run_span_id = run_span.span_id
+                    result = await asyncio.to_thread(
+                        self._execute, job, self._thread_emit(job))
             except Exception as exc:
                 outcome: Tuple[str, Any] = (
                     "error", f"{type(exc).__name__}: {exc}")
@@ -273,6 +309,7 @@ class JobQueue:
             # await the leader's published result instead of re-running.
             job.deduped = True
             self.deduped += 1
+            inc("repro_jobs_deduped_total")
             self._emit(job, "started", role="follower")
             outcome = await leader_fut
         status, payload = outcome
@@ -281,9 +318,27 @@ class JobQueue:
             job.state = DONE
             job.result = payload
             self.completed += 1
+            inc("repro_jobs_completed_total")
             self._emit(job, "done", deduped=job.deduped)
         else:
             job.state = FAILED
             job.error = str(payload)
             self.failed += 1
+            inc("repro_jobs_failed_total")
             self._emit(job, "failed", error=job.error)
+        observe("repro_job_latency_seconds",
+                max(0.0, job.finished_at - job.submitted_at),
+                exemplar=self._exemplar(job))
+        if job.trace is not None:
+            # Persist the whole trace next to the job event streams
+            # (same best-effort contract as _emit: observability is
+            # never allowed to fail the job it observed).
+            TRACER.persist(job.trace.trace_id)
+
+    @staticmethod
+    def _exemplar(job: Job) -> Optional[Dict[str, str]]:
+        """Span reference attached to this job's histogram samples."""
+        if job.trace is None:
+            return None
+        return {"trace_id": job.trace.trace_id,
+                "span_id": job.run_span_id or job.trace.span_id}

@@ -4,6 +4,9 @@ Endpoints
 ---------
 ===========================  ==============================================
 ``GET  /healthz``            liveness probe
+``GET  /metricsz``           Prometheus text exposition of the process
+                             metrics registry (histogram exemplars link
+                             samples to trace spans)
 ``GET  /storez``             persistent-store counters + inventory, job
                              queue stats, in-flight dedupe gauge
 ``GET  /schemes``            registered scheme names
@@ -36,8 +39,17 @@ from ..experiments import store as result_store
 from ..experiments.parallel import run_many
 from ..experiments.runner import scheme_names
 from ..obs.bench import DIGEST_COUNTERS
+from ..obs.metrics import REGISTRY, inc, render_metrics, set_gauge
+from ..obs.tracing import TRACE_HEADER, TRACER, TraceContext
 from ..workloads import workload_names
-from .httpio import ProtocolError, Request, json_response, read_request
+from .httpio import (
+    ProtocolError,
+    Request,
+    TextBody,
+    json_response,
+    read_request,
+    text_response,
+)
 from .jobs import Job, JobQueue, QueueFullError
 
 #: Bounds for submitted trace lengths: a service shared by many clients
@@ -254,6 +266,7 @@ class ReproService:
                               queue_size=self.queue_size,
                               events_dir=self.events_dir())
         await self.queue.start()
+        REGISTRY.add_collector(self._queue_collector)
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port)
         sock = self._server.sockets[0]
@@ -265,12 +278,23 @@ class ReproService:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        REGISTRY.remove_collector(self._queue_collector)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self.queue is not None:
             await self.queue.close()
+
+    def _queue_collector(self) -> None:
+        """Refresh the queue gauges before every ``/metricsz`` render."""
+        queue = self.queue
+        if queue is None:
+            return
+        stats = queue.stats()
+        set_gauge("repro_job_queue_depth", float(stats["state_queued"]))
+        set_gauge("repro_jobs_running", float(stats["state_running"]))
+        set_gauge("repro_jobs_inflight", float(stats["inflight"]))
 
     # -- connection handling -------------------------------------------
 
@@ -284,18 +308,27 @@ class ReproService:
                 return
             if request is None:
                 return
-            try:
-                status, payload = await self._route(request)
-            except BadRequest as exc:
-                status, payload = 400, {"error": str(exc)}
-            except QueueFullError as exc:
-                status, payload = 429, {"error": str(exc)}
-            except ProtocolError as exc:
-                status, payload = 400, {"error": str(exc)}
-            except Exception as exc:        # noqa: BLE001 - boundary
-                status, payload = 500, {
-                    "error": f"{type(exc).__name__}: {exc}"}
-            writer.write(json_response(status, payload))
+            # A propagated trace context (the client's X-Repro-Trace
+            # header) makes this request a child span of the caller's;
+            # without the header the request is served untraced — the
+            # *client* is the sampling decision point.
+            ctx = TraceContext.from_header(
+                request.headers.get(TRACE_HEADER.lower(), ""))
+            if ctx is not None:
+                with TRACER.span("http.request", parent=ctx,
+                                 attrs={"method": request.method,
+                                        "path": request.path}) as span:
+                    status, payload = await self._dispatch(request)
+                    if span is not None:
+                        span.attrs["status"] = status
+            else:
+                status, payload = await self._dispatch(request)
+            inc("repro_http_requests_total",
+                labels={"method": request.method, "status": str(status)})
+            if isinstance(payload, TextBody):
+                writer.write(text_response(status, payload))
+            else:
+                writer.write(json_response(status, payload))
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -307,6 +340,19 @@ class ReproService:
                 pass
 
     # -- routing -------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+        """Route one request, mapping expected failures to statuses."""
+        try:
+            return await self._route(request)
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except QueueFullError as exc:
+            return 429, {"error": str(exc)}
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:            # noqa: BLE001 - boundary
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
     async def _route(self, request: Request) -> Tuple[int, Any]:
         # Runs on the event loop: anything that touches the disk (the
@@ -320,6 +366,10 @@ class ReproService:
         if method == "GET":
             if path == "/healthz":
                 return 200, {"ok": True}
+            if path == "/metricsz":
+                # Pure in-memory render (collectors refresh gauges from
+                # loop-owned state) — no to_thread needed.
+                return 200, TextBody(render_metrics())
             if path == "/storez":
                 return 200, await self._storez()
             if path == "/schemes":
@@ -364,7 +414,8 @@ class ReproService:
         # The fingerprint folds a salt over the simulator sources into
         # the hash, which means reading files — not loop work.
         fingerprint = await asyncio.to_thread(job_fingerprint, kind, params)
-        job = self.queue.submit(kind, params, fingerprint)
+        job = self.queue.submit(kind, params, fingerprint,
+                                trace=TRACER.current())
         return 202, {"job": job.as_dict(include_result=False)}
 
     def _job_status(self, job_id: str) -> Tuple[int, Any]:

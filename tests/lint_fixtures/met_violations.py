@@ -1,0 +1,12 @@
+"""Metrics-registry fixture: one undeclared observation, one dead metric."""
+
+from repro.obs.metrics import declare_counter, declare_gauge, inc, set_gauge
+
+declare_counter("met_requests_total", "requests handled")
+declare_gauge("met_idle_workers", "TEL004 (line 6): declared, never set")
+
+
+def handle(n):
+    inc("met_requests_total")
+    inc("met_request_total", n)       # TEL003 (line 11): typo'd name
+    set_gauge("met_depth", 0.0)       # TEL003 (line 12): never declared

@@ -110,6 +110,22 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "persistent store" in out
 
+    def test_stats_metrics_is_prometheus_text(self, capsys):
+        from repro.obs.metrics import parse_prometheus_text
+        assert main(["stats", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_job_latency_seconds histogram" in out
+        parsed = parse_prometheus_text(out)
+        assert isinstance(parsed, dict)
+
+    def test_top_against_dead_port_fails_fast(self, capsys):
+        import socket
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["top", "--port", str(port), "--once"]) == 1
+        assert "repro top:" in capsys.readouterr().out
+
     def test_stats_component_report(self, capsys):
         rc = main(["stats", "--workload", "web_frontend",
                    "--scheme", "sn4l_dis_btb", "--records", "6000",

@@ -1,0 +1,184 @@
+"""The service's HTTP layer: parsing, limits, and error paths.
+
+``read_request`` is driven directly with an ``asyncio.StreamReader``
+(feed bytes, observe the parse) so every protocol-error branch is
+pinned without a socket: malformed request lines, oversized header
+blocks, bad ``Content-Length`` values and a client that disconnects
+mid-body.  One raw-socket test confirms the live server answers a
+malformed request with 400 and closes the connection.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.experiments import store
+from repro.service import serve_in_thread
+from repro.service.httpio import (
+    MAX_BODY_BYTES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    TextBody,
+    json_response,
+    read_request,
+    text_response,
+)
+
+
+def parse(raw: bytes):
+    """Feed ``raw`` to a fresh StreamReader and parse one request."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(scenario())
+
+
+def request_bytes(method="GET", target="/", version="HTTP/1.1",
+                  headers=(), body=b""):
+    lines = [f"{method} {target} {version}"]
+    lines += [f"{k}: {v}" for k, v in headers]
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+class TestWellFormedRequests:
+    def test_full_request_roundtrip(self):
+        body = json.dumps({"kind": "run"}).encode()
+        req = parse(request_bytes(method="post", target="/jobs?x=1&y=",
+                                  headers=[("X-Repro-Trace", "ab-cd")],
+                                  body=body))
+        assert req.method == "POST"          # methods are upper-cased
+        assert req.path == "/jobs"
+        assert req.query == {"x": "1", "y": ""}
+        assert req.headers["x-repro-trace"] == "ab-cd"
+        assert req.body == body
+        assert req.json() == {"kind": "run"}
+
+    def test_empty_body_parses_as_none(self):
+        assert parse(request_bytes()).json() is None
+
+    def test_clean_eof_returns_none(self):
+        """A client that connects and closes sent no request at all."""
+        assert parse(b"") is None
+
+    def test_non_json_body_is_a_protocol_error(self):
+        req = Request(method="POST", target="/jobs", path="/jobs",
+                      body=b"{nope")
+        with pytest.raises(ProtocolError, match="not JSON"):
+            req.json()
+
+
+class TestMalformedRequestLine:
+    def test_wrong_token_count(self):
+        with pytest.raises(ProtocolError, match="malformed request line"):
+            parse(b"GARBAGE\r\n\r\n")
+        with pytest.raises(ProtocolError, match="malformed request line"):
+            parse(b"GET /\r\n\r\n")
+
+    def test_unsupported_protocol_version(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            parse(request_bytes(version="HTTP/2.0"))
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            parse(request_bytes(version="SMTP"))
+
+    def test_truncated_request_line(self):
+        with pytest.raises(ProtocolError, match="truncated request line"):
+            parse(b"GET / HTTP/1.1")       # no CRLF before EOF
+
+    def test_oversized_request_line(self):
+        with pytest.raises(ProtocolError, match="request line too long"):
+            parse(b"GET /" + b"a" * (MAX_LINE_BYTES + 64))
+
+
+class TestHeaderErrors:
+    def test_header_without_colon(self):
+        with pytest.raises(ProtocolError, match="malformed header"):
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_truncated_header_block(self):
+        with pytest.raises(ProtocolError, match="truncated header block"):
+            parse(b"GET / HTTP/1.1\r\nx-half: yes")
+
+    def test_oversized_header_block(self):
+        """Many small headers that together exceed the block limit."""
+        filler = "".join(f"x-pad-{i}: {'a' * 1000}\r\n"
+                         for i in range(MAX_LINE_BYTES // 1000 + 2))
+        raw = b"GET / HTTP/1.1\r\n" + filler.encode() + b"\r\n"
+        with pytest.raises(ProtocolError, match="header block too large"):
+            parse(raw)
+
+
+class TestBodyErrors:
+    def test_unparseable_content_length(self):
+        with pytest.raises(ProtocolError, match="bad Content-Length"):
+            parse(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_negative_content_length(self):
+        with pytest.raises(ProtocolError, match="refusing body"):
+            parse(b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_oversized_content_length(self):
+        huge = MAX_BODY_BYTES + 1
+        with pytest.raises(ProtocolError, match="refusing body"):
+            parse(f"GET / HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n"
+                  .encode())
+
+    def test_client_disconnect_mid_body(self):
+        """Declared 100 bytes, sent 10, hung up."""
+        raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\n" \
+              b"0123456789"
+        with pytest.raises(ProtocolError, match="truncated request body"):
+            parse(raw)
+
+
+class TestResponses:
+    def test_json_response_shape(self):
+        raw = json_response(200, {"b": 2, "a": 1})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"a": 1, "b": 2}
+
+    def test_text_response_carries_prometheus_content_type(self):
+        raw = text_response(200, TextBody("metric_total 1\n"))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Content-Type: text/plain; version=0.0.4" in head
+        assert body == b"metric_total 1\n"
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_unknown_status_gets_a_phrase(self):
+        assert json_response(599, {}).startswith(b"HTTP/1.1 599 Unknown")
+
+
+class TestLiveServerRejectsGarbage:
+    def test_malformed_request_answered_400_and_closed(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+        store.reset_store()
+        try:
+            with serve_in_thread(workers=1, queue_size=4) as handle:
+                host, port = handle.address
+                with socket.create_connection((host, port),
+                                              timeout=10) as sock:
+                    sock.sendall(b"GARBAGE\r\n\r\n")
+                    sock.settimeout(10)
+                    chunks = []
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break          # server honoured Connection: close
+                        chunks.append(chunk)
+            response = b"".join(chunks)
+            assert response.startswith(b"HTTP/1.1 400 Bad Request")
+            assert b"malformed request line" in response
+        finally:
+            store.reset_store()

@@ -50,6 +50,33 @@ class TestTelemetryPack:
         assert "'demand_misss'" in by_rule["TEL001"]
 
 
+class TestMetricsPack:
+    def test_undeclared_and_dead_metric(self):
+        _, got = findings_of("met_violations.py")
+        assert got == [
+            ("TEL004", 6),    # 'met_idle_workers' declared, never set
+            ("TEL003", 11),   # 'met_request_total' typo'd observation
+            ("TEL003", 12),   # 'met_depth' never declared
+        ]
+
+    def test_messages_name_the_metric(self):
+        result, _ = findings_of("met_violations.py")
+        by_line = {f.line: f.message for f in result.findings}
+        assert "'met_idle_workers'" in by_line[6]
+        assert "'met_request_total'" in by_line[11]
+        assert "'met_depth'" in by_line[12]
+
+    def test_installed_catalogue_backs_observations(self):
+        # The fixture observes 'met_requests_total' (declared locally);
+        # repro's own catalogue names never fire TEL003 even when the
+        # linted set holds no declaration for them — the installed
+        # catalogue is always in scope.
+        result, got = findings_of("met_violations.py", select=["TEL003"])
+        assert [rule for rule, _ in got] == ["TEL003", "TEL003"]
+        assert all("met_requests_total" not in f.message
+                   for f in result.findings)
+
+
 class TestRegistryPack:
     def test_shape_factory_and_override(self):
         _, got = findings_of("reg_violations.py")

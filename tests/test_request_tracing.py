@@ -1,0 +1,267 @@
+"""Request-scoped tracing: ids, sampling, persistence, propagation.
+
+The acceptance test for the tracing plane: one job submitted through
+:class:`ServiceClient` yields one connected trace — client span → HTTP
+span → queue-wait span → per-worker run spans → engine spans —
+reconstructable from the persisted span stream by trace id, with
+parent/child linkage asserted **across the process boundary** (worker
+pids differ from the service pid), and the ``/metricsz`` latency
+histogram carrying an exemplar that names a span in that trace.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.experiments import runner, store
+from repro.experiments.parallel import run_many
+from repro.obs.tracing import (
+    TRACE_HEADER,
+    TRACER,
+    TraceContext,
+    Tracer,
+    read_trace_spans,
+    trace_stream_path,
+)
+from repro.service import ServiceClient, serve_in_thread
+from repro.workloads import tracegen
+
+RECORDS = 3_000
+SCALE = 0.3
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+    monkeypatch.delenv(store.ENV_CACHE_DISABLE, raising=False)
+    monkeypatch.delenv(store.ENV_CACHE_BUDGET, raising=False)
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+    TRACER.reset()
+    yield store.get_store()
+    store.reset_store()
+    runner.clear_cache()
+    tracegen.clear_cache()
+    TRACER.reset()
+
+
+# -- ids, headers, sampling (private Tracer instances) -----------------------
+
+class TestDeterministicIds:
+    def test_same_seed_same_ids_across_processes(self):
+        """Two fresh tracers (two processes) derive identical ids."""
+        spans = []
+        for _ in range(2):
+            with Tracer(sample_rate=1.0).span("client.submit",
+                                              seed="fp-abc") as span:
+                spans.append(span.context)
+        assert spans[0] == spans[1]
+        assert re.fullmatch(r"[0-9a-f]{16}", spans[0].trace_id)
+        assert re.fullmatch(r"[0-9a-f]{16}", spans[0].span_id)
+
+    def test_counter_separates_repeats_in_one_process(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("a", seed="s") as first:
+            pass
+        with tracer.span("a", seed="s") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_no_wall_clock_in_identity(self):
+        """start_ts is span *data*; identity ignores it entirely."""
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("x", seed="s") as span:
+            pass
+        record = tracer.spans_for(span.trace_id)[0]
+        assert record["start_ts"] > 0            # data present...
+        retraced = Tracer(sample_rate=1.0)
+        with retraced.span("x", seed="s") as again:
+            pass
+        assert again.trace_id == span.trace_id   # ...identity unchanged
+
+
+class TestHeaderPropagation:
+    def test_roundtrip(self):
+        ctx = TraceContext("ab12", "cd34")
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+    @pytest.mark.parametrize("value", [
+        None, "", "onlyonepart", "a-b-c", "zz-11", "AB-CD", "-cd34",
+    ])
+    def test_malformed_header_is_no_trace_not_an_error(self, value):
+        assert TraceContext.from_header(value) is None
+
+
+class TestSampling:
+    def test_rate_zero_yields_no_span(self):
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.span("client.submit", seed="s") as span:
+            assert span is None
+        assert tracer.snapshot() == []
+
+    def test_propagated_context_overrides_local_sampling(self):
+        """The root decides; every downstream hop honours the header."""
+        tracer = Tracer(sample_rate=0.0)
+        ctx = TraceContext("ab12", "cd34")
+        with tracer.span("http.request", parent=ctx) as span:
+            assert span is not None
+            assert span.trace_id == "ab12"
+            assert span.parent_id == "cd34"
+        assert len(tracer.spans_for("ab12")) == 1
+
+    def test_nested_spans_ride_the_context_var(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("outer", seed="s") as outer:
+            assert tracer.current() == outer.context
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current() is None
+
+    def test_record_span_needs_a_parent(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert tracer.record_span("job.queue_wait", None, 0.1) is None
+        ctx = TraceContext("ab12", "cd34")
+        sid = tracer.record_span("job.queue_wait", ctx, 0.125,
+                                 start_ts=10.0, attrs={"job": "job-1"})
+        record, = tracer.spans_for("ab12")
+        assert record["span_id"] == sid
+        assert record["parent_id"] == "cd34"
+        assert record["duration_s"] == pytest.approx(0.125)
+        assert record["start_ts"] == pytest.approx(10.0)
+        assert record["attrs"] == {"job": "job-1"}
+
+
+class TestPersistence:
+    def test_stream_roundtrip_dedupes_and_sorts(self, tmp_path):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("root", seed="s") as root:
+            with tracer.span("child"):
+                pass
+        trace_id = root.trace_id
+        path = tracer.persist(trace_id, root=tmp_path)
+        assert path == trace_stream_path(trace_id, tmp_path)
+        assert path.parent.name == trace_id[:2]      # sharded like results
+        # Persisted spans left the buffer; nothing new to append.
+        assert tracer.spans_for(trace_id) == []
+        assert tracer.persist(trace_id, root=tmp_path) is None
+        # A follower persisting the shared subtree duplicates lines...
+        for record in read_trace_spans(trace_id, root=tmp_path):
+            store.append_jsonl(path, record)
+        spans = read_trace_spans(trace_id, root=tmp_path)
+        # ...and the reader dedupes by span id and orders by start.
+        assert [s["name"] for s in spans] == ["root", "child"]
+        assert spans[0]["parent_id"] == ""
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+
+
+# -- the process boundary ----------------------------------------------------
+
+class TestRunManyPropagation:
+    def test_worker_spans_merge_back_into_parent(self, fresh_cache):
+        specs = [("web_apache", "baseline"), ("web_apache", "nl")]
+        with TRACER.span("test.fanout", seed="run-many") as root:
+            run_many(specs, jobs=2, n_records=RECORDS, scale=SCALE)
+        spans = TRACER.spans_for(root.trace_id)
+        workers = [s for s in spans if s["name"] == "run_many.worker"]
+        engines = [s for s in spans if s["name"] == "engine.run_scheme"]
+        assert len(workers) == len(specs)
+        assert len(engines) == len(specs)
+        assert {w["parent_id"] for w in workers} == {root.span_id}
+        assert {e["parent_id"] for e in engines} == \
+            {w["span_id"] for w in workers}
+        # The engine spans really ran in pool processes.
+        assert all(w["pid"] != os.getpid() for w in workers)
+        assert {w["scheme"] for w in
+                (s["attrs"] for s in workers)} == {"baseline", "nl"}
+
+    def test_untraced_run_many_has_no_worker_wrappers(self, fresh_cache):
+        """With no active trace the workers add no propagation spans;
+        the engine span self-roots (standalone runs still get
+        ``repro_run_seconds`` exemplars) instead of dangling."""
+        before = len(TRACER.snapshot())
+        run_many([("web_apache", "baseline")], jobs=2,
+                 n_records=RECORDS, scale=SCALE)
+        after = TRACER.snapshot()[before:]
+        assert [s for s in after if s["name"] == "run_many.worker"] == []
+        engines = [s for s in after if s["name"] == "engine.run_scheme"]
+        assert all(e["parent_id"] == "" for e in engines)
+
+
+# -- the acceptance trace through the live service ---------------------------
+
+class TestServiceTraceAcceptance:
+    @pytest.fixture()
+    def client(self, fresh_cache):
+        with serve_in_thread(workers=2, queue_size=16) as handle:
+            host, port = handle.address
+            yield ServiceClient(host, port, timeout=120.0)
+
+    def test_one_submission_one_connected_trace(self, client):
+        job_id = client.submit("run", workload="web_apache",
+                               scheme="sn4l", n_records=RECORDS,
+                               scale=SCALE, jobs=2)
+        job = client.wait(job_id, timeout=300)
+        trace_id = job["trace_id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+
+        spans = read_trace_spans(trace_id)
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+            assert span["trace_id"] == trace_id
+
+        # One span per hop; two worker/engine spans (scheme + baseline).
+        root, = by_name["client.submit"]
+        http, = by_name["http.request"]
+        wait, = by_name["job.queue_wait"]
+        run, = by_name["job.run"]
+        workers = by_name["run_many.worker"]
+        engines = by_name["engine.run_scheme"]
+        assert len(workers) == 2 and len(engines) == 2
+
+        # Parent/child linkage, hop by hop.
+        assert root["parent_id"] == ""
+        assert http["parent_id"] == root["span_id"]
+        assert wait["parent_id"] == http["span_id"]
+        assert run["parent_id"] == http["span_id"]
+        assert {w["parent_id"] for w in workers} == {run["span_id"]}
+        assert {e["parent_id"] for e in engines} == \
+            {w["span_id"] for w in workers}
+        # No orphans: every parent id is a span in this trace.
+        ids = {s["span_id"] for s in spans}
+        assert all(s["parent_id"] in ids for s in spans
+                   if s["parent_id"])
+
+        # The linkage crosses the process boundary: the service-side
+        # spans share the test pid, the engine spans ran in the pool.
+        assert http["pid"] == os.getpid()
+        assert all(e["pid"] != os.getpid() for e in engines)
+        assert len({s["pid"] for s in spans}) >= 2
+
+        # Span data carries the request identity.
+        assert http["attrs"]["status"] == 202
+        assert run["attrs"]["job"] == job_id
+        assert {e["attrs"]["scheme"] for e in engines} == \
+            {"sn4l", "baseline"}
+
+        # The /metricsz latency histogram names a span in this trace.
+        text = client.metricsz()
+        exemplars = re.findall(
+            r'repro_job_latency_seconds_bucket.* # '
+            r'\{span_id="([0-9a-f]+)",trace_id="([0-9a-f]+)"\}', text)
+        assert (run["span_id"], trace_id) in exemplars
+
+    def test_unsampled_submission_runs_untraced(self, client,
+                                                monkeypatch):
+        monkeypatch.setattr(TRACER, "sample_rate", 0.0)
+        job_id = client.submit("run", workload="web_apache",
+                               scheme="baseline", n_records=RECORDS,
+                               scale=SCALE, baseline=False, jobs=1)
+        job = client.wait(job_id, timeout=300)
+        assert job["state"] == "done"
+        assert "trace_id" not in job
+        assert not (TRACER.snapshot())

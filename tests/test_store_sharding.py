@@ -122,6 +122,34 @@ class TestLegacyMigration:
         assert fresh_store.overview()["results"]["count"] == 0
 
 
+class TestShardOccupancy:
+    """``overview()`` breaks each kind down by shard (``/storez``,
+    ``repro stats`` and ``repro top`` render the skew from it)."""
+
+    def test_counts_and_bytes_partition_by_shard(self, fresh_store):
+        fps = [_fp(i) for i in range(20, 24)]
+        for fp in fps:
+            fresh_store.save_result(fp, FrontendStats(instructions=1), {})
+        info = fresh_store.overview()["results"]
+        shards = info["shards"]
+        assert set(shards) == {store.shard_of(fp) for fp in fps}
+        assert sum(c["count"] for c in shards.values()) == info["count"]
+        assert sum(c["bytes"] for c in shards.values()) == info["bytes"]
+        assert all(c["count"] >= 1 and c["bytes"] > 0
+                   for c in shards.values())
+
+    def test_flat_legacy_entries_report_under_dash(self, fresh_store):
+        fp = _fp(30)
+        sharded = fresh_store.save_result(fp, FrontendStats(), {})
+        sharded.rename(fresh_store._legacy_path(sharded))
+        shards = fresh_store.overview()["results"]["shards"]
+        assert "-" in shards
+        assert shards["-"]["count"] >= 1
+
+    def test_empty_kind_has_no_shards(self, fresh_store):
+        assert fresh_store.overview()["traces"]["shards"] == {}
+
+
 class TestByteBudget:
     def test_parse_byte_budget(self):
         assert store.parse_byte_budget(None) is None

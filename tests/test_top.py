@@ -1,0 +1,135 @@
+"""``repro top``: snapshot folding, frame rendering, the polling loop.
+
+The renderer is a pure function over the two scraped payloads, so most
+tests feed canned ``parse_prometheus_text`` output and a canned
+``/storez`` body; one test drives :func:`run_top` against a live
+service and one against a dead port.
+"""
+
+import io
+import socket
+
+import pytest
+
+from repro.experiments import runner, store
+from repro.service.top import (
+    _fmt_seconds,
+    _shard_skew,
+    build_snapshot,
+    render_top,
+    run_top,
+)
+from repro.workloads import tracegen
+
+PARSED = {
+    "repro_job_queue_depth": [({}, 3.0)],
+    "repro_jobs_running": [({}, 2.0)],
+    "repro_jobs_inflight": [({}, 2.0)],
+    "repro_http_requests_total": [({"method": "GET", "status": "200"}, 5.0),
+                                  ({"method": "POST", "status": "202"}, 4.0)],
+    "repro_spans_total": [({"name": "job.run"}, 7.0)],
+    "repro_job_latency_seconds_bucket": [({"le": "1"}, 0.0),
+                                         ({"le": "2"}, 10.0),
+                                         ({"le": "+Inf"}, 10.0)],
+    "repro_job_latency_seconds_count": [({}, 10.0)],
+}
+
+STOREZ = {
+    "jobs": {"submitted": 9, "completed": 7, "failed": 0, "deduped": 1,
+             "capacity": 16},
+    "store": {
+        "enabled": True,
+        "counters": {"hits": 4, "misses": 6, "writes": 6,
+                     "evicted": 1, "corrupt": 0},
+        "overview": {
+            "results": {"count": 2, "bytes": 2048,
+                        "shards": {"ab": {"count": 1, "bytes": 1024},
+                                   "cd": {"count": 1, "bytes": 1024}}},
+            "traces": {"count": 0, "bytes": 0, "shards": {}},
+        },
+    },
+}
+
+
+class TestBuildSnapshot:
+    def test_folds_both_payloads(self):
+        snap = build_snapshot(PARSED, STOREZ)
+        assert snap["queue_depth"] == 3.0
+        assert snap["http_requests"] == 9.0     # summed across labels
+        assert snap["spans"] == 7.0
+        assert snap["jobs"]["submitted"] == 9
+        assert snap["store"]["hits"] == 4.0
+        assert snap["store"]["hit_ratio"] == pytest.approx(0.4)
+        assert snap["store"]["evicted"] == 1.0
+        assert snap["shards"]["results"]["ab"] == {"count": 1,
+                                                   "bytes": 1024}
+        assert snap["shards"]["traces"] == {}
+
+    def test_latency_percentiles_from_buckets(self):
+        snap = build_snapshot(PARSED, STOREZ)
+        assert snap["latency"]["p50"] == pytest.approx(1.5)
+        assert snap["latency"]["count"] == 10.0
+        # No queue-wait buckets scraped: percentiles degrade to None.
+        assert snap["queue_wait"]["p50"] is None
+        assert snap["queue_wait"]["count"] == 0.0
+
+    def test_empty_payloads_never_raise(self):
+        snap = build_snapshot({}, {})
+        assert snap["store"]["hit_ratio"] is None
+        assert snap["latency"]["p99"] is None
+        render_top(snap)                        # still renders a frame
+
+
+class TestRenderTop:
+    def test_frame_contents(self):
+        text = render_top(build_snapshot(PARSED, STOREZ),
+                          address="127.0.0.1:8787")
+        assert text.splitlines()[0] == "repro top  127.0.0.1:8787"
+        assert "queued 3" in text and "running 2" in text
+        assert "submitted 9" in text and "deduped 1" in text
+        assert "hit-ratio 40.0%" in text
+        assert "results  2 shards, max 1/min 1 entries, 2.0 KiB" in text
+        assert "traces   0 shards" in text
+        assert "p50 1.50s" in text and "(n=10)" in text
+
+    def test_fmt_seconds_units(self):
+        assert _fmt_seconds(None) == "-"
+        assert _fmt_seconds(5e-4) == "500us"
+        assert _fmt_seconds(0.25) == "250ms"
+        assert _fmt_seconds(2.5) == "2.50s"
+
+    def test_shard_skew_phrase(self):
+        assert _shard_skew({}) == "0 shards"
+        skew = _shard_skew({"ab": {"count": 5, "bytes": 3072},
+                            "cd": {"count": 1, "bytes": 1024}})
+        assert skew == "2 shards, max 5/min 1 entries, 4.0 KiB"
+
+
+class TestRunTop:
+    def test_dead_port_exits_nonzero(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        out = io.StringIO()
+        assert run_top("127.0.0.1", port, iterations=1, out=out) == 1
+        assert "repro top:" in out.getvalue()
+
+    def test_live_scrape_renders_one_frame(self, tmp_path, monkeypatch):
+        from repro.service import serve_in_thread
+        monkeypatch.setenv(store.ENV_CACHE_DIR, str(tmp_path))
+        store.reset_store()
+        runner.clear_cache()
+        tracegen.clear_cache()
+        try:
+            with serve_in_thread(workers=1, queue_size=4) as handle:
+                host, port = handle.address
+                out = io.StringIO()
+                assert run_top(host, port, iterations=1, out=out) == 0
+            frame = out.getvalue()
+            assert frame.startswith(f"repro top  {host}:{port}")
+            assert "jobs " in frame and "store " in frame
+            assert "latency" in frame and "q-wait" in frame
+        finally:
+            store.reset_store()
+            runner.clear_cache()
+            tracegen.clear_cache()
