@@ -61,6 +61,52 @@ def confluence_budget() -> Tuple[List[StorageItem], int]:
     return items, _total(items)
 
 
+#: Declared per-core metadata budget (bytes) for every registered
+#: scheme, the binding target of the BUD004 lint rule: the rule folds
+#: each ``SCHEMES`` factory's table geometry out of the source and
+#: fails when the recomputed figure exceeds (or the scheme is missing
+#: from) this table.  The caps equal today's folds exactly, so *any*
+#: geometry drift — a bumped default left over from a sweep, a new zoo
+#: scheme without a declared budget — trips the gate.  Schemes whose
+#: storage is architectural state only (perfect-Lxi oracles, plain
+#: next-line) declare 0.
+SCHEME_METADATA_BUDGETS: Dict[str, int] = {
+    "baseline": 0,
+    "nl": 0,
+    "n2l": 0,
+    "n4l": 0,
+    "n8l": 0,
+    # 64-entry L1i prefetch buffer: (40-bit tag + 64 B line) / entry.
+    "nl_buf": 4416,
+    "n2l_buf": 4416,
+    "n4l_buf": 4416,
+    "n8l_buf": 4416,
+    # SeqTable (16 K x 1 bit) + L1i local status/prefetch flag.
+    "sn4l": 2368,
+    # DisTable + L1i status + queues/RLU (no SeqTable, no BTB buffer).
+    "dis": 4714,
+    "sn4l_dis": 6762,
+    # The paper's proposal: the full Table II fold (seed tree 7562 B,
+    # inside the 7786 B / 7.6 KB claim).
+    "sn4l_dis_btb": 7562,
+    "discontinuity": 8704,   # 2 K untagged entries x 34-bit targets
+    "nlmiss": 0,
+    "adaptive_nxl": 8,       # one depth/accuracy register
+    "nltagged": 0,
+    "tifs": 34304,           # 8 K-entry history + index
+    "pif": 205824,           # 48 K-entry history + index
+    "rdip": 84992,           # 2 K signatures x (20 + 12 x 26) bits
+    "fdip": 256,             # 32-deep FTQ x 8 B
+    "confluence": 137216,    # 32 K-entry SHIFT history + index
+    "boomerang": 256,        # 32-deep FTQ x 8 B
+    # Split-BTB additions over a conventional 2 K x 50-bit BTB, plus
+    # both prefetch buffers.
+    "shotgun": 13600,
+    "perfect_l1i": 0,
+    "perfect_l1i_btb": 0,
+}
+
+
 def comparison_table() -> Dict[str, Dict[str, object]]:
     """Rows of Table II: storage, structural requirements, scalability."""
     _, ours = sn4l_dis_btb_budget()

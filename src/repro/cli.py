@@ -570,16 +570,53 @@ def _cmd_lint(args) -> int:
             print(f"{rule.id:8s} {rule.scope:8s} {rule.name:28s} "
                   f"{rule.summary}")
         return 0
-    try:
-        result = lint_paths(
+    if args.env_table:
+        from .envcontract import render_markdown
+        table = render_markdown()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(table)
+            print(f"wrote env-contract table {args.output}")
+        else:
+            print(table, end="")
+        return 0
+    if args.diff and not args.fix:
+        print("--diff requires --fix", file=sys.stderr)
+        return 2
+
+    def run_lint():
+        return lint_paths(
             args.paths or None,
             select=args.select.split(",") if args.select else None,
             ignore=args.ignore.split(",") if args.ignore else None,
             jobs=args.jobs,
-            changed_only=args.changed_only)
+            changed_only=args.changed_only,
+            use_store=False if args.no_store else None)
+
+    try:
+        result = run_lint()
     except LintUsageError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+    if args.fix:
+        from .lint.autofix import apply_fixes
+        report = apply_fixes(result, dry_run=args.diff)
+        if args.diff:
+            if report.pending:
+                print(report.diff, end="")
+                print(f"{report.applied} safe fix(es) pending in "
+                      f"{len(report.files)} file(s); run "
+                      f"'repro lint --fix' to apply them")
+                return 1
+            print("no safe fixes pending")
+            return 0
+        if report.pending:
+            rules = ", ".join(f"{rule} x{n}" for rule, n in
+                              sorted(report.fixed_rules.items()))
+            print(f"fixed {report.applied} span(s) in "
+                  f"{len(report.files)} file(s) ({rules})")
+            result = run_lint()   # report what --fix could not repair
     rendered = RENDERERS[args.format](result)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -753,6 +790,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lint only files changed since the merge-base "
                              "with main (plus untracked files); outside a "
                              "git checkout everything is linted")
+    p_lint.add_argument("--fix", action="store_true",
+                        help="apply the safe autofixes attached to the "
+                             "findings (span rewrites only, never a noqa), "
+                             "then re-lint and report what remains")
+    p_lint.add_argument("--diff", action="store_true",
+                        help="with --fix: print pending fixes as a unified "
+                             "diff without writing anything; exits 1 when "
+                             "fixes are pending (the CI dry-run gate)")
+    p_lint.add_argument("--no-store", action="store_true",
+                        help="skip the incremental lint cache (cold run)")
+    p_lint.add_argument("--env-table", action="store_true",
+                        help="print the declared environment-variable "
+                             "contract as a markdown table and exit "
+                             "(honours --output)")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_serve = sub.add_parser(

@@ -288,6 +288,9 @@ class ResultStore:
     def trace_path(self, fp: str) -> Path:
         return self.root / "traces" / shard_of(fp) / f"{fp}.npz"
 
+    def lint_path(self, fp: str) -> Path:
+        return self.root / "lint" / shard_of(fp) / f"{fp}.json"
+
     def _legacy_path(self, sharded: Path) -> Path:
         """Where the same entry lived before the sharded layout."""
         return sharded.parent.parent / sharded.name
@@ -399,6 +402,44 @@ class ResultStore:
             except (OSError, ValueError):
                 continue
 
+    # -- lint file summaries -------------------------------------------
+
+    def load_lint(self, fp: str) -> Optional[Dict[str, Any]]:
+        """Cached per-file lint payload (findings + facts + suppressions).
+
+        Keys are content fingerprints salted with the rule-pack version
+        (:func:`repro.lint.cache.file_key`), so the entry can only match
+        when both the file bytes and the lint implementation are
+        unchanged — same hit/miss/corrupt accounting as results.
+        """
+        try:
+            text = self.lint_path(fp).read_text()
+        except FileNotFoundError:
+            self._bump("misses")
+            return None
+        except OSError:
+            self._bump("misses")
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("lint entry is not an object")
+        except ValueError:
+            self._bump("corrupt")
+            self._bump("misses")
+            _notify("corrupt", entry="lint", fingerprint=fp)
+            return None
+        self._bump("hits")
+        return payload
+
+    def save_lint(self, fp: str, payload: Dict[str, Any]) -> Path:
+        path = self.lint_path(fp)
+        _atomic_write(path, json.dumps(
+            payload, sort_keys=True, separators=(",", ":")).encode())
+        self._bump("writes")
+        self._maybe_evict(protect=(path,))
+        return path
+
     # -- traces --------------------------------------------------------
 
     def load_trace(self, fp: str):
@@ -475,12 +516,13 @@ class ResultStore:
             except OSError:
                 pass
             units.append((st.st_atime, size, tuple(group)))
-        for path in self._iter_files("traces", "*.npz"):
-            try:
-                st = path.stat()
-            except OSError:
-                continue
-            units.append((st.st_atime, st.st_size, (path,)))
+        for sub, pattern in (("traces", "*.npz"), ("lint", "*.json")):
+            for path in self._iter_files(sub, pattern):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                units.append((st.st_atime, st.st_size, (path,)))
         return units
 
     def evict(self, budget_bytes: Optional[int] = None,
@@ -539,7 +581,7 @@ class ResultStore:
         directories are pruned best-effort.
         """
         removed = 0
-        for sub in ("results", "traces"):
+        for sub in ("results", "traces", "lint"):
             folder = self.root / sub
             if not folder.is_dir():
                 continue
@@ -614,7 +656,8 @@ class ResultStore:
         for kind, sub, pattern in (("results", "results", "*.json"),
                                    ("manifests", "results",
                                     "*.manifest.json"),
-                                   ("traces", "traces", "*.npz")):
+                                   ("traces", "traces", "*.npz"),
+                                   ("lint", "lint", "*.json")):
             count = size = 0
             shards: Dict[str, Dict[str, int]] = {}
             for path in self._iter_files(sub, pattern):

@@ -1,0 +1,163 @@
+"""The span-based autofixer behind ``repro lint --fix``.
+
+Rules that can compute a *safe* repair attach span edits to their
+findings (:class:`~repro.lint.framework.Finding.fix`); this module
+applies them.  The safety policy is strict:
+
+* a fix must make the finding disappear by **repairing the code**, not
+  by exempting it — the fixer never inserts ``# repro: noqa``;
+* a fix only rewrites spans whose current source text the rule could
+  see statically (a literal default, a single-assignment handle, a
+  registry tuple), so applying it twice is a byte-for-byte no-op: the
+  second lint run finds nothing to fix;
+* overlapping edits are refused rather than merged — the first edit
+  (in finding order) wins and the conflicting fix is reported as
+  skipped, because two rules rewriting the same span cannot both be
+  right.
+
+``apply_fixes`` works on a :class:`LintResult`: it groups the edits of
+unsuppressed findings by file, validates them against the current
+source, and either writes the patched files or (``dry_run``) returns
+the unified diff — the ``--fix --diff`` CI gate fails when that diff
+is non-empty, which is exactly "safe fixes are pending".
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .framework import Edit, Finding, LintResult
+
+#: One edit positioned inside a file: ((line, col), (end_line, end_col),
+#: replacement) with 1-based lines and 0-based columns.
+_Span = Tuple[Tuple[int, int], Tuple[int, int], str]
+
+
+@dataclass
+class FixReport:
+    """Outcome of one ``--fix`` (or ``--fix --diff``) pass."""
+
+    applied: int = 0                 # edits written (or pending in dry run)
+    fixed_rules: Dict[str, int] = field(default_factory=dict)
+    files: List[str] = field(default_factory=list)   # files touched
+    skipped: int = 0                 # fixes dropped (overlap / bad span)
+    diff: str = ""                   # unified diff (dry runs only)
+
+    @property
+    def pending(self) -> bool:
+        return self.applied > 0
+
+
+def _pos(line: int, col: int, line_starts: Sequence[int],
+         length: int) -> int:
+    """Flat offset of (1-based line, 0-based col), clamped to the file."""
+    if line < 1:
+        return 0
+    if line > len(line_starts):
+        return length
+    return min(line_starts[line - 1] + max(col, 0), length)
+
+
+def _apply_spans(source: str, spans: List[_Span]) -> Tuple[str, int, int]:
+    """Apply non-overlapping spans to ``source``.
+
+    Returns ``(new source, applied, skipped)``.  Spans are applied
+    back-to-front so earlier offsets stay valid; a span overlapping an
+    already-accepted one is skipped.  Pure insertions (zero-width
+    spans) at the same point all apply, in finding order.
+    """
+    line_starts = []
+    offset = 0
+    for line in source.splitlines(keepends=True):
+        line_starts.append(offset)
+        offset += len(line)
+    if not line_starts:
+        line_starts = [0]
+
+    resolved: List[Tuple[int, int, int, str]] = []  # (start, end, seq, text)
+    for seq, ((line, col), (end_line, end_col), text) in enumerate(spans):
+        start = _pos(line, col, line_starts, len(source))
+        end = _pos(end_line, end_col, line_starts, len(source))
+        if end < start:
+            start, end = end, start
+        resolved.append((start, end, seq, text))
+
+    accepted: List[Tuple[int, int, int, str]] = []
+    skipped = 0
+    for start, end, seq, text in sorted(resolved):
+        if accepted and start < accepted[-1][1]:
+            skipped += 1
+            continue
+        accepted.append((start, end, seq, text))
+
+    out = source
+    # Same-point insertions must keep finding order after the reversal,
+    # so ties break on the *descending* sequence number.
+    for start, end, _, text in sorted(
+            accepted, key=lambda e: (e[0], e[1], e[2]), reverse=True):
+        out = out[:start] + text + out[end:]
+    return out, len(accepted), skipped
+
+
+def collect_edits(findings: Sequence[Finding]
+                  ) -> Tuple[Dict[str, List[_Span]], Dict[str, int]]:
+    """Group the fix edits of ``findings`` by target file.
+
+    Returns ``(spans by rel path, fixed-finding count by rule)``.
+    Finding order (already sorted by location) fixes the application
+    order, which keeps ``--fix`` deterministic.
+    """
+    by_path: Dict[str, List[_Span]] = {}
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        if not finding.fix:
+            continue
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        for edit in finding.fix:
+            path, line, col, end_line, end_col, text = edit
+            by_path.setdefault(path, []).append(
+                ((line, col), (end_line, end_col), text))
+    return by_path, by_rule
+
+
+def apply_fixes(result: LintResult, dry_run: bool = False) -> FixReport:
+    """Apply (or preview) every safe fix attached to ``result``.
+
+    Suppressed findings are never fixed: a ``noqa`` records a human
+    decision to keep the code as written.
+    """
+    report = FixReport()
+    by_path, report.fixed_rules = collect_edits(result.findings)
+    root = Path(result.root)
+    diffs: List[str] = []
+    for rel in sorted(by_path):
+        target = root / rel
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:
+            report.skipped += len(by_path[rel])
+            continue
+        patched, applied, skipped = _apply_spans(source, by_path[rel])
+        report.skipped += skipped
+        if patched == source or not applied:
+            continue
+        report.applied += applied
+        report.files.append(rel)
+        if dry_run:
+            diffs.append("".join(difflib.unified_diff(
+                source.splitlines(keepends=True),
+                patched.splitlines(keepends=True),
+                fromfile=f"a/{rel}", tofile=f"b/{rel}")))
+        else:
+            target.write_text(patched, encoding="utf-8")
+    report.diff = "".join(diffs)
+    return report
+
+
+def fix_edit(path: str, start: Tuple[int, int], end: Tuple[int, int],
+             text: str) -> Edit:
+    """Convenience constructor keeping rule code terse and typed."""
+    return (path, start[0], start[1], end[0], end[1], text)

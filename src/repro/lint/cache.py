@@ -1,0 +1,115 @@
+"""Incremental lint cache: per-file findings + facts in the result store.
+
+A file's lint outcome is a pure function of (a) the file bytes, (b) the
+active rule set, and (c) the lint implementation itself.  The cache key
+therefore combines a content fingerprint with a **rule-pack salt** — a
+hash over every source file of the lint package plus the environment
+contract (``repro/envcontract.py``, whose declarations the ENV pack
+checks against) — and the sorted active rule ids and fact keys.  Editing
+any lint module, the contract, or the selection invalidates every
+entry; editing simulator code does not (unlike simulation results,
+which are salted with :func:`repro.experiments.store.code_salt` over
+the whole package).
+
+Entries live in the sharded result store under ``lint/<shard>/<fp>.json``
+and hold everything the project-scope pass needs from the file: the
+file-scope findings, the extracted facts, and the parsed suppressions.
+Payloads are JSON all the way down — the runner normalises fresh facts
+through a JSON round-trip before caching so a store-served run is
+bit-identical to a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .framework import Facts, Finding, Suppression
+
+#: Bump to orphan every cached lint entry (payload shape changes).
+LINT_CACHE_VERSION = 1
+
+_PACK_SALT: Optional[str] = None
+
+
+def pack_salt() -> str:
+    """Hash of the lint implementation (memoised per process).
+
+    Covers every ``.py`` under ``repro/lint`` and the environment
+    contract module.  Part of every cache key: a rule edit must never
+    serve findings computed by the previous rule.
+    """
+    global _PACK_SALT
+    if _PACK_SALT is None:
+        lint_dir = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        sources = sorted(lint_dir.rglob("*.py"))
+        contract = lint_dir.parent / "envcontract.py"
+        if contract.is_file():
+            sources.append(contract)
+        for source in sources:
+            digest.update(source.name.encode())
+            try:
+                digest.update(source.read_bytes())
+            except OSError:
+                digest.update(b"<unreadable>")
+        digest.update(str(LINT_CACHE_VERSION).encode())
+        _PACK_SALT = digest.hexdigest()[:16]
+    return _PACK_SALT
+
+
+def file_key(content: bytes, rel: str, rule_ids: Sequence[str],
+             fact_keys: Sequence[str]) -> str:
+    """Cache key of one file's lint outcome.
+
+    ``rel`` participates because findings embed the root-relative path;
+    the same bytes linted under a different root are a different entry.
+    """
+    digest = hashlib.sha256()
+    digest.update(pack_salt().encode())
+    digest.update(rel.encode())
+    digest.update(",".join(sorted(rule_ids)).encode())
+    digest.update(";".join(sorted(fact_keys)).encode())
+    digest.update(content)
+    return digest.hexdigest()[:32]
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalise facts for the cache (tuples -> lists, sorted keys).
+
+    Applied to *fresh* facts too, so cached and freshly computed runs
+    feed project rules identical structures.
+    """
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def encode_entry(findings: Sequence[Finding], facts: Dict[str, Facts],
+                 suppressions: Dict[int, Suppression]) -> Dict[str, Any]:
+    """The JSON payload cached per file."""
+    return {
+        "version": LINT_CACHE_VERSION,
+        "findings": [f.as_dict() for f in findings],
+        "facts": _jsonify(facts),
+        "suppressions": [[s.line, list(s.rules), s.justification]
+                         for s in suppressions.values()],
+    }
+
+
+def decode_entry(payload: Dict[str, Any]
+                 ) -> Optional[Tuple[List[Finding], Dict[str, Facts],
+                                     Dict[int, Suppression]]]:
+    """Inverse of :func:`encode_entry`; None on any shape mismatch."""
+    try:
+        if payload.get("version") != LINT_CACHE_VERSION:
+            return None
+        findings = [Finding.from_dict(d) for d in payload["findings"]]
+        facts = dict(payload["facts"])
+        suppressions = {
+            int(line): Suppression(int(line),
+                                   tuple(str(r) for r in rules), str(why))
+            for line, rules, why in payload["suppressions"]}
+    except (KeyError, TypeError, ValueError):
+        return None
+    return findings, facts, suppressions

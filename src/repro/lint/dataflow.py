@@ -1,0 +1,806 @@
+"""Flow-sensitive intraprocedural dataflow for the lint packs.
+
+The syntactic packs (DET/TEL/REG/BUD) and the flow-insensitive
+concurrency pass miss value-dependent violations: a handle closed on
+one branch but leaked on the other, a lock held through ``acquire()``
+/ ``release()`` rather than a ``with`` block, an environment variable
+name that only materialises after constant propagation through a
+module-level ``ENV_FOO = "REPRO_FOO"`` alias.  This module supplies
+the missing machinery:
+
+* :func:`build_cfg` — a per-function control-flow graph straight from
+  the AST, covering branches, loops, ``try``/``except``/``finally``,
+  ``with`` blocks (entry and exit are distinct nodes so analyses see
+  context release), ``break``/``continue``/``return``/``raise``, and
+  the *exception edge* from every statement inside a ``try`` body to
+  its handlers.
+* :func:`solve` — a forward worklist solver over small picklable
+  lattice states (plain dicts / frozensets), so per-file summaries can
+  ride the same ``map_parallel`` fan-out as ``@fact_extractor`` facts.
+* Four shipped analyses: :class:`ReachingDefinitions`,
+  :class:`ConstantPropagation` (constants *and* env-var values),
+  :class:`ResourceFlow` (acquired-handle state) and
+  :class:`HeldLocks` (path-sensitive lock state including explicit
+  ``acquire``/``release`` pairs).
+
+Rules consume the engine either directly (file-scope rules call
+:func:`function_summaries` on their ``FileContext``) or through facts
+(extractors run the solver in the worker and ship the picklable
+summary dicts to project-scope rules).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from .astutil import UNFOLDABLE, dotted_name, fold_constant
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Lattice top: the variable is bound but to no single known value.
+TOP = "<top>"
+
+
+def fold_literal(node: Optional[ast.AST]) -> object:
+    """Like :func:`fold_constant` but strings/bools are values too.
+
+    The budget pack's folder is deliberately numeric-only (a string
+    default for a table geometry *should* be flagged as unfoldable);
+    constant propagation needs the wider literal domain because env-var
+    names and defaults are strings.
+    """
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (str, bool)):
+        return node.value
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = fold_literal(node.left)
+        right = fold_literal(node.right)
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+    if isinstance(node, ast.JoinedStr):
+        parts = [fold_literal(v) for v in node.values]
+        if all(isinstance(p, str) for p in parts):
+            return "".join(parts)  # type: ignore[arg-type]
+    return fold_constant(node)
+
+# --------------------------------------------------------------------------
+# Control-flow graph
+# --------------------------------------------------------------------------
+
+#: Node kinds.  ``stmt`` carries one simple statement; control headers
+#: (``if``/``while``/``for``/``try``/``with``) carry their own node so
+#: conditions are evaluated exactly once per traversal; ``with_exit``
+#: is the synthetic context-release point; ``exit`` is the normal
+#: function exit and ``raise_exit`` the exceptional one.
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise_exit"
+STMT = "stmt"
+WITH_EXIT = "with_exit"
+EXCEPT = "except"
+FINALLY = "finally"
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement (or synthetic point) plus its kind."""
+
+    index: int
+    kind: str
+    stmt: Optional[ast.stmt] = None
+    succs: Set[int] = field(default_factory=set)
+
+
+class CFG:
+    """Control-flow graph of a single function."""
+
+    #: Edge-kind bits: a normal edge carries the source's OUT state, an
+    #: exception edge carries its IN state (the statement raised before
+    #: its effect completed — ``fh = open(...)`` failing never bound
+    #: ``fh``).  An edge can be both (the last statement of a ``try``
+    #: body both falls into and raises into its ``finally``); the
+    #: solver then joins IN and OUT.
+    EDGE_NORMAL = 1
+    EDGE_EXC = 2
+
+    def __init__(self, func: FunctionNode):
+        self.func = func
+        self.nodes: List[Node] = []
+        self.edge_kinds: Dict[Tuple[int, int], int] = {}
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+        self.raise_exit = self._new(RAISE_EXIT)
+
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def add_edge(self, src: int, dst: int, exc: bool = False) -> None:
+        self.nodes[src].succs.add(dst)
+        bit = self.EDGE_EXC if exc else self.EDGE_NORMAL
+        self.edge_kinds[(src, dst)] = self.edge_kinds.get((src, dst), 0) | bit
+
+    def preds(self) -> Dict[int, Set[int]]:
+        back: Dict[int, Set[int]] = {n.index: set() for n in self.nodes}
+        for node in self.nodes:
+            for succ in node.succs:
+                back[succ].add(node.index)
+        return back
+
+
+class _Builder:
+    """Statement-granularity CFG construction.
+
+    ``frontier`` is the set of nodes whose successor is the next
+    statement; it empties after ``return``/``raise``/``break``/
+    ``continue`` (the code that follows is unreachable and gets no
+    incoming edges, which the solver then simply never visits).
+    """
+
+    def __init__(self, func: FunctionNode):
+        self.cfg = CFG(func)
+        # Stack of (continue target, break sink set) for loops, and a
+        # stack of exception targets for enclosing try statements: the
+        # handler heads when the try has handlers, else its synthetic
+        # finally head (try/finally runs cleanup, then propagates).
+        self._loops: List[Tuple[int, Set[int]]] = []
+        self._exc_targets: List[List[int]] = []
+        # Enclosing finally regions: a ``return`` routes through the
+        # innermost finally body instead of jumping straight to exit,
+        # so ``finally: fh.close()`` is seen on the return path.  Each
+        # entry is ``[fin_head, saw_return]``.
+        self._fin_stack: List[List[Any]] = []
+        frontier = self._body(func.body, {self.cfg.entry})
+        self._join(frontier, self.cfg.exit)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _join(self, frontier: Set[int], target: int) -> None:
+        for src in frontier:
+            self.cfg.add_edge(src, target)
+
+    def _node(self, kind: str, stmt: Optional[ast.stmt],
+              frontier: Set[int]) -> int:
+        index = self.cfg._new(kind, stmt)
+        self._join(frontier, index)
+        # Any statement inside a try body may raise into the nearest
+        # handlers (or through the finally of a handler-less try).
+        if self._exc_targets:
+            for target in self._exc_targets[-1]:
+                self.cfg.add_edge(index, target, exc=True)
+        return index
+
+    def _raise_target(self) -> List[int]:
+        """Where control lands when a statement raises uncaught."""
+        if self._exc_targets:
+            return self._exc_targets[-1]
+        return [self.cfg.raise_exit]
+
+    # -- statement dispatch ----------------------------------------------
+
+    def _body(self, stmts: List[ast.stmt], frontier: Set[int]) -> Set[int]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        if not frontier:
+            return frontier  # unreachable code: build no nodes
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            index = self._node(STMT, stmt, frontier)
+            if self._fin_stack:
+                self.cfg.add_edge(index, self._fin_stack[-1][0])
+                self._fin_stack[-1][1] = True
+            else:
+                self.cfg.add_edge(index, self.cfg.exit)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            index = self._node(STMT, stmt, frontier)
+            for target in self._raise_target():
+                self.cfg.add_edge(index, target)
+            return set()
+        if isinstance(stmt, ast.Break):
+            index = self._node(STMT, stmt, frontier)
+            if self._loops:
+                self._loops[-1][1].add(index)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            index = self._node(STMT, stmt, frontier)
+            if self._loops:
+                self.cfg.add_edge(index, self._loops[-1][0])
+            return set()
+        # Nested function/class bodies are separate dataflow universes.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return {self._node(STMT, stmt, frontier)}
+        return {self._node(STMT, stmt, frontier)}
+
+    def _if(self, stmt: ast.If, frontier: Set[int]) -> Set[int]:
+        cond = self._node(STMT, stmt, frontier)
+        then_out = self._body(stmt.body, {cond})
+        else_out = self._body(stmt.orelse, {cond}) if stmt.orelse else {cond}
+        return then_out | else_out
+
+    def _loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+              frontier: Set[int]) -> Set[int]:
+        header = self._node(STMT, stmt, frontier)
+        breaks: Set[int] = set()
+        self._loops.append((header, breaks))
+        body_out = self._body(stmt.body, {header})
+        self._loops.pop()
+        self._join(body_out, header)
+        else_out = self._body(stmt.orelse, {header}) if stmt.orelse \
+            else {header}
+        return else_out | breaks
+
+    def _try(self, stmt: ast.Try, frontier: Set[int]) -> Set[int]:
+        # Handler heads (and the synthetic finally head of a
+        # handler-less try) exist before the body so exception edges
+        # can point at them while the body is built.
+        heads: List[int] = []
+        for handler in stmt.handlers:
+            heads.append(self.cfg._new(EXCEPT, handler))
+        fin_head: Optional[int] = None
+        fin_entry: Optional[List[Any]] = None
+        if stmt.finalbody:
+            fin_head = self.cfg._new(FINALLY, stmt)
+            fin_entry = [fin_head, False]
+            self._fin_stack.append(fin_entry)
+        self._exc_targets.append(heads if heads else
+                                 ([fin_head] if fin_head is not None
+                                  else list(self._raise_target())))
+        body_out = self._body(stmt.body, frontier)
+        self._exc_targets.pop()
+        outs: Set[int] = set()
+        outs |= self._body(stmt.orelse, body_out) if stmt.orelse \
+            else body_out
+        # Handler bodies build after the pop: a raise inside a handler
+        # propagates to the *enclosing* context, not back into itself.
+        for head, handler in zip(heads, stmt.handlers):
+            outs |= self._body(handler.body, {head})
+        if stmt.finalbody:
+            self._fin_stack.pop()
+            if fin_head is not None:
+                self._join(outs, fin_head)
+            fin_out = self._body(stmt.finalbody, {fin_head}
+                                 if fin_head is not None else outs)
+            if not heads:
+                # try/finally with no handler: the cleanup runs, then
+                # the exception keeps propagating outward.
+                for target in self._raise_target():
+                    self._join(fin_out, target)
+            if fin_entry is not None and fin_entry[1]:
+                # A return inside the try routed through this finally;
+                # after the cleanup it continues to the next enclosing
+                # finally, or leaves the function.
+                if self._fin_stack:
+                    self._join(fin_out, self._fin_stack[-1][0])
+                    self._fin_stack[-1][1] = True
+                else:
+                    self._join(fin_out, self.cfg.exit)
+            return fin_out
+        return outs
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith],
+              frontier: Set[int]) -> Set[int]:
+        enter = self._node(STMT, stmt, frontier)
+        body_out = self._body(stmt.body, {enter})
+        leave = self._node(WITH_EXIT, stmt, body_out)
+        return {leave}
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Construct the statement-level CFG of one function."""
+    return _Builder(func).cfg
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """All function definitions in the module, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# --------------------------------------------------------------------------
+# Worklist solver
+# --------------------------------------------------------------------------
+
+class Analysis:
+    """A forward dataflow analysis over picklable states."""
+
+    name = "analysis"
+
+    def initial(self, func: FunctionNode) -> Any:
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, state: Any, node: Node) -> Any:
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: Analysis) -> Dict[int, Any]:
+    """Run ``analysis`` to fixpoint; returns the IN state per node.
+
+    The solver is a plain forward worklist; lattices here are finite
+    (sets of lines, small constant maps with a TOP element) so
+    termination is structural, but a belt-and-braces visit cap guards
+    against a non-monotone transfer function in a future analysis.
+    """
+    states: Dict[int, Any] = {cfg.entry: analysis.initial(cfg.func)}
+    work: List[int] = [cfg.entry]
+    cap = max(1, len(cfg.nodes)) * 64
+    visits = 0
+    while work and visits < cap:
+        visits += 1
+        index = work.pop()
+        node = cfg.nodes[index]
+        out = analysis.transfer(states[index], node)
+        for succ in node.succs:
+            kind = cfg.edge_kinds.get((index, succ), CFG.EDGE_NORMAL)
+            if kind == CFG.EDGE_EXC:
+                # The statement raised before completing: its effect
+                # (binding an opened handle, acquiring a lock) must not
+                # reach the handler.
+                carried = states[index]
+            elif kind == CFG.EDGE_NORMAL:
+                carried = out
+            else:
+                carried = analysis.join(states[index], out)
+            if succ in states:
+                merged = analysis.join(states[succ], carried)
+                if merged != states[succ]:
+                    states[succ] = merged
+                    work.append(succ)
+            else:
+                states[succ] = carried
+                work.append(succ)
+    return states
+
+
+def solve_out(cfg: CFG, analysis: Analysis) -> Dict[int, Any]:
+    """Like :func:`solve` but returns the OUT state per visited node."""
+    ins = solve(cfg, analysis)
+    return {index: analysis.transfer(state, cfg.nodes[index])
+            for index, state in ins.items()}
+
+
+# --------------------------------------------------------------------------
+# Shipped analyses
+# --------------------------------------------------------------------------
+
+def _targets(node: ast.stmt) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+class ReachingDefinitions(Analysis):
+    """Which assignment lines can reach each program point.
+
+    State: ``{var: frozenset(def lines)}``.
+    """
+
+    name = "reaching"
+
+    def initial(self, func: FunctionNode) -> Dict[str, FrozenSet[int]]:
+        args = func.args
+        names = [a.arg for a in (args.posonlyargs + args.args +
+                                 args.kwonlyargs)]
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                names.append(extra.arg)
+        return {name: frozenset({func.lineno}) for name in names}
+
+    def join(self, a: Dict[str, FrozenSet[int]],
+             b: Dict[str, FrozenSet[int]]) -> Dict[str, FrozenSet[int]]:
+        merged = dict(a)
+        for var, lines in b.items():
+            merged[var] = merged.get(var, frozenset()) | lines
+        return merged
+
+    def transfer(self, state: Dict[str, FrozenSet[int]],
+                 node: Node) -> Dict[str, FrozenSet[int]]:
+        stmt = node.stmt
+        if stmt is None or node.kind not in (STMT, EXCEPT):
+            return state
+        out = dict(state)
+        for target in _targets(stmt):
+            if isinstance(target, ast.Name):
+                out[target.id] = frozenset({stmt.lineno})
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        out[elt.id] = frozenset({stmt.lineno})
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) and \
+                isinstance(stmt.target, ast.Name):
+            out[stmt.target.id] = frozenset({stmt.lineno})
+        if isinstance(stmt, (ast.With, ast.AsyncWith)) and node.kind == STMT:
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    out[item.optional_vars.id] = frozenset({stmt.lineno})
+        if node.kind == EXCEPT and isinstance(stmt, ast.ExceptHandler) \
+                and stmt.name:
+            out[stmt.name] = frozenset({stmt.lineno})
+        return out
+
+
+class ConstantPropagation(Analysis):
+    """Constant and env-value propagation.
+
+    State: ``{var: value}`` where value is a literal (str/int/float/
+    bool/None/tuple) or :data:`TOP`.  Seeded with the module-level
+    constant environment so ``ENV_JOBS = "REPRO_JOBS"`` aliases resolve
+    inside functions.  Only straight-line facts survive a join: a
+    variable bound to different constants on two branches goes to TOP.
+    """
+
+    name = "constants"
+
+    def __init__(self, module_env: Optional[Dict[str, Any]] = None):
+        self.module_env = dict(module_env or {})
+
+    def initial(self, func: FunctionNode) -> Dict[str, Any]:
+        return dict(self.module_env)
+
+    def join(self, a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for var in sorted(set(a) | set(b)):
+            if var in a and var in b and a[var] == b[var]:
+                merged[var] = a[var]
+            else:
+                merged[var] = TOP
+        return merged
+
+    def fold(self, expr: ast.expr, state: Dict[str, Any]) -> Any:
+        """Fold ``expr`` given the current constant state."""
+        if isinstance(expr, ast.Name):
+            value = state.get(expr.id, UNFOLDABLE)
+            return UNFOLDABLE if value is TOP else value
+        value = fold_literal(expr)
+        if value is not UNFOLDABLE:
+            return value
+        if isinstance(expr, ast.BinOp) and \
+                isinstance(expr.op, (ast.Add, ast.Sub, ast.Mult)):
+            left = self.fold(expr.left, state)
+            right = self.fold(expr.right, state)
+            if left is not UNFOLDABLE and right is not UNFOLDABLE:
+                try:
+                    if isinstance(expr.op, ast.Add):
+                        return left + right
+                    if isinstance(expr.op, ast.Sub):
+                        return left - right
+                    return left * right
+                except TypeError:
+                    return UNFOLDABLE
+        return UNFOLDABLE
+
+    def transfer(self, state: Dict[str, Any], node: Node) -> Dict[str, Any]:
+        stmt = node.stmt
+        if stmt is None or node.kind != STMT:
+            return state
+        out = dict(state)
+        for target in _targets(stmt):
+            if isinstance(target, ast.Name):
+                value = UNFOLDABLE
+                if isinstance(stmt, ast.Assign):
+                    value = self.fold(stmt.value, state)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                    value = self.fold(stmt.value, state)
+                out[target.id] = TOP if value is UNFOLDABLE else value
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        out[elt.id] = TOP
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) and \
+                isinstance(stmt.target, ast.Name):
+            out[stmt.target.id] = TOP
+        return out
+
+
+#: Calls whose result is an owned, closeable handle; mirrors the
+#: concurrency pack's RESOURCE_CALLS but consumed flow-sensitively.
+OPEN_CALLS = frozenset({
+    "open", "io.open", "os.fdopen", "socket.socket", "socket.create_connection",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile", "gzip.open",
+    "bz2.open", "lzma.open", "subprocess.Popen",
+})
+
+_CLOSE_METHODS = frozenset({
+    "close", "terminate", "kill", "shutdown", "release", "wait",
+})
+
+_OPEN = "open"
+
+
+def _call_name(call: ast.Call, imports: Optional[Dict[str, str]]) -> str:
+    name = dotted_name(call.func) or ""
+    if imports:
+        head, _, rest = name.partition(".")
+        if head in imports:
+            name = imports[head] + ("." + rest if rest else "")
+    return name
+
+
+#: One tracked handle: (status, open line, open col, call name).
+ResourceState = Tuple[str, int, int, str]
+
+
+class ResourceFlow(Analysis):
+    """Acquired-resource state per local variable.
+
+    State: ``{var: (status, open line, open col, call name)}`` with
+    status ``"open"`` while the handle is owned and unreleased on this
+    path.  A close/terminate call, a ``with`` binding (released at the
+    with-exit node), returning or yielding the handle, storing it on
+    an attribute/container, or passing it to a call all remove the
+    obligation — the last three are ownership escapes, not leaks.
+    Merely *using* the handle (``fh.read()``, ``fh.name``) is not an
+    escape: the receiver of an attribute access keeps its obligation.
+    """
+
+    name = "resources"
+
+    def __init__(self, imports: Optional[Dict[str, str]] = None):
+        self.imports = dict(imports or {})
+
+    def initial(self, func: FunctionNode) -> Dict[str, ResourceState]:
+        return {}
+
+    def join(self, a: Dict[str, ResourceState],
+             b: Dict[str, ResourceState]) -> Dict[str, ResourceState]:
+        # A handle open on *either* incoming path is still an
+        # obligation: join is union (may-be-open).
+        merged = dict(b)
+        merged.update(a)
+        return merged
+
+    def _is_open_call(self, expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Call) and \
+            _call_name(expr, self.imports) in OPEN_CALLS
+
+    def _escapes(self, out: Dict[str, ResourceState],
+                 expr: Optional[ast.expr]) -> None:
+        if expr is None:
+            return
+        receivers = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name):
+                receivers.add(id(node.value))
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in out and \
+                    id(node) not in receivers:
+                out.pop(node.id, None)
+
+    def transfer(self, state: Dict[str, ResourceState],
+                 node: Node) -> Dict[str, ResourceState]:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        out = dict(state)
+        if node.kind == WITH_EXIT and isinstance(stmt,
+                                                 (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    out.pop(item.optional_vars.id, None)
+            return out
+        if node.kind != STMT:
+            return out
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            var = stmt.targets[0].id
+            if self._is_open_call(stmt.value):
+                out[var] = (_OPEN, stmt.lineno, stmt.col_offset + 1,
+                            _call_name(stmt.value, self.imports))  # type: ignore[arg-type]
+                return out
+            # Rebinding the name drops the tracked handle (aliasing is
+            # out of scope for the intraprocedural pass).
+            out.pop(var, None)
+            self._escapes(out, stmt.value)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # `with open(...) as fh` — managed, never an obligation;
+            # `with contextlib.closing(fh)` releases a tracked handle.
+            for item in stmt.items:
+                self._escapes(out, item.context_expr)
+            return out
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in _CLOSE_METHODS and \
+                    isinstance(call.func.value, ast.Name):
+                out.pop(call.func.value.id, None)
+                return out
+            self._escapes(out, call)
+            return out
+        if isinstance(stmt, ast.Return):
+            self._escapes(out, stmt.value)
+            return out
+        # Any other statement mentioning the handle (append to a list,
+        # attribute store, raise from it...) transfers ownership.
+        for field_value in ast.iter_child_nodes(stmt):
+            if isinstance(field_value, ast.expr):
+                self._escapes(out, field_value)
+        return out
+
+
+_ACQUIRE_METHODS = frozenset({"acquire", "acquire_read", "acquire_write"})
+_RELEASE_METHODS = frozenset({"release"})
+
+
+def _lock_expr_of(expr: ast.expr) -> Optional[str]:
+    """A stable textual key for a lock-valued expression."""
+    name = dotted_name(expr)
+    return name
+
+
+class HeldLocks(Analysis):
+    """Path-sensitive held-lock state.
+
+    State: ``frozenset`` of lock expressions (``self._lock``,
+    ``LOCK_A`` ...) held on *all* paths reaching the point — the join
+    is intersection, so a lock acquired on only one branch does not
+    count as a guard after the merge.  Both ``with lock:`` regions and
+    explicit ``lock.acquire()`` / ``lock.release()`` pairs move the
+    state.
+    """
+
+    name = "locks"
+
+    def __init__(self, lock_names: Optional[Set[str]] = None):
+        #: When given, only these expressions are treated as locks;
+        #: otherwise any `.acquire()`d expression is.
+        self.lock_names = lock_names
+
+    def _is_lock(self, key: Optional[str]) -> bool:
+        if key is None:
+            return False
+        if self.lock_names is None:
+            return True
+        return key in self.lock_names
+
+    def initial(self, func: FunctionNode) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b
+
+    def transfer(self, state: FrozenSet[str], node: Node) -> FrozenSet[str]:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            keys = set()
+            for item in stmt.items:
+                key = _lock_expr_of(item.context_expr)
+                if self._is_lock(key):
+                    keys.add(key)
+            if node.kind == STMT:
+                return state | keys
+            if node.kind == WITH_EXIT:
+                return state - keys
+            return state
+        if node.kind != STMT:
+            return state
+        call: Optional[ast.Call] = None
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+        if call is not None and isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            key = _lock_expr_of(call.func.value)
+            if self._is_lock(key) and key is not None:
+                if method in _ACQUIRE_METHODS:
+                    return state | {key}
+                if method in _RELEASE_METHODS:
+                    return state - {key}
+        return state
+
+
+# --------------------------------------------------------------------------
+# Per-file summaries (picklable, cached on the FileContext)
+# --------------------------------------------------------------------------
+
+def module_constants(tree: ast.Module) -> Dict[str, Any]:
+    """Foldable module-level ``NAME = literal`` bindings."""
+    env: Dict[str, Any] = {}
+    for stmt in tree.body:
+        targets = _targets(stmt)
+        value = getattr(stmt, "value", None)
+        if value is None:
+            continue
+        folded = fold_literal(value)
+        if folded is UNFOLDABLE:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = folded
+    return env
+
+
+@dataclass
+class FunctionSummary:
+    """Cheap per-function dataflow digests consumed by rules."""
+
+    func: FunctionNode
+    cfg: CFG
+    #: IN states per node for each analysis that ran.
+    states: Dict[str, Dict[int, Any]]
+
+    def in_state(self, name: str, index: int) -> Any:
+        return self.states.get(name, {}).get(index)
+
+
+class FileDataflow:
+    """Lazily solved per-function dataflow for one file."""
+
+    def __init__(self, tree: ast.Module,
+                 imports: Optional[Dict[str, str]] = None):
+        self.tree = tree
+        self.imports = dict(imports or {})
+        self.module_env = module_constants(tree)
+        self._summaries: Dict[int, FunctionSummary] = {}
+
+    def _analyses(self) -> List[Analysis]:
+        return [
+            ReachingDefinitions(),
+            ConstantPropagation(self.module_env),
+            ResourceFlow(self.imports),
+            HeldLocks(),
+        ]
+
+    def summary(self, func: FunctionNode) -> FunctionSummary:
+        key = id(func)
+        if key not in self._summaries:
+            cfg = build_cfg(func)
+            states = {analysis.name: solve(cfg, analysis)
+                      for analysis in self._analyses()}
+            self._summaries[key] = FunctionSummary(func, cfg, states)
+        return self._summaries[key]
+
+    def functions(self) -> Iterator[FunctionNode]:
+        return iter_functions(self.tree)
+
+
+def file_dataflow(ctx: Any) -> FileDataflow:
+    """The (cached) dataflow universe of a ``FileContext``."""
+    cached = getattr(ctx, "_dataflow", None)
+    if cached is None:
+        cached = FileDataflow(ctx.tree, getattr(ctx, "imports", None))
+        setattr(ctx, "_dataflow", cached)
+    return cached
+
+
+def exit_states(summary: FunctionSummary, analysis: str,
+                analyses: Optional[Callable[[], Analysis]] = None
+                ) -> List[Any]:
+    """IN states of the normal-exit node (one per solved path class)."""
+    state = summary.in_state(analysis, summary.cfg.exit)
+    return [state] if state is not None else []

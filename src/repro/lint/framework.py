@@ -46,6 +46,14 @@ class LintUsageError(ValueError):
 #: One step of an interprocedural evidence chain: (path, line, col, note).
 Related = Tuple[str, int, int, str]
 
+#: One span replacement of a safe autofix: ``(path, line, col,
+#: end_line, end_col, replacement)``.  Lines are 1-based, columns are
+#: 0-based AST offsets; the span ``[start, end)`` is replaced by the
+#: text.  The path is explicit because a fix may edit a different file
+#: than the finding (registering a telemetry kind edits the registry,
+#: not the emit site).
+Edit = Tuple[str, int, int, int, int, str]
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -55,6 +63,8 @@ class Finding:
     (e.g. the call path from an ``async def`` down to the blocking
     sink): each entry is a secondary location plus a note, rendered as
     ``relatedLocations`` in SARIF and indented ``via`` lines in text.
+    ``fix`` carries the span edits of a *safe* autofix when the rule
+    can compute one; ``repro lint --fix`` applies them.
     """
 
     rule: str
@@ -65,6 +75,7 @@ class Finding:
     suppressed: bool = False
     justification: str = ""
     related: Tuple[Related, ...] = ()
+    fix: Tuple[Edit, ...] = ()
 
     @property
     def location(self) -> str:
@@ -83,6 +94,8 @@ class Finding:
             d["related"] = [
                 {"path": p, "line": line, "col": col, "note": note}
                 for p, line, col, note in self.related]
+        if self.fix:
+            d["fix"] = [list(edit) for edit in self.fix]
         return d
 
     @classmethod
@@ -90,12 +103,16 @@ class Finding:
         related = tuple(
             (str(r["path"]), int(r["line"]), int(r["col"]), str(r["note"]))
             for r in d.get("related", ()))  # type: ignore[union-attr]
+        fix = tuple(
+            (str(e[0]), int(e[1]), int(e[2]), int(e[3]), int(e[4]),
+             str(e[5]))
+            for e in d.get("fix", ()))  # type: ignore[union-attr, index]
         return cls(rule=str(d["rule"]), path=str(d["path"]),
                    line=int(d["line"]), col=int(d["col"]),  # type: ignore[arg-type]
                    message=str(d["message"]),
                    suppressed=bool(d.get("suppressed", False)),
                    justification=str(d.get("justification", "")),
-                   related=related)
+                   related=related, fix=fix)
 
 
 #: Matches a comment of the form ``repro: noqa[DET001,TEL002] -- why``
@@ -286,6 +303,7 @@ class LintResult:
     suppressed: List[Finding] = field(default_factory=list)
     rules: Tuple[str, ...] = ()      # active rule ids
     skipped: int = 0                 # files dropped by --changed-only
+    store_served: int = 0            # files served from the lint cache
 
     @property
     def ok(self) -> bool:
@@ -365,6 +383,93 @@ def changed_files(root: Path) -> Optional[Set[Path]]:
     return {(toplevel / name).resolve() for name in names}
 
 
+def _module_keys(root: Path, path: Path) -> Set[str]:
+    """Dotted names under which ``path`` can be imported.
+
+    Registers every suffix of the root-relative module path, so
+    ``src/repro/lint/cache.py`` answers to ``repro.lint.cache`` and
+    ``lint.cache`` alike — the linted tree does not say which dirs are
+    on ``sys.path``, and over-matching only ever lints more files.
+    """
+    try:
+        parts = list(path.relative_to(root).parts)
+    except ValueError:
+        parts = list(path.parts[-3:])
+    if not parts:
+        return set()
+    parts[-1] = parts[-1][:-len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return {".".join(parts[i:]) for i in range(len(parts)) if parts[i:]}
+
+
+def _import_targets(tree: ast.Module, pkg: Sequence[str]) -> Set[str]:
+    """Dotted modules a file references, relative imports resolved
+    against ``pkg`` (the importing file's package path)."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = list(pkg[:len(pkg) - (node.level - 1)]) \
+                    if node.level - 1 <= len(pkg) else []
+                head = base + ([node.module] if node.module else [])
+                prefix = ".".join(head)
+            else:
+                prefix = node.module or ""
+            if prefix:
+                out.add(prefix)
+            for alias in node.names:
+                out.add(f"{prefix}.{alias.name}" if prefix
+                        else alias.name)
+    return out
+
+
+def dependent_closure(root: Path, files: Sequence[Path],
+                      changed: Set[Path]) -> Set[Path]:
+    """``changed`` plus every file whose facts depend on one of them.
+
+    A file's findings can change without its bytes changing when a
+    callee it imports is edited (the interprocedural packs chase calls
+    across files, the TEL/BUD packs read registries declared elsewhere).
+    The dependency channel for all of them is the import: you cannot
+    call, lock or read what you never imported.  This builds the
+    file-level edge set from the import statements of the linted tree
+    and returns the reverse transitive closure of the changed set —
+    over-approximating the call graph, which only ever re-lints more.
+    """
+    by_key: Dict[str, Set[Path]] = {}
+    for path in files:
+        for key in _module_keys(root, path):
+            by_key.setdefault(key, set()).add(path)
+
+    dependents: Dict[Path, Set[Path]] = {}
+    for path in files:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        try:
+            pkg = list(path.relative_to(root).parts[:-1])
+        except ValueError:
+            pkg = []
+        for target in _import_targets(tree, pkg):
+            for dep in by_key.get(target, ()):
+                if dep != path:
+                    dependents.setdefault(dep, set()).add(path)
+
+    keep = set(changed)
+    frontier = list(changed)
+    while frontier:
+        for caller in dependents.get(frontier.pop(), ()):
+            if caller not in keep:
+                keep.add(caller)
+                frontier.append(caller)
+    return keep
+
+
 def resolve_rules(select: Optional[Sequence[str]] = None,
                   ignore: Optional[Sequence[str]] = None) -> List[Rule]:
     """Active rules after ``--select`` / ``--ignore`` filtering.
@@ -391,6 +496,31 @@ def resolve_rules(select: Optional[Sequence[str]] = None,
               if (not selected or r.id in selected)
               and r.id not in ignored]
     return active
+
+
+def _noqa_fix(project: "Project", rel: str, line: int, sup: Suppression,
+              unused: Sequence[str]) -> Tuple[Edit, ...]:
+    """Safe LNT001 fix: delete a fully stale ``noqa`` comment, or prune
+    the unused rule ids from a partially stale one.  Never the other
+    direction — the fixer must not *create* suppressions."""
+    try:
+        text = project.context(rel).source.splitlines()[line - 1]
+    except (KeyError, IndexError, OSError):
+        return ()
+    match = _NOQA_RE.search(text)
+    if match is None:
+        return ()
+    if set(unused) == set(sup.rules):
+        start = match.start()
+        while start > 0 and text[start - 1] in " \t":
+            start -= 1
+        if start == 0:
+            # The comment is the whole line: drop the line itself.
+            return ((rel, line, 0, line + 1, 0, ""),)
+        return ((rel, line, start, line, len(text), ""),)
+    kept = [r for r in sup.rules if r not in unused]
+    return ((rel, line, match.start("rules"), line, match.end("rules"),
+             ",".join(kept)),)
 
 
 def _file_pass(ctx: FileContext, rules: Sequence[Rule],
@@ -435,7 +565,8 @@ def lint_paths(paths: Optional[Sequence] = None,
                ignore: Optional[Sequence[str]] = None,
                jobs: Optional[int] = None,
                root: Optional[Path] = None,
-               changed_only: bool = False) -> LintResult:
+               changed_only: bool = False,
+               use_store: Optional[bool] = None) -> LintResult:
     """Run the active rules over ``paths`` (default: the repro package).
 
     ``jobs`` follows the same resolution as every other subcommand
@@ -446,6 +577,13 @@ def lint_paths(paths: Optional[Sequence] = None,
     HEAD main`` (committed, staged, unstaged or untracked) — the fast
     pre-commit mode.  Outside a git checkout every file is kept, so the
     flag degrades to a full run rather than an empty one.
+
+    ``use_store`` controls the incremental cache: per-file findings,
+    facts and suppressions are served from (and saved to) the sharded
+    result store, keyed by content fingerprint plus the rule-pack salt
+    (:mod:`repro.lint.cache`).  The default follows the store's own
+    availability (``$REPRO_CACHE_DISABLE`` turns both off); pass False
+    to force a cold run.
     """
     from . import rules as _rules  # noqa: F401  (registers the packs)
     from ..experiments.parallel import map_parallel, resolve_jobs
@@ -469,7 +607,11 @@ def lint_paths(paths: Optional[Sequence] = None,
     if changed_only:
         changed = changed_files(root)
         if changed is not None:
-            kept_files = [f for f in files if f in changed]
+            # A changed callee invalidates its callers' facts too:
+            # widen the changed set to its reverse import closure.
+            keep = dependent_closure(
+                root, files, {f for f in files if f in changed})
+            kept_files = [f for f in files if f in keep]
             skipped = len(files) - len(kept_files)
             files = kept_files
 
@@ -481,6 +623,7 @@ def lint_paths(paths: Optional[Sequence] = None,
 
     pairs = [(f, rel_of(f)) for f in files]
     active = resolve_rules(select, ignore)
+    rule_ids = tuple(r.id for r in active)
     fact_keys = tuple(sorted({k for r in active for k in r.facts
                               if k in FACT_EXTRACTORS}))
     project = Project(root, pairs)
@@ -488,25 +631,67 @@ def lint_paths(paths: Optional[Sequence] = None,
     all_findings: List[Finding] = []
     suppressions: Dict[str, Dict[int, Suppression]] = {}
 
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1 and len(pairs) > 1:
-        rule_ids = tuple(r.id for r in active)
-        payloads = [(str(f), rel, rule_ids, fact_keys) for f, rel in pairs]
-        for rel, findings, facts, sup in map_parallel(
-                _worker, payloads, jobs=n_jobs):
-            all_findings.extend(Finding.from_dict(d) for d in findings)
-            for key, value in facts.items():
-                project.facts.setdefault(key, {})[rel] = value
-            suppressions[rel] = {line: Suppression(line, rules, why)
-                                 for line, rules, why in sup}
-    else:
+    store = None
+    if use_store is not False:
+        from ..experiments.store import get_store
+        store = get_store()
+
+    store_served = 0
+    cache_keys: Dict[str, str] = {}
+    pending = pairs
+    if store is not None:
+        from .cache import _jsonify, decode_entry, encode_entry, file_key
+        pending = []
         for f, rel in pairs:
-            ctx = project.context(rel)
-            findings, facts = _file_pass(ctx, active, fact_keys)
+            try:
+                content = f.read_bytes()
+            except OSError:
+                pending.append((f, rel))
+                continue
+            cache_keys[rel] = file_key(content, rel, rule_ids, fact_keys)
+            payload = store.load_lint(cache_keys[rel])
+            entry = decode_entry(payload) if payload is not None else None
+            if entry is None:
+                pending.append((f, rel))
+                continue
+            findings, facts, sup = entry
             all_findings.extend(findings)
             for key, value in facts.items():
                 project.facts.setdefault(key, {})[rel] = value
-            suppressions[rel] = ctx.suppressions
+            suppressions[rel] = sup
+            store_served += 1
+
+    def publish(rel: str, findings: List[Finding], facts: Dict[str, Facts],
+                sup: Dict[int, Suppression]) -> None:
+        """Merge one fresh file pass, persisting it to the lint cache.
+
+        Fresh facts pass through the same JSON normalisation as cached
+        ones, so warm and cold runs feed project rules identical
+        structures.
+        """
+        if store is not None:
+            facts = _jsonify(facts)
+        all_findings.extend(findings)
+        for key, value in facts.items():
+            project.facts.setdefault(key, {})[rel] = value
+        suppressions[rel] = sup
+        if store is not None and rel in cache_keys:
+            store.save_lint(cache_keys[rel],
+                            encode_entry(findings, facts, sup))
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(pending) > 1:
+        payloads = [(str(f), rel, rule_ids, fact_keys) for f, rel in pending]
+        for rel, findings, facts, sup in map_parallel(
+                _worker, payloads, jobs=n_jobs):
+            publish(rel, [Finding.from_dict(d) for d in findings], facts,
+                    {line: Suppression(line, rules, why)
+                     for line, rules, why in sup})
+    else:
+        for f, rel in pending:
+            ctx = project.context(rel)
+            findings, facts = _file_pass(ctx, active, fact_keys)
+            publish(rel, findings, facts, dict(ctx.suppressions))
 
     for rule in active:
         if rule.scope == "project" and rule.id != "LNT001":
@@ -538,11 +723,12 @@ def lint_paths(paths: Optional[Sequence] = None,
                     kept.append(Finding(
                         "LNT001", rel, line, 1,
                         f"suppression of {', '.join(unused)} matches no "
-                        f"finding on this line; remove the stale noqa"))
+                        f"finding on this line; remove the stale noqa",
+                        fix=_noqa_fix(project, rel, line, sup, unused)))
 
     key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
     return LintResult(root=str(root), files=[rel for _, rel in pairs],
                       findings=sorted(kept, key=key),
                       suppressed=sorted(muted, key=key),
                       rules=tuple(r.id for r in active),
-                      skipped=skipped)
+                      skipped=skipped, store_served=store_served)

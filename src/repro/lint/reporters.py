@@ -36,6 +36,9 @@ def render_text(result: LintResult) -> str:
     if result.skipped:
         lines.append(f"({result.skipped} unchanged file(s) skipped by "
                      f"--changed-only)")
+    if result.store_served:
+        lines.append(f"({result.store_served}/{len(result.files)} file(s) "
+                     f"served from the lint cache)")
     return "\n".join(lines)
 
 
@@ -46,6 +49,7 @@ def result_as_dict(result: LintResult) -> Dict[str, object]:
         "root": result.root,
         "files": len(result.files),
         "skipped": result.skipped,
+        "store_served": result.store_served,
         "rules": list(result.rules),
         "counts": result.counts(),
         "findings": [f.as_dict() for f in result.findings],
@@ -72,31 +76,50 @@ def _sarif_rules(result: LintResult) -> List[Dict[str, object]]:
     return rules
 
 
+def _sarif_result(finding) -> Dict[str, object]:
+    rule = RULES.get(finding.rule)
+    entry: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": rule.level if rule is not None else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col},
+            },
+        }],
+    }
+    if finding.related:
+        entry["relatedLocations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": path},
+                "region": {"startLine": line, "startColumn": col},
+            },
+            "message": {"text": note},
+        } for path, line, col, note in finding.related]
+    if finding.suppressed:
+        # SARIF 2.1.0 §3.27.23: a result with a non-empty suppressions
+        # array is suppressed; ``inSource`` marks an in-code noqa.  The
+        # justification carries the text after ``--`` in the comment, so
+        # dashboards show *why* the exemption exists, not just that it
+        # does.
+        suppression: Dict[str, object] = {"kind": "inSource"}
+        if finding.justification:
+            suppression["justification"] = finding.justification
+        entry["suppressions"] = [suppression]
+    return entry
+
+
 def render_sarif(result: LintResult) -> str:
-    results = []
-    for finding in result.findings:
-        rule = RULES.get(finding.rule)
-        entry: Dict[str, object] = {
-            "ruleId": finding.rule,
-            "level": rule.level if rule is not None else "error",
-            "message": {"text": finding.message},
-            "locations": [{
-                "physicalLocation": {
-                    "artifactLocation": {"uri": finding.path},
-                    "region": {"startLine": finding.line,
-                               "startColumn": finding.col},
-                },
-            }],
-        }
-        if finding.related:
-            entry["relatedLocations"] = [{
-                "physicalLocation": {
-                    "artifactLocation": {"uri": path},
-                    "region": {"startLine": line, "startColumn": col},
-                },
-                "message": {"text": note},
-            } for path, line, col, note in finding.related]
-        results.append(entry)
+    """SARIF 2.1.0 with suppressed findings included.
+
+    Unsuppressed findings come first; suppressed ones follow with a
+    ``suppressions[]`` entry so code-scanning UIs show them as
+    dismissed rather than dropping them from the record entirely.
+    """
+    results = [_sarif_result(f) for f in result.findings]
+    results.extend(_sarif_result(f) for f in result.suppressed)
     doc = {
         "$schema": SARIF_SCHEMA,
         "version": "2.1.0",

@@ -25,8 +25,11 @@ from . import (  # noqa: F401
     budget,
     concurrency,
     determinism,
+    envvars,
+    exceptions,
     registry,
     telemetry,
 )
 
-__all__ = ["budget", "concurrency", "determinism", "registry", "telemetry"]
+__all__ = ["budget", "concurrency", "determinism", "envvars",
+           "exceptions", "registry", "telemetry"]

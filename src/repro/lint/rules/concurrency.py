@@ -25,15 +25,21 @@ fence those classes at lint time:
   it.  ``async with`` locks are exempt — that is what they are for.
 
 * **LCK001** inferred lock discipline: attributes a class accesses
-  under ``with self._lock`` form its guarded set; any access to a
-  guarded attribute outside a lock region is exactly the unlocked
-  store-counter race PR 6 fixed by hand.
+  while a ``self.*`` lock is held form its guarded set; any access to
+  a guarded attribute outside a lock region is exactly the unlocked
+  store-counter race PR 6 fixed by hand.  Held-lock state comes from
+  the dataflow engine's :class:`~repro.lint.dataflow.HeldLocks`
+  lattice, so explicit ``acquire()``/``release()`` pairs count and a
+  lock acquired on only one branch does not.
 * **LCK002** inconsistent nested lock acquisition order across the
   project (``A then B`` in one place, ``B then A`` in another) — the
   textbook deadlock shape.
 
-* **RES001** acquired file/socket handle that is neither closed on
-  any path nor escapes the function (returned, stored, passed on).
+* **RES001** acquired file/socket handle that reaches the end of the
+  function still open on some path without escaping it (returned,
+  stored, passed on) — flow-sensitive via the dataflow engine's
+  :class:`~repro.lint.dataflow.ResourceFlow` lattice, so a handle
+  closed on one branch but leaked on the other is caught.
 * **RES002** raw fd from ``os.open``/``tempfile.mkstemp`` not handed
   to ``os.close``/``os.fdopen`` immediately or under ``try``: any
   exception in between leaks the descriptor.
@@ -63,6 +69,7 @@ from typing import (
 )
 
 from ..astutil import dotted_name, resolve_dotted
+from ..dataflow import STMT, file_dataflow, iter_functions
 from ..framework import (
     Facts,
     FileContext,
@@ -122,9 +129,6 @@ RESOURCE_CALLS = frozenset({
     "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile",
 })
 
-#: Attribute accesses on a handle that count as releasing it.
-_CLOSE_ATTRS = frozenset({"close", "release", "__exit__"})
-
 #: Methods allowed to touch guarded attributes without the lock: the
 #: object is not shared yet (or no longer shared) while they run.
 _LCK_EXEMPT_METHODS = frozenset({
@@ -177,10 +181,13 @@ class _Model:
         #: (outer lock, inner lock, line, col) nested-acquisition pairs.
         self.lock_pairs: List[Tuple[str, str, int, int]] = []
         #: {"name", "accesses": [(attr, line, col, lock-or-"", method)]}
+        #: (lock state refined by _retrofit_lock_state after the visit)
         self.classes: List[Dict[str, Any]] = []
         self.asy3: List[Tuple[int, int, str]] = []
         self.asy4: List[Tuple[int, int, str]] = []
-        self.res1: List[Tuple[int, int, str]] = []
+        #: (line, col, message, fix edits) — the fix is () when no
+        #: safe span rewrite exists for the leak.
+        self.res1: List[Tuple[int, int, str, Tuple[Any, ...]]] = []
         self.res2: List[Tuple[int, int, str]] = []
 
 
@@ -266,7 +273,7 @@ class _FileVisitor(ast.NodeVisitor):
         self.func_stack.pop()
         if is_method:
             self.method_stack.pop()
-        _check_resources(node, self.imports, self.model)
+        _check_fd_lifetimes(node, self.imports, self.model)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_func(node, is_async=False)
@@ -338,9 +345,12 @@ class _FileVisitor(ast.NodeVisitor):
                         lock = name
                         break
                 method = self.method_stack[-1] if self.method_stack else ""
+                # The AST node rides along so _retrofit_lock_state can
+                # map the access onto its CFG point; it is stripped back
+                # to the picklable 5-tuple before the model is cached.
                 self.class_stack[-1]["accesses"].append(
                     (node.attr, node.lineno, node.col_offset + 1,
-                     lock, method))
+                     lock, method, node))
         self.generic_visit(node)
 
     # -- calls ---------------------------------------------------------
@@ -556,64 +566,174 @@ def _check_fd_lifetimes(fn: ast.AST, imports: Dict[str, str],
                     f"to os.close or os.fdopen; the descriptor leaks")))
 
 
-def _check_resources(fn: ast.AST, imports: Dict[str, str],
-                     model: _Model) -> None:
-    parents: Dict[ast.AST, ast.AST] = {}
-    for node in ast.walk(fn):
-        for child in ast.iter_child_nodes(node):
-            parents[child] = node
+def _blocks(fn: ast.AST) -> Iterable[List[ast.stmt]]:
+    """Every statement list of ``fn``, nested defs excluded."""
+    for node in [fn] + list(_local_nodes(fn)):
+        for fname in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, fname, None)
+            if isinstance(stmts, list) and stmts and \
+                    isinstance(stmts[0], ast.stmt):
+                yield stmts
 
-    for node in _local_nodes(fn):
-        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
-            resolved = resolve_dotted(node.value.func, imports)
-            if resolved in RESOURCE_CALLS:
-                model.res1.append((
-                    node.value.lineno, node.value.col_offset + 1,
-                    f"{resolved}(...) result is discarded; the handle "
-                    f"is never closed"))
-            continue
-        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
-                and isinstance(node.targets[0], ast.Name)
-                and isinstance(node.value, ast.Call)):
-            continue
-        resolved = resolve_dotted(node.value.func, imports)
-        if resolved not in RESOURCE_CALLS:
-            continue
-        name = node.targets[0].id
-        closes = escapes = False
-        for occ in ast.walk(fn):
-            if not (isinstance(occ, ast.Name) and occ.id == name):
-                continue
-            if occ is node.targets[0]:
-                continue
-            parent = parents.get(occ)
-            if isinstance(parent, ast.withitem):
-                closes = True
-            elif isinstance(parent, ast.Attribute):
-                if parent.attr in _CLOSE_ATTRS:
-                    closes = True
-            elif isinstance(parent, ast.Call):
-                if parent.func is not occ:
-                    target = resolve_dotted(parent.func, imports) or ""
-                    if target.rsplit(".", 1)[-1] in ("closing", "fdopen"):
-                        closes = True
-                    else:
-                        escapes = True
-            elif isinstance(parent, (ast.Return, ast.Yield,
-                                     ast.YieldFrom, ast.keyword,
-                                     ast.Starred, ast.Tuple, ast.List,
-                                     ast.Set, ast.Dict)):
-                escapes = True
-            elif isinstance(parent, ast.Assign) and occ is parent.value:
-                escapes = True
-        if not closes and not escapes:
-            model.res1.append((
-                node.lineno, node.col_offset + 1,
-                f"{resolved}(...) bound to {name!r} is never closed and "
-                f"never escapes this function; open it in a 'with' or "
-                f"close it on all paths"))
 
-    _check_fd_lifetimes(fn, imports, model)
+def _spans_lines(nodes: Iterable[ast.stmt]) -> bool:
+    """True when a multi-line string lives in ``nodes`` — indenting
+    its continuation lines would rewrite the string's content."""
+    for stmt in nodes:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Constant, ast.JoinedStr)) and \
+                    getattr(sub, "end_lineno", None) is not None and \
+                    sub.end_lineno > sub.lineno and \
+                    (isinstance(sub, ast.JoinedStr) or
+                     isinstance(sub.value, (str, bytes))):
+                return True
+    return False
+
+
+def _with_wrap_fix(ctx: FileContext, func: ast.AST, var: str,
+                   line: int) -> Tuple[Any, ...]:
+    """Span edits turning ``var = open(...)`` into a ``with`` block.
+
+    The rest of the enclosing statement list becomes the ``with`` body
+    (indented one level), which is safe exactly when every use of the
+    handle already lives there: the handle's lifetime only shrinks to
+    the region that uses it.  Anything less provable — uses outside
+    the block, closure capture, multi-line acquisitions or strings —
+    yields no fix and the finding stands on its own.
+    """
+    for block in _blocks(func):
+        for i, stmt in enumerate(block):
+            if not (isinstance(stmt, ast.Assign) and stmt.lineno == line
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == var
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            rest = block[i + 1:]
+            if not rest or stmt.end_lineno != stmt.lineno:
+                return ()
+            if _spans_lines(rest):
+                return ()
+            allowed = {id(n) for s in rest for n in ast.walk(s)}
+            allowed |= {id(n) for n in ast.walk(stmt.value)}
+            for sub in ast.walk(func):  # type: ignore[arg-type]
+                if isinstance(sub, ast.Name) and sub.id == var and \
+                        sub is not stmt.targets[0] and \
+                        id(sub) not in allowed:
+                    return ()
+            for s in rest:
+                for sub in ast.walk(s):
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef, ast.Lambda,
+                                        ast.ClassDef)) and \
+                            any(isinstance(n, ast.Name) and n.id == var
+                                for n in ast.walk(sub)):
+                        return ()  # closure may outlive the with block
+            call_src = ast.get_source_segment(ctx.source, stmt.value)
+            if call_src is None:
+                return ()
+            edits: List[Any] = [
+                (ctx.rel, stmt.lineno, stmt.col_offset,
+                 stmt.end_lineno, stmt.end_col_offset or 0,
+                 f"with {call_src} as {var}:")]
+            lines = ctx.source.splitlines()
+            last = max(s.end_lineno or s.lineno for s in rest)
+            for lineno in range(rest[0].lineno, last + 1):
+                if lineno <= len(lines) and lines[lineno - 1].strip():
+                    edits.append((ctx.rel, lineno, 0, lineno, 0, "    "))
+            return tuple(edits)
+    return ()
+
+
+def _dataflow_resources(ctx: FileContext, model: _Model) -> None:
+    """RES001 on the flow-sensitive engine.
+
+    A handle still in the may-be-open :class:`~..dataflow.ResourceFlow`
+    state at the normal exit leaked on at least one path — the union
+    join keeps a handle closed on only one branch alive, which the old
+    syntactic any-close scan could not see.  Closing, ``with``
+    management and ownership escapes (return/store/pass-on) all clear
+    the obligation inside the transfer function; raise-path leaks are
+    EXC001's job, so only the normal exit is read here.  A discarded
+    acquisition (``open(...)`` as a bare expression) can never be
+    closed at all and is flagged directly.
+    """
+    if ctx.tree is None:
+        return
+    flow = file_dataflow(ctx)
+    for func in iter_functions(ctx.tree):
+        for node in _local_nodes(func):
+            if isinstance(node, ast.Expr) and \
+                    isinstance(node.value, ast.Call):
+                resolved = resolve_dotted(node.value.func, ctx.imports)
+                if resolved in RESOURCE_CALLS:
+                    call = node.value
+                    fix: Tuple[Any, ...] = ()
+                    if call.end_lineno is not None:
+                        # Safe: same acquisition, closed immediately.
+                        fix = ((ctx.rel, call.end_lineno,
+                                call.end_col_offset or 0,
+                                call.end_lineno, call.end_col_offset or 0,
+                                ".close()"),)
+                    model.res1.append((
+                        call.lineno, call.col_offset + 1,
+                        f"{resolved}(...) result is discarded; the "
+                        f"handle is never closed", fix))
+        summary = flow.summary(func)
+        state = summary.in_state("resources", summary.cfg.exit) or {}
+        for var in sorted(state):
+            _status, line, col, call_name = state[var]
+            if call_name not in RESOURCE_CALLS:
+                continue
+            fix = _with_wrap_fix(ctx, func, var, line)
+            model.res1.append((line, col, (
+                f"{call_name}(...) bound to {var!r} is not closed on "
+                f"every path through {func.name}() and never escapes "
+                f"it; open it in a 'with' or close it on all paths"),
+                fix))
+
+
+def _retrofit_lock_state(ctx: FileContext, model: _Model,
+                         parents: Dict[ast.AST, ast.AST]) -> None:
+    """Refine LCK001 access records with path-sensitive lock state.
+
+    The visitor's lock stack sees ``with`` regions only and is blind
+    to explicit ``acquire()``/``release()`` pairs and to branches; the
+    :class:`~..dataflow.HeldLocks` lattice covers both (intersection
+    join: a lock acquired on one branch only is not a guard after the
+    merge).  Every access the visitor recorded as unlocked is upgraded
+    when the dataflow IN state of its enclosing statement holds a
+    ``self.*`` lock on all paths; the temporary AST node in each
+    record is stripped so the cached model stays picklable.
+    """
+    stmt_nodes: Dict[int, Tuple[Any, int]] = {}
+    if ctx.tree is not None:
+        flow = file_dataflow(ctx)
+        for func in iter_functions(ctx.tree):
+            summary = flow.summary(func)
+            for node in summary.cfg.nodes:
+                if node.kind == STMT and node.stmt is not None:
+                    stmt_nodes.setdefault(id(node.stmt),
+                                          (summary, node.index))
+    for cls in model.classes:
+        refined = []
+        for attr, line, col, lock, method, access in cls["accesses"]:
+            if not lock:
+                entry = None
+                cur: Optional[ast.AST] = access
+                while cur is not None and entry is None:
+                    entry = stmt_nodes.get(id(cur))
+                    cur = parents.get(cur)
+                if entry is not None:
+                    summary, index = entry
+                    held = summary.in_state("locks", index) or frozenset()
+                    for key in sorted(held):
+                        if key.startswith("self.") and \
+                                _is_lockish(key.rsplit(".", 1)[-1]):
+                            lock = f"{cls['name']}{key[4:]}"
+                            break
+            refined.append((attr, line, col, lock, method))
+        cls["accesses"] = refined
 
 
 # -- model cache and fact extraction ------------------------------------
@@ -622,12 +742,14 @@ def _model_of(ctx: FileContext) -> _Model:
     model = getattr(ctx, "_concurrency_model", None)
     if model is None:
         model = _Model(module_of(ctx.rel))
+        parents: Dict[ast.AST, ast.AST] = {}
         if ctx.tree is not None:
-            parents: Dict[ast.AST, ast.AST] = {}
             for node in ast.walk(ctx.tree):
                 for child in ast.iter_child_nodes(node):
                     parents[child] = node
             _FileVisitor(model, ctx.imports, parents).visit(ctx.tree)
+            _dataflow_resources(ctx, model)
+        _retrofit_lock_state(ctx, model, parents)
         ctx._concurrency_model = model  # type: ignore[attr-defined]
     return model
 
@@ -921,13 +1043,14 @@ class LockOrderRule(Rule):
 class UnclosedResourceRule(Rule):
     id = "RES001"
     name = "unclosed-resource"
-    summary = ("an acquired file/socket handle is neither closed on any "
-               "path nor escapes the function; use 'with' or close it")
+    summary = ("an acquired file/socket handle is still open on some "
+               "path at function exit and never escapes; use 'with' or "
+               "close it on all paths")
     scope = "file"
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
-        for line, col, message in _model_of(ctx).res1:
-            yield Finding(self.id, ctx.rel, line, col, message)
+        for line, col, message, fix in _model_of(ctx).res1:
+            yield Finding(self.id, ctx.rel, line, col, message, fix=fix)
 
 
 @register

@@ -1,0 +1,319 @@
+"""Environment-contract rules (ENV001-ENV003).
+
+Every behaviour-affecting ``REPRO_*`` environment variable must be
+declared in :mod:`repro.envcontract` with its type and the exact
+fallback value reading sites use.  The reads themselves rarely name
+the variable directly — the tree's idiom is a module-level alias
+(``ENV_JOBS = "REPRO_JOBS"``) read through ``os.environ.get(ENV_JOBS,
+"")`` — so the extractor resolves variable names with the dataflow
+engine's constant propagation rather than by pattern matching:
+
+* **ENV001** a read of a ``REPRO_*`` variable that is not in the
+  contract table — a typo'd or undeclared knob silently falls back to
+  its default forever;
+* **ENV002** a contract entry no linted file reads — dead
+  documentation that suggests the knob was lost in a refactor (only
+  checked when the contract module itself is in the linted set);
+* **ENV003** a reading site whose fallback disagrees with the declared
+  default — two sites with different ideas of "unset" make the knob's
+  behaviour depend on which code path consults it first.
+
+Reads whose name expression cannot be folded to a string constant
+(e.g. an attribute chain into another module, or a genuinely dynamic
+name) are skipped: the contract governs the static namespace, and a
+false positive on test plumbing would cost more than the coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..astutil import UNFOLDABLE, resolve_dotted
+from ..dataflow import (
+    EXCEPT,
+    STMT,
+    ConstantPropagation,
+    FileDataflow,
+    TOP,
+    file_dataflow,
+    fold_literal,
+    iter_functions,
+)
+from ..framework import (
+    Facts,
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    fact_extractor,
+    register,
+)
+
+#: The reserved environment namespace the contract governs.
+ENV_PREFIX = "REPRO_"
+
+#: Sentinel default values in the facts stream.
+_NO_DEFAULT = "<required>"
+_UNFOLDED = "<unfoldable>"
+
+_READ_METHODS = frozenset({"get", "pop"})
+
+
+def _environ_read(node: ast.expr, imports: Dict[str, str]
+                  ) -> Optional[Tuple[ast.expr, Optional[ast.expr], bool]]:
+    """Match an environment read: (name expr, default expr, required).
+
+    Covers ``os.environ.get/pop(name[, default])``, ``os.getenv(name
+    [, default])`` and ``os.environ[name]`` subscript loads.
+    """
+    if isinstance(node, ast.Call):
+        target = resolve_dotted(node.func, imports)
+        if target in ("os.environ.get", "os.environ.pop",
+                      "environ.get", "environ.pop") or \
+                target in ("os.getenv", "getenv"):
+            if not node.args:
+                return None
+            default = node.args[1] if len(node.args) > 1 else None
+            return node.args[0], default, False
+    if isinstance(node, ast.Subscript) and \
+            isinstance(node.ctx, ast.Load):
+        target = resolve_dotted(node.value, imports)
+        if target in ("os.environ", "environ"):
+            key = node.slice
+            return key, None, True
+    return None
+
+
+def _fold_default(expr: Optional[ast.expr], cp: ConstantPropagation,
+                  state: Dict[str, Any]) -> str:
+    if expr is None:
+        return _NO_DEFAULT
+    value = cp.fold(expr, state)
+    if value is UNFOLDABLE:
+        return _UNFOLDED
+    return repr(value)
+
+
+def _default_span(expr: Optional[ast.expr]
+                  ) -> Optional[Tuple[int, int, int, int]]:
+    """Source span of a literal default, for the autofixer."""
+    if isinstance(expr, ast.Constant) and expr.end_lineno is not None \
+            and expr.end_col_offset is not None:
+        return (expr.lineno, expr.col_offset,
+                expr.end_lineno, expr.end_col_offset)
+    return None
+
+
+def _scan_expr(expr: ast.expr, cp: ConstantPropagation,
+               state: Dict[str, Any], imports: Dict[str, str],
+               reads: List[Dict[str, Any]]) -> None:
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.expr):
+            continue
+        match = _environ_read(node, imports)
+        if match is None:
+            continue
+        name_expr, default_expr, required = match
+        name = cp.fold(name_expr, state)
+        if not isinstance(name, str):
+            continue  # dynamic or cross-module name: out of scope
+        reads.append({
+            "name": name,
+            "line": node.lineno,
+            "col": node.col_offset + 1,
+            "default": (_NO_DEFAULT if required
+                        else _fold_default(default_expr, cp, state)),
+            "required": required,
+            "default_span": _default_span(default_expr),
+        })
+
+
+def _stmt_exprs(stmt: ast.stmt) -> Iterable[ast.expr]:
+    """Top-level expressions of one statement, nested defs excluded."""
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+
+
+def _module_level_reads(ctx: FileContext, flow: FileDataflow,
+                        reads: List[Dict[str, Any]]) -> None:
+    """Reads in module/class bodies, resolved against module constants."""
+    cp = ConstantPropagation(flow.module_env)
+    state = dict(flow.module_env)
+    pending: List[ast.stmt] = list(ctx.tree.body if ctx.tree else ())
+    while pending:
+        stmt = pending.pop(0)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.ClassDef):
+            pending.extend(stmt.body)
+            continue
+        for expr in _stmt_exprs(stmt):
+            _scan_expr(expr, cp, state, flow.imports, reads)
+        for nested in ast.iter_child_nodes(stmt):
+            if isinstance(nested, ast.stmt):
+                pending.append(nested)
+
+
+@fact_extractor("env")
+def env_facts(ctx: FileContext) -> Optional[Facts]:
+    """Environment reads and contract declarations of one file.
+
+    Read sites run through the dataflow engine so names and defaults
+    bound via local or module-level constants resolve to their values;
+    the facts ship as plain dicts and ride the parallel file pass like
+    every other extractor.
+    """
+    if ctx.tree is None:
+        return None
+    flow = file_dataflow(ctx)
+    reads: List[Dict[str, Any]] = []
+    _module_level_reads(ctx, flow, reads)
+    for func in iter_functions(ctx.tree):
+        summary = flow.summary(func)
+        cp = ConstantPropagation(flow.module_env)
+        own = {id(s) for nested in iter_functions(func) if nested is not func
+               for s in ast.walk(nested)}
+        for node in summary.cfg.nodes:
+            if node.kind not in (STMT, EXCEPT) or node.stmt is None:
+                continue
+            if id(node.stmt) in own:
+                continue  # belongs to a nested function's own CFG
+            state = summary.in_state("constants", node.index) or {}
+            for expr in _stmt_exprs(node.stmt):
+                _scan_expr(expr, cp, state, flow.imports, reads)
+
+    declared: List[Dict[str, Any]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and \
+                resolve_dotted(node.func, ctx.imports) in \
+                ("repro.envcontract.EnvVar", "EnvVar") and \
+                len(node.args) >= 3:
+            name_node, _type_node, default_node = node.args[:3]
+            if isinstance(name_node, ast.Constant) and \
+                    isinstance(name_node.value, str):
+                default = fold_literal(default_node)
+                declared.append({
+                    "name": name_node.value,
+                    "line": node.lineno,
+                    "col": node.col_offset + 1,
+                    "default": (repr(default)
+                                if default is not UNFOLDABLE
+                                else _UNFOLDED),
+                })
+    if not reads and not declared:
+        return None
+    return {"reads": reads, "declared": declared}
+
+
+def _contract_of(project: Project) -> Tuple[Dict[str, Dict[str, Any]], bool]:
+    """(declared vars by name, declared-in-linted-set?)."""
+    declared: Dict[str, Dict[str, Any]] = {}
+    in_set = False
+    for rel in sorted(project.facts_for("env")):
+        for entry in project.facts_for("env")[rel].get("declared", ()):
+            in_set = True
+            declared.setdefault(entry["name"], dict(entry, path=rel))
+    if in_set:
+        return declared, True
+    try:
+        from ... import envcontract
+    except ImportError:  # pragma: no cover - installed tree always has it
+        return {}, False
+    for var in envcontract.CONTRACT:
+        declared[var.name] = {
+            "name": var.name, "line": 0, "col": 0,
+            "default": repr(var.default), "path": "",
+        }
+    return declared, False
+
+
+@register
+class UndeclaredEnvVarRule(Rule):
+    id = "ENV001"
+    name = "undeclared-env-var"
+    summary = ("a REPRO_* environment read outside the declared "
+               "contract table; a typo'd knob silently falls back to "
+               "its default forever")
+    scope = "project"
+    facts = ("env",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        contract, _ = _contract_of(project)
+        for rel in sorted(project.facts_for("env")):
+            for read in project.facts_for("env")[rel].get("reads", ()):
+                name = read["name"]
+                if name.startswith(ENV_PREFIX) and name not in contract:
+                    yield Finding(
+                        self.id, rel, read["line"], read["col"],
+                        f"environment variable {name!r} is not declared "
+                        f"in the repro.envcontract table; add an EnvVar "
+                        f"entry with its type and default")
+
+
+@register
+class DeadEnvVarRule(Rule):
+    id = "ENV002"
+    name = "dead-env-var"
+    summary = ("a contract entry no linted file reads; dead knob "
+               "documentation hides renames")
+    scope = "project"
+    facts = ("env",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        contract, in_set = _contract_of(project)
+        if not in_set:
+            return  # contract module outside the linted set
+        read_names = set()
+        for rel in sorted(project.facts_for("env")):
+            for read in project.facts_for("env")[rel].get("reads", ()):
+                read_names.add(read["name"])
+        for name in sorted(contract):
+            if name not in read_names:
+                entry = contract[name]
+                yield Finding(
+                    self.id, entry["path"], entry["line"], entry["col"],
+                    f"declared environment variable {name!r} has no "
+                    f"read site in the linted tree; remove the contract "
+                    f"entry or restore the reader")
+
+
+@register
+class InconsistentEnvDefaultRule(Rule):
+    id = "ENV003"
+    name = "inconsistent-env-default"
+    summary = ("a reading site whose fallback disagrees with the "
+               "declared default; which value wins then depends on the "
+               "code path")
+    scope = "project"
+    facts = ("env",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        contract, _ = _contract_of(project)
+        for rel in sorted(project.facts_for("env")):
+            for read in project.facts_for("env")[rel].get("reads", ()):
+                entry = contract.get(read["name"])
+                if entry is None or read["required"]:
+                    continue
+                declared = entry["default"]
+                site = read["default"]
+                if site == _UNFOLDED or declared == _UNFOLDED:
+                    continue
+                if site == _NO_DEFAULT:
+                    site = repr(None)
+                if site != declared:
+                    # Safe autofix: when the site's fallback is a plain
+                    # literal (the extractor recorded its span), rewrite
+                    # it to the declared default verbatim.
+                    fix = ()
+                    span = read.get("default_span")
+                    if span is not None:
+                        line0, col0, line1, col1 = span
+                        fix = ((rel, line0, col0, line1, col1, declared),)
+                    yield Finding(
+                        self.id, rel, read["line"], read["col"],
+                        f"read of {read['name']!r} falls back to "
+                        f"{site} but the contract declares {declared}; "
+                        f"align the site with the declared default",
+                        fix=fix)

@@ -1,0 +1,120 @@
+"""Exception-edge rules (EXC001-EXC002).
+
+The concurrency pack's RES rules reason about the *normal* exit of a
+function; these two rules cover the exceptional edges the dataflow
+engine materialises:
+
+* **EXC001** a handle acquired in the function is still open when an
+  explicit ``raise`` escapes it — the exception edge leaks the
+  resource because no enclosing ``try``/``finally`` (or handler)
+  releases it.  The fix is mechanical: move the acquisition into a
+  ``with`` block or wrap the raising region in ``try``/``finally``.
+* **EXC002** a broad handler (bare ``except``, ``except Exception`` /
+  ``BaseException``) whose body neither re-raises, nor returns a
+  value, nor calls anything — the failure is swallowed with no
+  telemetry, no logging and no fallback work, which is exactly how
+  event streams disappear without a trace.  Narrow handlers
+  (``except OSError: pass``) stay legal: ignoring a *specific*
+  expected failure is a decision, ignoring everything is a bug
+  magnet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..dataflow import file_dataflow, iter_functions
+from ..framework import FileContext, Finding, Rule, register
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+@register
+class RaiseLeakRule(Rule):
+    id = "EXC001"
+    name = "leak-on-exception-edge"
+    summary = ("an open handle is live when a raise escapes the "
+               "function; the exception edge has no cleanup")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        flow = file_dataflow(ctx)
+        for func in iter_functions(ctx.tree):
+            summary = flow.summary(func)
+            cfg = summary.cfg
+            for node in cfg.nodes:
+                if not isinstance(node.stmt, ast.Raise):
+                    continue
+                if cfg.raise_exit not in node.succs:
+                    continue  # caught or cleaned up by an enclosing try
+                state = summary.in_state("resources", node.index) or {}
+                for var in sorted(state):
+                    _status, open_line, _open_col, call = state[var]
+                    yield Finding(
+                        self.id, ctx.rel, node.stmt.lineno,
+                        node.stmt.col_offset + 1,
+                        f"raise escapes {func.name}() while {var!r} "
+                        f"(from {call}() at line {open_line}) is still "
+                        f"open; close it in a finally or use a with "
+                        f"block",
+                        related=((ctx.rel, open_line, 1,
+                                  f"{var!r} acquired here"),))
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: List[ast.expr] = []
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else \
+            (node.attr if isinstance(node, ast.Attribute) else None)
+        if name in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable at all.
+
+    Calls, re-raises, returns and yields are observable; so is a
+    mutation of state visible outside the handler (an attribute or
+    subscript store — the "count the drop" idiom).  A plain local
+    assignment is not: the binding dies with the frame.
+    """
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Call, ast.Return,
+                                 ast.Yield, ast.YieldFrom, ast.Await)):
+                return False
+            if isinstance(node, (ast.Attribute, ast.Subscript)) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)):
+                return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "EXC002"
+    name = "swallowed-broad-exception"
+    summary = ("a bare/Exception handler that neither re-raises, "
+               "calls, nor returns; failures vanish with no telemetry")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and \
+                    _is_broad(node) and _swallows(node):
+                yield Finding(
+                    self.id, ctx.rel, node.lineno, node.col_offset + 1,
+                    "broad except swallows the failure with no "
+                    "re-raise, call or telemetry; narrow the type or "
+                    "record the drop")

@@ -79,6 +79,9 @@ def telemetry_facts(ctx: FileContext) -> Optional[Facts]:
     kinds_decl: List[Tuple[str, int, int]] = []
     registered: List[Tuple[str, int, int]] = []
     unknown: List[str] = []
+    #: (line, col) just after the last KINDS element — where the
+    #: autofixer registers a missing kind.
+    kinds_insert: Optional[Tuple[int, int]] = None
 
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Call):
@@ -110,6 +113,12 @@ def telemetry_facts(ctx: FileContext) -> Optional[Facts]:
                     kinds_decl.extend(
                         (k, decl.lineno, decl.col_offset + 1)
                         for k in kinds)
+                    if isinstance(decl, (ast.Tuple, ast.List)) and \
+                            decl.elts and \
+                            decl.elts[-1].end_lineno is not None:
+                        last = decl.elts[-1]
+                        kinds_insert = (last.end_lineno,
+                                        last.end_col_offset or 0)
             bucket = class_constant(node, "UNKNOWN")
             if isinstance(bucket, ast.Constant) and \
                     isinstance(bucket.value, str):
@@ -118,7 +127,8 @@ def telemetry_facts(ctx: FileContext) -> Optional[Facts]:
     if not (emits or kinds_decl or registered or unknown):
         return None
     return {"emits": emits, "kinds": kinds_decl,
-            "registered": registered, "unknown": unknown}
+            "registered": registered, "unknown": unknown,
+            "kinds_insert": kinds_insert}
 
 
 def _installed_registry() -> Set[str]:
@@ -163,18 +173,36 @@ class UnregisteredKindRule(Rule):
     facts = ("telemetry",)
 
     def check_project(self, project: Project) -> Iterable[Finding]:
-        registry, _ = _registry_of(project)
+        registry, declared_in_set = _registry_of(project)
         if not registry:
             return
+        # The safe autofix registers the kind by appending it to the
+        # KINDS tuple — only when the linted set contains exactly one
+        # declaration, so there is no ambiguity about where it belongs.
+        inserts = [
+            (rel, facts["kinds_insert"])
+            for rel, facts in sorted(
+                project.facts_for("telemetry").items())
+            if facts.get("kinds_insert") is not None]
+        insert_at = inserts[0] if declared_in_set and \
+            len(inserts) == 1 else None
+        fixed_kinds: Set[str] = set()
         for rel in sorted(project.facts_for("telemetry")):
             facts = project.facts_for("telemetry")[rel]
             for kind, line, col in facts.get("emits", ()):
                 if kind not in registry:
+                    fix = ()
+                    if insert_at is not None and kind not in fixed_kinds:
+                        fixed_kinds.add(kind)
+                        dest, (ins_line, ins_col) = insert_at
+                        fix = ((dest, ins_line, ins_col,
+                                ins_line, ins_col, f", {kind!r}"),)
                     yield Finding(
                         self.id, rel, line, col,
                         f"event kind {kind!r} is not in the telemetry "
                         f"registry; declare it in EventLog.KINDS, "
-                        f"register_kind(...) or extra_kinds=")
+                        f"register_kind(...) or extra_kinds=",
+                        fix=fix)
 
 
 @register

@@ -252,6 +252,9 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
         self._collectors: List[Collector] = []
+        #: Collector exceptions swallowed by :meth:`collect`; drops are
+        #: counted (best-effort, unguarded) rather than lost silently.
+        self.collector_errors = 0
 
     # -- declaration ---------------------------------------------------
 
@@ -361,7 +364,7 @@ class MetricsRegistry:
             try:
                 collector()
             except Exception:   # noqa: BLE001 - observers are best-effort
-                pass
+                self.collector_errors += 1
 
     # -- export --------------------------------------------------------
 

@@ -47,6 +47,11 @@ _STORE_LISTENERS: List[StoreListener] = []
 #: :func:`store_event_counts`.
 STORE_EVENT_COUNTS: Counter = Counter()
 
+#: Listener exceptions swallowed per bus ("store" / "span").  Observers
+#: are best-effort — a failing listener must never take down the
+#: publisher — but the drops stay countable instead of vanishing.
+DROPPED_LISTENER_ERRORS: Counter = Counter()
+
 _BUS_LOCK = threading.Lock()
 
 
@@ -90,7 +95,7 @@ def store_event(kind: str, **fields: Any) -> None:
         try:
             listener(kind, dict(fields))
         except Exception:       # noqa: BLE001 - observers are best-effort
-            pass
+            DROPPED_LISTENER_ERRORS["store"] += 1
 
 #: A span listener: called with one finished span record (a dict with
 #: trace_id/span_id/parent_id/name/start_ts/duration_s keys).
@@ -141,7 +146,7 @@ def span_event(record: Dict[str, Any]) -> None:
         try:
             listener(dict(record))
         except Exception:       # noqa: BLE001 - observers are best-effort
-            pass
+            DROPPED_LISTENER_ERRORS["span"] += 1
 
 
 #: event kind -> FrontendStats attribute that must match its count.

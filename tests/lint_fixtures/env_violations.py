@@ -1,0 +1,44 @@
+"""ENV pack fixtures: undeclared, dead and drift-defaulted knobs.
+
+The in-file ``EnvVar`` declarations stand in for the real contract
+module, so ENV002 (dead entries) activates exactly like a self-host
+run that includes ``repro/envcontract.py``.
+"""
+
+import os
+
+from repro.envcontract import EnvVar
+
+CONTRACT = (
+    EnvVar("REPRO_ENV_MODE", "str", "fast", "Mode knob."),
+    EnvVar("REPRO_ENV_DEAD", "flag", "", "Declared but never read."),
+    EnvVar("REPRO_ENV_REQUIRED", "path", None, "No fallback."),
+)
+
+#: The tree's idiom: reads go through a module-level alias, resolved by
+#: the engine's constant propagation rather than pattern matching.
+ENV_MODE = "REPRO_ENV_MODE"
+
+
+def read_undeclared():
+    # ENV001: nothing declares REPRO_ENV_TYPO.
+    return os.environ.get("REPRO_ENV_TYPO", "")
+
+
+def read_aliased_ok():
+    return os.environ.get(ENV_MODE, "fast")
+
+
+def read_drifted():
+    # ENV003: the declared default is 'fast'.
+    name = ENV_MODE
+    return os.environ.get(name, "slow")
+
+
+def read_required_ok():
+    return os.environ["REPRO_ENV_REQUIRED"]
+
+
+def read_dynamic_is_skipped(suffix):
+    # Unfoldable name: out of the contract's static namespace.
+    return os.environ.get("REPRO_" + suffix, "")

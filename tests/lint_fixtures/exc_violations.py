@@ -1,0 +1,62 @@
+"""EXC pack fixtures: exception-edge leaks and swallowed failures."""
+
+
+def raise_leaks_handle(path, limit):
+    # EXC001: the raise escapes while fh is open; no finally closes it.
+    fh = open(path, "r", encoding="utf-8")
+    data = fh.read()
+    if len(data) > limit:
+        raise ValueError("too large")
+    fh.close()
+    return data
+
+
+def raise_inside_with_ok(path, limit):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = fh.read()
+        if len(data) > limit:
+            raise ValueError("too large")
+    return data
+
+
+def raise_after_finally_ok(path, limit):
+    fh = open(path, "r", encoding="utf-8")
+    try:
+        data = fh.read()
+    finally:
+        fh.close()
+    if len(data) > limit:
+        raise ValueError("too large")
+    return data
+
+
+def swallow_everything(records):
+    total = 0
+    for record in records:
+        try:
+            total += record["bytes"]
+        except Exception:
+            # EXC002: the failure vanishes; only a local binding here.
+            dropped = True  # noqa: F841 (deliberately dead)
+    return total
+
+
+def swallow_bare(fh):
+    try:
+        return fh.read()
+    except:  # EXC002: bare and silent.
+        pass
+
+
+def narrow_swallow_ok(path, fh):
+    try:
+        return fh.read()
+    except OSError:
+        pass
+
+
+def broad_but_counted_ok(stats, fh):
+    try:
+        return fh.read()
+    except Exception:
+        stats["dropped"] = stats.get("dropped", 0) + 1

@@ -1,0 +1,69 @@
+"""Autofix corpus: every unsuppressed violation has a safe span fix.
+
+The twin ``fix_fixed.py`` is the byte-for-byte result of ``repro lint
+--fix`` over this file; the autofix tests assert the transformation,
+that the twin lints clean, and that a second fix pass is a no-op.
+"""
+
+import os
+
+from repro.envcontract import EnvVar
+
+
+class FixLog:
+    """Telemetry registry for the fixer corpus."""
+
+    KINDS = ("fix_start", "fix_done")
+    UNKNOWN = "unknown"
+
+    def emit(self, cycle, kind, addr=0):
+        return (cycle, kind, addr)
+
+    def run(self):
+        self.emit(0, "fix_start")
+        self.emit(1, "fix_done")
+
+
+CONTRACT = (
+    EnvVar("REPRO_FIX_MODE", "str", "fast", "Fix-corpus mode knob."),
+)
+
+
+def read_mode():
+    # ENV003: the fallback drifted from the declared default.
+    return os.environ.get("REPRO_FIX_MODE", "slow")
+
+
+def read_mode_suppressed():
+    # The suppressed read keeps its drift: noqa records a decision, so
+    # only the stale DET001 id is pruned from the comment.
+    return os.environ.get("REPRO_FIX_MODE", "slower")  # repro: noqa[DET001,ENV003] -- drift kept on purpose
+
+
+def leak_handle(path):
+    # RES001: leaked on the fall-through path; every use of the handle
+    # lives below the acquisition, so the with-wrap fix applies.
+    fh = open(path, "r", encoding="utf-8")
+    data = fh.read()
+    return len(data)
+
+
+def touch(path):
+    # RES001: the handle is discarded outright; fixed by closing it.
+    open(path, "w")
+
+
+def emit_probe(log):
+    # TEL001: 'fix_probe' is not registered; fixed by appending it to
+    # the KINDS declaration above.
+    log.emit(2, "fix_probe")
+
+
+def stale_trailing():
+    value = 3  # repro: noqa[DET001] -- stale: nothing fires here
+    return value
+
+
+def stale_whole_line():
+    # repro: noqa[TEL001] -- stale: the whole comment line goes away
+    return 1

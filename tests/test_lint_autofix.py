@@ -1,0 +1,104 @@
+"""Autofix tests: twin fixtures, fix-then-clean, byte idempotency, CLI.
+
+``fix_violations.py`` holds only findings with safe span fixes; its twin
+``fix_fixed.py`` is the exact expected output of one ``--fix`` pass.  The
+fixture is copied into a tmp dir before fixing because ``apply_fixes``
+mutates the tree in place.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.autofix import apply_fixes
+
+FIXTURES = Path("tests/lint_fixtures")
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    dst = tmp_path / "fix_violations.py"
+    shutil.copy(FIXTURES / "fix_violations.py", dst)
+    return dst
+
+
+def test_fixture_findings_all_carry_fixes(corpus):
+    result = lint_paths([str(corpus.parent)])
+    got = [(f.rule, f.line) for f in result.findings]
+    assert got == [
+        ("ENV003", 34),
+        ("LNT001", 40),
+        ("RES001", 46),
+        ("RES001", 53),
+        ("TEL001", 59),
+        ("LNT001", 63),
+        ("LNT001", 68),
+    ]
+    assert all(f.fix for f in result.findings)
+    assert [(f.rule, f.line) for f in result.suppressed] == [("ENV003", 40)]
+    assert not result.suppressed[0].fix
+
+
+def test_fix_matches_twin_byte_for_byte(corpus):
+    result = lint_paths([str(corpus.parent)])
+    report = apply_fixes(result)
+    assert report.applied == 9
+    assert report.skipped == 0
+    assert report.fixed_rules == {
+        "ENV003": 1, "LNT001": 3, "RES001": 2, "TEL001": 1,
+    }
+    assert corpus.read_bytes() == (FIXTURES / "fix_fixed.py").read_bytes()
+
+
+def test_fix_then_relint_is_clean(corpus):
+    apply_fixes(lint_paths([str(corpus.parent)]))
+    result = lint_paths([str(corpus.parent)])
+    assert result.findings == []
+    # The pruned noqa still suppresses the deliberately kept drift.
+    assert [(f.rule, f.line) for f in result.suppressed] == [("ENV003", 40)]
+
+
+def test_fix_is_idempotent(corpus):
+    apply_fixes(lint_paths([str(corpus.parent)]))
+    once = corpus.read_bytes()
+    report = apply_fixes(lint_paths([str(corpus.parent)]))
+    assert report.applied == 0
+    assert corpus.read_bytes() == once
+
+
+def test_dry_run_leaves_file_untouched_and_renders_diff(corpus):
+    before = corpus.read_bytes()
+    report = apply_fixes(lint_paths([str(corpus.parent)]), dry_run=True)
+    assert corpus.read_bytes() == before
+    assert report.pending and report.applied == 9
+    assert "--- a/" in report.diff and "+++ b/" in report.diff
+    assert "'fast'" in report.diff
+
+
+def _cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd, capture_output=True, text=True,
+        env={"PYTHONPATH": str(Path("src").resolve()), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_diff_requires_fix(corpus):
+    proc = _cli([str(corpus), "--diff"], Path.cwd())
+    assert proc.returncode == 2
+    assert "--diff requires --fix" in proc.stderr
+
+
+def test_cli_fix_diff_exit_codes(corpus):
+    dirty = _cli([str(corpus.parent), "--fix", "--diff"], Path.cwd())
+    assert dirty.returncode == 1
+    assert "pending" in dirty.stdout
+    applied = _cli([str(corpus.parent), "--fix"], Path.cwd())
+    assert applied.returncode == 0
+    clean = _cli([str(corpus.parent), "--fix", "--diff"], Path.cwd())
+    assert clean.returncode == 0
+    assert "no safe fixes pending" in clean.stdout

@@ -224,3 +224,45 @@ class TestChangedOnly:
         assert result.files == ["a.py"]
         assert result.skipped == 0
         assert [f.rule for f in result.findings] == ["DET001"]
+
+
+class TestChangedOnlyDependents:
+    """A changed callee must re-lint its callers (facts dependencies)."""
+
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        _git(repo, "init")
+        _git(repo, "config", "user.email", "lint@example.com")
+        _git(repo, "config", "user.name", "lint")
+        (repo / "callee.py").write_text(
+            "def helper():\n    return 1\n")
+        (repo / "caller.py").write_text(
+            "from callee import helper\n\n\n"
+            "def outer():\n    return helper()\n")
+        (repo / "grandcaller.py").write_text(
+            "import caller\n\n\n"
+            "def top():\n    return caller.outer()\n")
+        (repo / "unrelated.py").write_text(
+            "def alone():\n    return 0\n")
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-m", "seed")
+        _git(repo, "branch", "-M", "main")
+        return repo
+
+    def test_editing_a_callee_relints_callers_transitively(self, repo):
+        (repo / "callee.py").write_text(
+            "def helper():\n    return 2\n")
+        result = lint_paths([repo], root=repo, changed_only=True)
+        assert sorted(result.files) == \
+            ["callee.py", "caller.py", "grandcaller.py"]
+        assert result.skipped == 1          # unrelated.py only
+
+    def test_editing_a_leaf_caller_stays_narrow(self, repo):
+        (repo / "grandcaller.py").write_text(
+            "import caller\n\n\n"
+            "def top():\n    return caller.outer() + 1\n")
+        result = lint_paths([repo], root=repo, changed_only=True)
+        assert result.files == ["grandcaller.py"]
+        assert result.skipped == 3

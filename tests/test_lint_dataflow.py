@@ -1,0 +1,296 @@
+"""Unit tests for the flow-sensitive dataflow engine.
+
+Each test parses a small function, builds its CFG and solves one of
+the lattice analyses, asserting on the IN states at interesting nodes
+— the exact surface the ENV/EXC/RES/LCK rules consume.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.dataflow import (
+    CFG,
+    ConstantPropagation,
+    FileDataflow,
+    HeldLocks,
+    ReachingDefinitions,
+    ResourceFlow,
+    STMT,
+    TOP,
+    build_cfg,
+    iter_functions,
+    module_constants,
+    solve,
+)
+
+
+def flow_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return FileDataflow(tree), tree
+
+
+def first_function(tree):
+    return next(iter_functions(tree))
+
+
+def summary_of(source):
+    flow, tree = flow_of(source)
+    return flow.summary(first_function(tree))
+
+
+def node_at(cfg, line):
+    """The first STMT node whose statement starts at ``line``."""
+    for node in cfg.nodes:
+        if node.kind == STMT and node.stmt is not None and \
+                node.stmt.lineno == line:
+            return node
+    raise AssertionError(f"no STMT node at line {line}")
+
+
+class TestCFGConstruction:
+    def test_straight_line_chain(self):
+        summary = summary_of("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        cfg = summary.cfg
+        stmts = [n for n in cfg.nodes if n.kind == STMT]
+        assert len(stmts) == 3
+        # return flows to exit, nothing flows to raise_exit normally
+        assert cfg.exit in stmts[-1].succs
+
+    def test_branch_joins(self):
+        summary = summary_of("""
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        cfg = summary.cfg
+        ret = node_at(cfg, 7)
+        preds = cfg.preds()[ret.index]
+        assert len(preds) == 2  # both arms join at the return
+
+    def test_loop_back_edge(self):
+        summary = summary_of("""
+            def f(n):
+                total = 0
+                while n:
+                    total += n
+                    n -= 1
+                return total
+        """)
+        cfg = summary.cfg
+        loop = node_at(cfg, 4)
+        body = node_at(cfg, 5)
+        # the last body statement loops back to the header
+        tail = node_at(cfg, 6)
+        assert loop.index in tail.succs
+        assert body.index in loop.succs
+
+    def test_statements_raise_toward_enclosing_handler(self):
+        summary = summary_of("""
+            def f(path):
+                try:
+                    data = parse(path)
+                except ValueError:
+                    data = None
+                return data
+        """)
+        cfg = summary.cfg
+        risky = node_at(cfg, 4)
+        handlers = [n for n in cfg.nodes if n.kind == "except"]
+        assert handlers, "except handler did not become a node"
+        assert handlers[0].index in risky.succs
+        kind = cfg.edge_kinds[(risky.index, handlers[0].index)]
+        assert kind & CFG.EDGE_EXC
+
+
+class TestReachingDefinitions:
+    def test_branch_merges_definitions(self):
+        summary = summary_of("""
+            def f(flag):
+                x = 1
+                if flag:
+                    x = 2
+                return x
+        """)
+        ret = node_at(summary.cfg, 6)
+        state = summary.in_state("reaching", ret.index)
+        assert {line for line in state["x"]} == {3, 5}
+
+    def test_loop_keeps_both_generations(self):
+        summary = summary_of("""
+            def f(n):
+                x = 0
+                while n:
+                    x = x + 1
+                return x
+        """)
+        ret = node_at(summary.cfg, 6)
+        assert summary.in_state("reaching", ret.index)["x"] == \
+            frozenset({3, 5})
+
+
+class TestConstantPropagation:
+    def test_module_constants_seed_the_env(self):
+        flow, tree = flow_of("""
+            NAME = "REPRO_X"
+
+            def f():
+                n = NAME
+                return n
+        """)
+        assert module_constants(tree) == {"NAME": "REPRO_X"}
+        summary = flow.summary(first_function(tree))
+        ret = node_at(summary.cfg, 6)
+        state = summary.in_state("constants", ret.index)
+        assert state["n"] == "REPRO_X"
+
+    def test_conflicting_branches_fold_to_top(self):
+        summary = summary_of("""
+            def f(flag):
+                mode = "a"
+                if flag:
+                    mode = "b"
+                return mode
+        """)
+        ret = node_at(summary.cfg, 6)
+        assert summary.in_state("constants", ret.index)["mode"] is TOP
+
+    def test_fold_resolves_binop_literals(self):
+        cp = ConstantPropagation()
+        expr = ast.parse("'REPRO_' + 'JOBS'", mode="eval").body
+        assert cp.fold(expr, {}) == "REPRO_JOBS"
+
+
+class TestResourceFlow:
+    def test_branch_leak_reaches_exit(self):
+        summary = summary_of("""
+            def f(path, flag):
+                fh = open(path)
+                if flag:
+                    fh.close()
+                return 0
+        """)
+        state = summary.in_state("resources", summary.cfg.exit)
+        assert "fh" in state  # open on the fall-through path
+
+    def test_with_block_closes_the_handle(self):
+        summary = summary_of("""
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+        """)
+        assert summary.in_state("resources", summary.cfg.exit) == {}
+
+    def test_return_through_finally_is_clean(self):
+        summary = summary_of("""
+            def f(path):
+                fh = open(path)
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+        """)
+        assert summary.in_state("resources", summary.cfg.exit) == {}
+
+    def test_exception_edge_carries_in_state(self):
+        # If open() itself raises, fh was never bound: the handler must
+        # not believe a handle is live (the iter_jsonl shape).
+        summary = summary_of("""
+            def f(path):
+                try:
+                    fh = open(path)
+                except OSError:
+                    return None
+                return fh
+        """)
+        handler = [n for n in summary.cfg.nodes if n.kind == "except"][0]
+        assert summary.in_state("resources", handler.index) == {}
+
+    def test_escape_via_return_releases_tracking(self):
+        summary = summary_of("""
+            def f(path):
+                fh = open(path)
+                return fh
+        """)
+        assert summary.in_state("resources", summary.cfg.exit) == {}
+
+    def test_receiver_use_is_not_an_escape(self):
+        summary = summary_of("""
+            def f(path):
+                fh = open(path)
+                return fh.read()
+        """)
+        state = summary.in_state("resources", summary.cfg.exit)
+        assert "fh" in state
+
+
+class TestHeldLocks:
+    def test_with_region_holds_and_releases(self):
+        summary = summary_of("""
+            def f(self):
+                with self._lock:
+                    self.count += 1
+                self.other = 2
+        """)
+        cfg = summary.cfg
+        inside = node_at(cfg, 4)
+        after = node_at(cfg, 5)
+        assert "self._lock" in summary.in_state("locks", inside.index)
+        assert summary.in_state("locks", after.index) == frozenset()
+
+    def test_conditional_release_intersects_away(self):
+        summary = summary_of("""
+            def f(self, flag):
+                self._lock.acquire()
+                if flag:
+                    self._lock.release()
+                self.count += 1
+        """)
+        tail = node_at(summary.cfg, 6)
+        assert summary.in_state("locks", tail.index) == frozenset()
+
+    def test_acquire_release_pair_brackets_the_region(self):
+        summary = summary_of("""
+            def f(self):
+                self._lock.acquire()
+                self.count += 1
+                self._lock.release()
+                self.after = 1
+        """)
+        inside = node_at(summary.cfg, 4)
+        after = node_at(summary.cfg, 6)
+        assert "self._lock" in summary.in_state("locks", inside.index)
+        assert summary.in_state("locks", after.index) == frozenset()
+
+
+class TestSolverTermination:
+    def test_nested_loops_with_try_terminate(self):
+        summary = summary_of("""
+            def f(items):
+                total = 0
+                for a in items:
+                    while a:
+                        try:
+                            a = step(a)
+                        except ValueError:
+                            break
+                        finally:
+                            total += 1
+                return total
+        """)
+        assert summary.in_state("constants", summary.cfg.exit) is not None
+
+    def test_solver_runs_standalone_cfg(self):
+        tree = ast.parse("def f(x):\n    y = x\n    return y\n")
+        func = first_function(tree)
+        cfg = build_cfg(func)
+        states = solve(cfg, ReachingDefinitions())
+        assert cfg.exit in states

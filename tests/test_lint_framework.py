@@ -82,13 +82,22 @@ class TestFindingRoundTrip:
         assert region["startLine"] == result.findings[0].line
         assert region["startColumn"] == result.findings[0].col
 
-    def test_sarif_suppressed_findings_are_omitted(self):
+    def test_sarif_suppressed_findings_carry_suppressions(self):
         result = lint_paths([f"{FIXTURES}/det_violations.py"])
         assert result.suppressed
         doc = json.loads(render_sarif(result))
-        lines = {r["locations"][0]["physicalLocation"]["region"]["startLine"]
-                 for r in doc["runs"][0]["results"]}
-        assert result.suppressed[0].line not in lines
+        results = doc["runs"][0]["results"]
+        # Unsuppressed findings first, with no suppressions array.
+        for entry in results[:len(result.findings)]:
+            assert "suppressions" not in entry
+        muted = results[len(result.findings):]
+        assert len(muted) == len(result.suppressed)
+        for entry, finding in zip(muted, result.suppressed):
+            region = entry["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == finding.line
+            sup = entry["suppressions"]
+            assert sup[0]["kind"] == "inSource"
+            assert sup[0]["justification"] == finding.justification
 
 
 class TestRuleSelection:

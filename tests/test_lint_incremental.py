@@ -1,0 +1,147 @@
+"""Incremental lint cache: warm runs are store-served and identical.
+
+Each test points the store at its own tmp directory, so hit/miss
+accounting starts from zero and the session-scoped cache fixture is
+not disturbed.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import store as store_mod
+from repro.lint import lint_paths
+from repro.lint.cache import LINT_CACHE_VERSION, file_key, pack_salt
+from repro.lint.reporters import render_text, result_as_dict
+
+FIXTURES = Path("tests/lint_fixtures")
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv(store_mod.ENV_CACHE_DIR, str(root))
+    store_mod.reset_store()
+    yield root
+    store_mod.reset_store()
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A small linted tree copied out of the fixture corpus."""
+    dst = tmp_path / "tree"
+    dst.mkdir()
+    for name in ("det_violations.py", "tel_violations.py", "clean.py"):
+        shutil.copy(FIXTURES / name, dst / name)
+    return dst
+
+
+def test_warm_run_is_fully_store_served(cache_dir, tree):
+    cold = lint_paths([tree], root=tree)
+    warm = lint_paths([tree], root=tree)
+    assert cold.store_served == 0
+    assert warm.store_served == len(warm.files) == 3
+    assert warm.store_served >= 0.9 * len(warm.files)
+    store = store_mod.get_store()
+    assert store.counters()["hits"] == 3
+    assert store.counters()["writes"] == 3
+
+
+def test_warm_run_is_bit_identical_to_cold(cache_dir, tree):
+    cold = lint_paths([tree], root=tree)
+    warm = lint_paths([tree], root=tree)
+    assert [f.as_dict() for f in cold.findings] == \
+        [f.as_dict() for f in warm.findings]
+    assert [f.as_dict() for f in cold.suppressed] == \
+        [f.as_dict() for f in warm.suppressed]
+    cold_doc = result_as_dict(cold)
+    warm_doc = result_as_dict(warm)
+    cold_doc.pop("store_served"), warm_doc.pop("store_served")
+    assert cold_doc == warm_doc
+
+
+def test_editing_one_file_invalidates_only_that_file(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    (tree / "clean.py").write_text(
+        (tree / "clean.py").read_text() + "\n# touched\n")
+    warm = lint_paths([tree], root=tree)
+    assert warm.store_served == 2
+
+
+def test_use_store_false_forces_a_cold_run(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    cold = lint_paths([tree], root=tree, use_store=False)
+    assert cold.store_served == 0
+
+
+def test_rule_selection_partitions_the_cache(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    narrowed = lint_paths([tree], root=tree, select=["DET"])
+    assert narrowed.store_served == 0  # different active rule set
+    warm = lint_paths([tree], root=tree, select=["DET"])
+    assert warm.store_served == 3
+
+
+def test_cache_key_covers_pack_salt_and_content(cache_dir):
+    content = b"x = 1\n"
+    base = file_key(content, "a.py", ("DET001",), ("env",))
+    assert base == file_key(content, "a.py", ("DET001",), ("env",))
+    assert base != file_key(b"x = 2\n", "a.py", ("DET001",), ("env",))
+    assert base != file_key(content, "b.py", ("DET001",), ("env",))
+    assert base != file_key(content, "a.py", ("DET002",), ("env",))
+    assert pack_salt()  # memoised, non-empty
+    assert LINT_CACHE_VERSION >= 1
+
+
+def test_store_disable_env_degrades_to_cold_runs(cache_dir, tree,
+                                                 monkeypatch):
+    monkeypatch.setenv(store_mod.ENV_CACHE_DISABLE, "1")
+    first = lint_paths([tree], root=tree)
+    second = lint_paths([tree], root=tree)
+    assert first.store_served == second.store_served == 0
+    assert not (cache_dir / "lint").exists()
+
+
+def test_reporter_shows_the_served_count(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    warm = lint_paths([tree], root=tree)
+    assert "(3/3 file(s) served from the lint cache)" in render_text(warm)
+
+
+def test_lint_entries_ride_store_maintenance(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    store = store_mod.get_store()
+    overview = store.overview()
+    assert overview["lint"]["count"] == 3
+    assert overview["lint"]["bytes"] > 0
+    # a zero budget evicts lint entries like any other kind
+    assert store.evict(budget_bytes=0) == 3
+    cold_again = lint_paths([tree], root=tree)
+    assert cold_again.store_served == 0
+
+
+def test_clear_removes_lint_entries(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    store = store_mod.get_store()
+    assert store.clear() >= 3
+    assert store.overview()["lint"]["count"] == 0
+
+
+def test_corrupt_entry_reads_as_a_miss(cache_dir, tree):
+    lint_paths([tree], root=tree)
+    for path in (cache_dir / "lint").rglob("*.json"):
+        path.write_text("{ torn")
+    warm = lint_paths([tree], root=tree)
+    assert warm.store_served == 0
+    assert store_mod.get_store().counters()["corrupt"] == 3
+
+
+def test_docs_env_table_matches_the_contract():
+    from repro.envcontract import render_markdown
+
+    doc = Path("docs/static-analysis.md").read_text(encoding="utf-8")
+    begin, end = "<!-- env-contract:begin -->", "<!-- env-contract:end -->"
+    embedded = doc[doc.index(begin) + len(begin):doc.index(end)].strip()
+    assert embedded == render_markdown().strip(), \
+        "docs/static-analysis.md env table drifted from repro.envcontract"

@@ -125,3 +125,57 @@ class TestFixtureCorpusIsExcludedFromDiscovery:
         assert "lint_fixtures" in EXCLUDED_DIRS
         result = lint_paths(["tests"])
         assert not any("lint_fixtures" in f for f in result.files)
+
+
+class TestEnvPack:
+    def test_undeclared_dead_and_drifted(self):
+        _, got = findings_of("env_violations.py")
+        assert got == [
+            ("ENV002", 14),   # REPRO_ENV_DEAD declared, never read
+            ("ENV001", 25),   # REPRO_ENV_TYPO read, never declared
+            ("ENV003", 35),   # fallback 'slow' vs declared 'fast'
+        ]
+
+    def test_messages_name_the_variable(self):
+        result, _ = findings_of("env_violations.py")
+        by_rule = {f.rule: f.message for f in result.findings}
+        assert "'REPRO_ENV_DEAD'" in by_rule["ENV002"]
+        assert "'REPRO_ENV_TYPO'" in by_rule["ENV001"]
+        assert "'slow'" in by_rule["ENV003"]
+        assert "'fast'" in by_rule["ENV003"]
+
+    def test_drifted_default_carries_a_fix(self):
+        result, _ = findings_of("env_violations.py")
+        drift = [f for f in result.findings if f.rule == "ENV003"][0]
+        assert drift.fix
+        assert drift.fix[0][5] == "'fast'"
+
+    def test_alias_and_required_reads_stay_clean(self):
+        # read_aliased_ok resolves the name through a module constant
+        # and matches the declared default; read_required_ok subscripts
+        # a no-default entry.  Neither may fire.
+        result, _ = findings_of("env_violations.py")
+        lines = {f.line for f in result.findings}
+        assert 29 not in lines and 41 not in lines
+
+
+class TestExceptionPack:
+    def test_raise_leak_and_swallowed_handlers(self):
+        _, got = findings_of("exc_violations.py")
+        assert got == [
+            ("EXC001", 9),    # raise escapes with fh open
+            ("EXC002", 38),   # except Exception: local binding only
+            ("EXC002", 47),   # bare except: pass
+        ]
+
+    def test_leak_message_names_the_handle_and_evidence(self):
+        result, _ = findings_of("exc_violations.py")
+        leak = [f for f in result.findings if f.rule == "EXC001"][0]
+        assert "'fh'" in leak.message and "line 6" in leak.message
+        assert leak.related[0][1] == 6
+
+    def test_with_finally_and_narrow_handlers_stay_clean(self):
+        # raise_inside_with_ok, raise_after_finally_ok, narrow_swallow_ok
+        # and broad_but_counted_ok must not fire.
+        result, _ = findings_of("exc_violations.py")
+        assert {f.line for f in result.findings} == {9, 38, 47}

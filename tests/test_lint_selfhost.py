@@ -13,6 +13,7 @@ from repro.lint.rules.budget import (
     PAPER_TOTAL_BYTES,
     STRUCTURE_BUDGETS,
     compute_budget,
+    compute_scheme_budgets,
 )
 
 REPO = Path(__file__).resolve().parents[1]
@@ -78,6 +79,43 @@ class TestPaperStorageClaim:
             assert not item.over, (item.structure, item.bytes, item.limit)
         assert set(STRUCTURE_BUDGETS) == \
             {item.structure for item in report.items}
+
+
+def scheme_project():
+    """A Project over the whole package: BUD004 chases scheme factories
+    into whichever module defines their geometry classes."""
+    root = Path(repro.__file__).resolve().parents[1]
+    files = sorted((root / "repro").rglob("*.py"))
+    pairs = [(f, f.relative_to(root).as_posix()) for f in files]
+    project = Project(root, pairs)
+    for key in ("budget", "scheme_registry"):
+        for rel in project.files():
+            facts = FACT_EXTRACTORS[key](project.context(rel))
+            if facts:
+                project.facts.setdefault(key, {})[rel] = facts
+    return project
+
+
+class TestSchemeZooBudgets:
+    def test_every_registered_scheme_folds_and_fits(self):
+        from repro.experiments.runner import SCHEMES
+
+        report = compute_scheme_budgets(scheme_project())
+        assert report is not None
+        rows = {row.scheme: row for row in report.schemes}
+        assert set(rows) == set(SCHEMES), \
+            "BUD004 must recompute a figure for every registered scheme"
+        for name, row in sorted(rows.items()):
+            assert row.problem is None, (name, row.problem)
+            assert row.bytes is not None, \
+                f"scheme {name!r} did not fold statically"
+
+    def test_proposal_scheme_matches_table_ii_claim(self):
+        report = compute_scheme_budgets(scheme_project())
+        figure = report.figure("sn4l_dis_btb")
+        assert figure == 7562                  # the seed tree's fold
+        assert figure <= PAPER_TOTAL_BYTES     # inside the 7786 B claim
+        assert PAPER_TOTAL_BYTES == 7786
 
 
 def test_mypy_typed_islands():
